@@ -1,0 +1,1 @@
+bench/exp_util.ml: Array Float Format List Mkc_core Mkc_coverage Mkc_stream Mkc_workload Unix

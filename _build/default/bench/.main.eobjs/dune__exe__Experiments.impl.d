@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Exp_util List Mkc_core Mkc_coverage Mkc_hashing Mkc_lowerbound Mkc_sketch Mkc_stream Mkc_workload Printf Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bechamel_notty Benchmark Format Instance List Measure Mkc_core Mkc_hashing Mkc_sketch Mkc_stream Notty_unix Staged Test Time Toolkit Unix

@@ -1,0 +1,103 @@
+(* Shared machinery for the experiment harness (bench/experiments.ml). *)
+
+module Ss = Mkc_stream.Set_system
+module P = Mkc_core.Params
+
+let fprintf = Format.printf
+
+let header title =
+  fprintf "@.=== %s ===@." title
+
+let subheader s = fprintf "@.--- %s ---@." s
+
+let row fmt = Format.printf fmt
+
+(* A named instance with an OPT proxy. *)
+type instance = {
+  name : string;
+  system : Ss.t;
+  k : int;
+  opt : int; (* certified or greedy-based proxy for the optimal coverage *)
+}
+
+let mk_few_large ~n ~m ~k ~seed =
+  let pl = Mkc_workload.Planted.few_large ~n ~m ~k ~seed in
+  { name = "few-large"; system = pl.system; k; opt = pl.planted_coverage }
+
+let mk_many_small ~n ~m ~k ~seed =
+  let pl = Mkc_workload.Planted.many_small ~n ~m ~k ~seed in
+  { name = "many-small"; system = pl.system; k; opt = pl.planted_coverage }
+
+let mk_common_heavy ~n ~m ~k ~seed =
+  let pl = Mkc_workload.Planted.common_heavy ~n ~m ~k ~beta:4 ~seed in
+  let greedy = (Mkc_coverage.Greedy.run pl.system ~k).coverage in
+  { name = "common-heavy"; system = pl.system; k; opt = max greedy pl.planted_coverage }
+
+let mk_uniform ~n ~m ~k ~seed =
+  let sys = Mkc_workload.Random_inst.uniform ~n ~m ~set_size:(max 2 (n / 128)) ~seed in
+  { name = "uniform"; system = sys; k; opt = (Mkc_coverage.Greedy.run sys ~k).coverage }
+
+let mk_zipf ~n ~m ~k ~seed =
+  let sys = Mkc_workload.Random_inst.zipf_sizes ~n ~m ~max_size:(n / 8) ~skew:1.1 ~seed in
+  { name = "zipf"; system = sys; k; opt = (Mkc_coverage.Greedy.run sys ~k).coverage }
+
+let mk_graph ~n ~k ~seed =
+  let sys = Mkc_workload.Graph_gen.power_law ~vertices:n ~edges:(10 * n) ~skew:1.2 ~seed in
+  { name = "graph"; system = sys; k; opt = (Mkc_coverage.Greedy.run sys ~k).coverage }
+
+type est_run = {
+  estimate : float;
+  words : int;
+  breakdown : (string * int) list;
+  seconds : float;
+  provenance : string;
+  witness_coverage : int option;
+}
+
+let run_estimate ?(profile = P.Practical) ?(report_witness = false) (inst : instance)
+    ~alpha ~seed () =
+  let sys = inst.system in
+  let p = P.make ~m:(Ss.m sys) ~n:(Ss.n sys) ~k:inst.k ~alpha ~profile ~seed () in
+  let est = Mkc_core.Estimate.create p in
+  let stream = Ss.edge_stream ~seed:(seed + 7) sys in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (Mkc_core.Estimate.feed est) stream;
+  let r = Mkc_core.Estimate.finalize est in
+  let t1 = Unix.gettimeofday () in
+  let provenance =
+    match r.outcome with
+    | Some o -> Format.asprintf "%a" Mkc_core.Solution.pp_provenance o.provenance
+    | None -> "infeasible"
+  in
+  let witness_coverage =
+    if report_witness then
+      match r.outcome with
+      | Some o ->
+          let sets =
+            o.witness () |> List.filteri (fun i _ -> i < inst.k)
+          in
+          Some (Ss.coverage sys sets)
+      | None -> Some 0
+    else None
+  in
+  {
+    estimate = r.estimate;
+    words = Mkc_core.Estimate.words est;
+    breakdown = Mkc_core.Estimate.words_breakdown est;
+    seconds = t1 -. t0;
+    provenance;
+    witness_coverage;
+  }
+
+(* least-squares slope of log(y) against log(x) *)
+let loglog_slope pts =
+  let pts = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) pts in
+  let lg = List.map (fun (x, y) -> (log x, log y)) pts in
+  let nf = float_of_int (List.length lg) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 lg in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 lg in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 lg in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 lg in
+  ((nf *. sxy) -. (sx *. sy)) /. ((nf *. sxx) -. (sx *. sx))
+
+let ratio ~opt est = float_of_int opt /. Float.max 1.0 est

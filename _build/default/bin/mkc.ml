@@ -1,0 +1,197 @@
+(* mkc — command-line driver for the streaming Max k-Cover library.
+
+   Subcommands:
+     generate    synthesize an instance and write its edge stream to a file
+     estimate    single-pass α-approximate coverage estimation (Thm 3.1)
+     report      single-pass α-approximate k-cover reporting (Thm 3.2)
+     greedy      offline full-memory greedy baseline
+     lowerbound  play the §5 one-way DSJ communication game *)
+
+open Cmdliner
+
+let stream_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "stream"; "s" ] ~docv:"FILE" ~doc:"Edge stream file (lines: \"set elt\").")
+
+let k_arg = Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Cover budget k.")
+
+let alpha_arg =
+  Arg.(value & opt float 4.0 & info [ "alpha"; "a" ] ~docv:"A" ~doc:"Approximation target α.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let profile_arg =
+  let profile_conv =
+    Arg.enum [ ("practical", Mkc_core.Params.Practical); ("paper", Mkc_core.Params.Paper) ]
+  in
+  Arg.(
+    value & opt profile_conv Mkc_core.Params.Practical
+    & info [ "profile" ] ~docv:"PROFILE"
+        ~doc:"Constant profile: $(b,practical) (calibrated) or $(b,paper) (Table 2 literal).")
+
+let load_stream path =
+  let src = Mkc_stream.Stream_source.load path in
+  let m, n = Mkc_stream.Stream_source.max_ids src in
+  (src, m, n)
+
+(* ---------- generate ---------- *)
+
+let generate kind n m k seed out =
+  let sys =
+    match kind with
+    | `Few_large -> (Mkc_workload.Planted.few_large ~n ~m ~k ~seed).system
+    | `Many_small -> (Mkc_workload.Planted.many_small ~n ~m ~k ~seed).system
+    | `Common_heavy -> (Mkc_workload.Planted.common_heavy ~n ~m ~k ~beta:4 ~seed).system
+    | `Uniform -> Mkc_workload.Random_inst.uniform ~n ~m ~set_size:(max 1 (n / 64)) ~seed
+    | `Zipf -> Mkc_workload.Random_inst.zipf_sizes ~n ~m ~max_size:(max 2 (n / 16)) ~skew:1.1 ~seed
+    | `Graph -> Mkc_workload.Graph_gen.power_law ~vertices:n ~edges:(8 * n) ~skew:1.2 ~seed
+  in
+  let src = Mkc_stream.Stream_source.of_system ~seed:(seed + 1) sys in
+  Mkc_stream.Stream_source.save src out;
+  Format.printf "wrote %d pairs (%a) to %s@."
+    (Mkc_stream.Stream_source.length src)
+    Mkc_stream.Set_system.pp_summary sys out
+
+let generate_cmd =
+  let kind =
+    let kind_conv =
+      Arg.enum
+        [
+          ("few-large", `Few_large);
+          ("many-small", `Many_small);
+          ("common-heavy", `Common_heavy);
+          ("uniform", `Uniform);
+          ("zipf", `Zipf);
+          ("graph", `Graph);
+        ]
+    in
+    Arg.(value & opt kind_conv `Uniform & info [ "kind" ] ~docv:"KIND" ~doc:"Instance family.")
+  in
+  let n = Arg.(value & opt int 4096 & info [ "n" ] ~doc:"Ground set size.") in
+  let m = Arg.(value & opt int 1024 & info [ "m" ] ~doc:"Number of sets.") in
+  let out =
+    Arg.(value & opt string "stream.txt" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize an instance and write its edge stream")
+    Term.(const generate $ kind $ n $ m $ k_arg $ seed_arg $ out)
+
+(* ---------- estimate ---------- *)
+
+let estimate path k alpha seed profile =
+  let src, m, n = load_stream path in
+  let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
+  let est = Mkc_core.Estimate.create params in
+  Mkc_stream.Stream_source.iter (Mkc_core.Estimate.feed est) src;
+  let r = Mkc_core.Estimate.finalize est in
+  Format.printf "stream: %d pairs, m=%d, n=%d@." (Mkc_stream.Stream_source.length src) m n;
+  Format.printf "estimated optimal %d-cover coverage: %.0f@." k r.Mkc_core.Estimate.estimate;
+  (match r.Mkc_core.Estimate.outcome with
+  | Some o ->
+      Format.printf "winning subroutine: %a (guess z=%d)@." Mkc_core.Solution.pp_provenance
+        o.provenance r.Mkc_core.Estimate.z_guess
+  | None -> Format.printf "no subroutine produced a feasible estimate@.");
+  Format.printf "space: %d words@." (Mkc_core.Estimate.words est)
+
+let estimate_cmd =
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"α-approximate coverage estimation (Theorem 3.1)")
+    Term.(const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg)
+
+(* ---------- report ---------- *)
+
+let report path k alpha seed profile =
+  let src, m, n = load_stream path in
+  let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
+  let rep = Mkc_core.Report.create params in
+  Mkc_stream.Stream_source.iter (Mkc_core.Report.feed rep) src;
+  let r = Mkc_core.Report.finalize rep in
+  Format.printf "estimated coverage: %.0f@." r.Mkc_core.Report.estimate;
+  (match r.Mkc_core.Report.provenance with
+  | Some p -> Format.printf "via: %a@." Mkc_core.Solution.pp_provenance p
+  | None -> ());
+  Format.printf "reported %d sets:@." (List.length r.Mkc_core.Report.sets);
+  List.iter (fun id -> Format.printf "  S%d@." id) r.Mkc_core.Report.sets;
+  Format.printf "space: %d words@." (Mkc_core.Report.words rep)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"α-approximate k-cover reporting (Theorem 3.2)")
+    Term.(const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg)
+
+(* ---------- greedy ---------- *)
+
+let greedy path k =
+  let src, m, n = load_stream path in
+  let sys =
+    Mkc_stream.Set_system.of_edges ~n ~m
+      (Array.to_list (Mkc_stream.Stream_source.to_array src))
+  in
+  let r = Mkc_coverage.Greedy.run sys ~k in
+  Format.printf "greedy %d-cover coverage: %d@." k r.Mkc_coverage.Greedy.coverage;
+  List.iter (fun id -> Format.printf "  S%d@." id) r.Mkc_coverage.Greedy.chosen
+
+let greedy_cmd =
+  Cmd.v
+    (Cmd.info "greedy" ~doc:"Offline full-memory greedy baseline (1 - 1/e)")
+    Term.(const greedy $ stream_arg $ k_arg)
+
+(* ---------- stats ---------- *)
+
+let stats path =
+  let src, m, n = load_stream path in
+  let sys =
+    Mkc_stream.Set_system.of_edges ~n ~m
+      (Array.to_list (Mkc_stream.Stream_source.to_array src))
+  in
+  Format.printf "%a@." Mkc_stream.Set_system.pp_summary sys;
+  Format.printf "max element frequency: %d@." (Mkc_stream.Stats.max_frequency sys);
+  List.iter
+    (fun lambda ->
+      Format.printf "|Ucmn(λ=%g)| (freq ≥ m/λ): %d@." lambda
+        (Mkc_stream.Stats.ucmn_size sys ~lambda))
+    [ 4.0; 16.0; 64.0 ];
+  Format.printf "frequency histogram (freq: #elements):@.";
+  List.iter
+    (fun (f, c) -> if f <= 16 then Format.printf "  %4d: %d@." f c)
+    (Mkc_stream.Stats.frequency_histogram sys)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Instance statistics (frequencies, λ-common elements)")
+    Term.(const stats $ stream_arg)
+
+(* ---------- lowerbound ---------- *)
+
+let lowerbound m alpha trials seed =
+  let r = max 2 (int_of_float (ceil alpha)) in
+  let correct = ref 0 and words = ref 0 in
+  for t = 1 to trials do
+    let case = if t mod 2 = 0 then Mkc_lowerbound.Disjointness.Yes else Mkc_lowerbound.Disjointness.No in
+    let d = Mkc_lowerbound.Disjointness.generate ~r ~m ~case ~seed:(seed + t) () in
+    let out =
+      Mkc_lowerbound.Protocol.play d
+        (Mkc_lowerbound.Protocol.coverage_distinguisher ~m ~alpha ~seed:(seed + (1000 * t)) ())
+    in
+    if out.Mkc_lowerbound.Protocol.correct then incr correct;
+    words := max !words out.Mkc_lowerbound.Protocol.message_words
+  done;
+  Format.printf "α-player DSJ(m=%d, α=%d): %d/%d correct, max message %d words (m/α² = %.0f)@."
+    m r !correct trials !words
+    (float_of_int m /. (alpha *. alpha))
+
+let lowerbound_cmd =
+  let m = Arg.(value & opt int 1024 & info [ "m" ] ~doc:"Item universe size.") in
+  let trials = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Number of game plays.") in
+  Cmd.v
+    (Cmd.info "lowerbound" ~doc:"Play the §5 one-way set-disjointness game")
+    Term.(const lowerbound $ m $ alpha_arg $ trials $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "mkc" ~version:"1.0.0"
+      ~doc:"Streaming maximum k-coverage (Indyk-Vakilian, PODS 2019)"
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; estimate_cmd; report_cmd; greedy_cmd; stats_cmd; lowerbound_cmd ]))

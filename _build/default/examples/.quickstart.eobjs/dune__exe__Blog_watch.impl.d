@@ -1,0 +1,1 @@
+examples/blog_watch.ml: Array Format List Mkc_core Mkc_coverage Mkc_stream Mkc_workload

@@ -1,0 +1,1 @@
+examples/dsj_game.mli:

@@ -1,0 +1,1 @@
+examples/graph_coverage.ml: Format List Mkc_core Mkc_coverage Mkc_stream Mkc_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Mkc_core Mkc_coverage Mkc_stream Mkc_workload

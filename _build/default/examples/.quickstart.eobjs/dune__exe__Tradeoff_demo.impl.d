@@ -1,0 +1,1 @@
+examples/tradeoff_demo.ml: Array Float Format List Mkc_core Mkc_stream Mkc_workload

@@ -1,0 +1,49 @@
+(* The lower bound, played live (Section 5 / Theorem 3.3).
+
+   α players each hold a set of items with the promise that the sets are
+   either pairwise disjoint (Yes) or share exactly one common item (No).
+   Player i runs a streaming algorithm over its own (set, element) pairs
+   and mails the algorithm's memory to player i+1 — so distinguishing
+   the cases one-way is exactly estimating Max 1-Cover within α, and the
+   message size is the algorithm's space.
+
+   Run with:  dune exec examples/dsj_game.exe *)
+
+module Dsj = Mkc_lowerbound.Disjointness
+module Proto = Mkc_lowerbound.Protocol
+
+let play_round name maker trials ~m ~r =
+  let correct = ref 0 and msg = ref 0 in
+  for t = 1 to trials do
+    let case = if t mod 2 = 0 then Dsj.Yes else Dsj.No in
+    let d = Dsj.generate ~r ~m ~case ~seed:(2000 + t) () in
+    let out = Proto.play d (maker t) in
+    if out.Proto.correct then incr correct;
+    msg := max !msg out.Proto.message_words
+  done;
+  Format.printf "%-34s %3d/%d correct, max message %6d words@." name !correct trials !msg
+
+let () =
+  let m = 4096 and r = 12 in
+  let alpha = float_of_int r in
+  Format.printf "α-player Set Disjointness: m=%d items, α=%d players@." m r;
+  Format.printf "promise gap: optimal 1-cover coverage is %d (No) vs 1 (Yes)@.@." r;
+
+  play_round "exact distinguisher (Θ(m))"
+    (fun _ -> Proto.exact_distinguisher ~m ~r)
+    10 ~m ~r;
+
+  play_round "L∞/F2 sketch (O(m/α²), §1)"
+    (fun t -> fun () -> Proto.linf_distinguisher ~m ~alpha ~seed:(3000 + t) ())
+    10 ~m ~r;
+
+  play_round "the paper's estimator (k = 1)"
+    (fun t -> Proto.coverage_distinguisher ~m ~alpha ~seed:(4000 + t) ())
+    10 ~m ~r;
+
+  Format.printf
+    "@.Theorem 3.3: any single-pass α-approximate estimator must carry Ω(m/α²) = %.0f words@."
+    (float_of_int m /. (alpha *. alpha));
+  Format.printf
+    "across player boundaries; the L∞ sketch shows the bound is achievable, and the@.";
+  Format.printf "exact player shows what giving up the α-approximation slack costs (Θ(m)).@."

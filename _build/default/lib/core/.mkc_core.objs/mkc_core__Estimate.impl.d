@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Hashtbl List Mkc_hashing Option Oracle Params Solution Universe_reduction

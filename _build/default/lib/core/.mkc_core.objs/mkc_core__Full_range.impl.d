@@ -1,0 +1,1 @@
+lib/core/full_range.ml: Float Mkc_coverage Params Report

@@ -1,0 +1,1 @@
+lib/core/full_range.mli: Mkc_stream Params

@@ -1,0 +1,1 @@
+lib/core/large_common.ml: Array List Mkc_hashing Mkc_sketch Mkc_stream Option Params Solution

@@ -1,0 +1,1 @@
+lib/core/large_common.mli: Mkc_hashing Mkc_stream Params Solution

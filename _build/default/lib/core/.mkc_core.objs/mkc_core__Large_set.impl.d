@@ -1,0 +1,1 @@
+lib/core/large_set.ml: Array Float Hashtbl List Mkc_hashing Mkc_sketch Mkc_stream Params Solution Superset_partition

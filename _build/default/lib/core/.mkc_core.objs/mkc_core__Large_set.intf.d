@@ -1,0 +1,1 @@
+lib/core/large_set.mli: Mkc_hashing Mkc_stream Params Solution

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Float Large_common Large_set List Mkc_hashing Option Params Small_set Solution

@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Mkc_hashing Mkc_stream Params Solution

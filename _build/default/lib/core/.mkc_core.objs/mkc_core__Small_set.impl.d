@@ -1,0 +1,1 @@
+lib/core/small_set.ml: Array Float Hashtbl List Mkc_coverage Mkc_hashing Mkc_sketch Mkc_stream Params Solution

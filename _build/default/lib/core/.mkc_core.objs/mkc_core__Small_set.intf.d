@@ -1,0 +1,1 @@
+lib/core/small_set.mli: Mkc_hashing Mkc_stream Params Solution

@@ -1,0 +1,1 @@
+lib/core/superset_partition.ml: List Mkc_hashing Option

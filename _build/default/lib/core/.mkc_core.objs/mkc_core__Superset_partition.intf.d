@@ -1,0 +1,1 @@
+lib/core/superset_partition.mli: Mkc_hashing

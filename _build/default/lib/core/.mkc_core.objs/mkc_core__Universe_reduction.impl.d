@@ -1,0 +1,1 @@
+lib/core/universe_reduction.ml: Array Hashtbl Mkc_hashing Mkc_stream

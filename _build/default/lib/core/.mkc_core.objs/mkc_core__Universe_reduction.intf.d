@@ -1,0 +1,1 @@
+lib/core/universe_reduction.mli: Mkc_hashing Mkc_stream

@@ -1,0 +1,118 @@
+type inst = { z : int; reduction : Universe_reduction.t; oracle : Oracle.t }
+
+type body =
+  | Trivial of { estimate : float; witness : unit -> int list }
+  | Run of { insts : inst array }
+
+type t = { params : Params.t; body : body }
+
+type result = { estimate : float; outcome : Solution.outcome option; z_guess : int }
+
+let guess_ladder (p : Params.t) =
+  let top = Mkc_hashing.Hash_family.ceil_log2 p.n in
+  let bottom = min top 2 in
+  let rec go z acc = if z > top then List.rev acc else go (z + p.z_stride) ((1 lsl z) :: acc) in
+  let ladder = go bottom [] in
+  (* Always include the top guess so OPT ≈ n is never missed. *)
+  if List.mem (1 lsl top) ladder then ladder else ladder @ [ 1 lsl top ]
+
+let trivial_witness (p : Params.t) () =
+  (* k distinct pseudo-random set ids; by set sampling, a random
+     k-subset carries a ≥ k/m ≥ 1/α coverage fraction in expectation. *)
+  let rng = Mkc_hashing.Splitmix.create (p.base_seed lxor 0x7777) in
+  let seen = Hashtbl.create p.k in
+  while Hashtbl.length seen < p.k do
+    Hashtbl.replace seen (Mkc_hashing.Splitmix.below rng p.m) ()
+  done;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen []
+
+let create (p : Params.t) =
+  let body =
+    if float_of_int p.k *. p.alpha >= float_of_int p.m then
+      Trivial
+        { estimate = float_of_int p.n /. p.alpha; witness = trivial_witness p }
+    else begin
+      let root = Mkc_hashing.Splitmix.create p.base_seed in
+      let insts =
+        guess_ladder p
+        |> List.concat_map (fun z ->
+               List.init p.z_repeats (fun rep ->
+                   let sd = Mkc_hashing.Splitmix.fork root ((z * 131) + rep) in
+                   {
+                     z;
+                     reduction =
+                       Universe_reduction.create ~z ~seed:(Mkc_hashing.Splitmix.fork sd 0);
+                     oracle =
+                       Oracle.create (Params.with_universe p z)
+                         ~seed:(Mkc_hashing.Splitmix.fork sd 1);
+                   }))
+        |> Array.of_list
+      in
+      Run { insts }
+    end
+  in
+  { params = p; body }
+
+let feed t e =
+  match t.body with
+  | Trivial _ -> ()
+  | Run { insts } ->
+      Array.iter
+        (fun inst -> Oracle.feed inst.oracle (Universe_reduction.apply_edge inst.reduction e))
+        insts
+
+let finalize t =
+  match t.body with
+  | Trivial { estimate; witness } ->
+      {
+        estimate;
+        outcome = Some { Solution.estimate; witness; provenance = Solution.Trivial };
+        z_guess = 0;
+      }
+  | Run { insts } ->
+      let p = t.params in
+      let accepted = ref None and fallback = ref None in
+      let consider slot (cand : result) =
+        match !slot with
+        | Some (best : result) when best.estimate >= cand.estimate -> ()
+        | _ -> slot := Some cand
+      in
+      Array.iter
+        (fun inst ->
+          match Oracle.finalize inst.oracle with
+          | None -> ()
+          | Some o ->
+              let cand = { estimate = o.Solution.estimate; outcome = Some o; z_guess = inst.z } in
+              let threshold = float_of_int inst.z /. (p.accept_factor *. p.alpha) in
+              if o.Solution.estimate >= threshold then consider accepted cand
+              else consider fallback cand)
+        insts;
+      (match (!accepted, !fallback) with
+      | Some r, _ -> r
+      | None, Some r -> r
+      | None, None -> { estimate = 0.0; outcome = None; z_guess = 0 })
+
+let guesses t = guess_ladder t.params
+
+let words t =
+  match t.body with
+  | Trivial _ -> t.params.k
+  | Run { insts } ->
+      Array.fold_left
+        (fun acc inst -> acc + Universe_reduction.words inst.reduction + Oracle.words inst.oracle)
+        0 insts
+
+let words_breakdown t =
+  match t.body with
+  | Trivial _ -> [ ("trivial-witness", t.params.k) ]
+  | Run { insts } ->
+      let acc = Hashtbl.create 8 in
+      let bump key w =
+        Hashtbl.replace acc key (w + Option.value ~default:0 (Hashtbl.find_opt acc key))
+      in
+      Array.iter
+        (fun inst ->
+          bump "universe-reduction" (Universe_reduction.words inst.reduction);
+          List.iter (fun (k, w) -> bump k w) (Oracle.words_breakdown inst.oracle))
+        insts;
+      Hashtbl.fold (fun k w l -> (k, w) :: l) acc [] |> List.sort compare

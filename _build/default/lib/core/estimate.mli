@@ -1,0 +1,45 @@
+(** EstimateMaxCover (Figure 1, Theorems 3.1 and 3.6): the top-level
+    single-pass α-approximate estimator of the optimal coverage size.
+
+    - Trivial branch: when [kα ≥ m], return [n/α] — safe because any
+      k-cover found by sampling k of m sets carries a ≥ k/m ≥ 1/α
+      fraction of the total coverage in expectation.
+    - Otherwise, for every guess [z ∈ {2^i}] of the optimal coverage
+      size and [log(1/δ)] repeats, run an (α, δ, η)-oracle on the
+      universe-reduced stream [(S, h_z(e))].  A guess is accepted when
+      its best repeat's estimate reaches [z/(accept·α)]; the answer is
+      the largest accepted estimate, which lies in
+      [\[OPT/Õ(α), OPT\]] with probability ≥ 3/4 (Theorem 3.6).
+
+    Space: Õ(1) instances of the oracle ⇒ Õ(m/α²) total.
+
+    This module is also the reporting algorithm's engine: the winning
+    oracle's witness ids (Theorem 3.2) are exposed through the outcome;
+    {!Report} packages them. *)
+
+type t
+
+val create : Params.t -> t
+val feed : t -> Mkc_stream.Edge.t -> unit
+
+type result = {
+  estimate : float;
+  outcome : Solution.outcome option;
+      (** the winning oracle outcome ([None] only on the trivial branch
+          failure path — see {!finalize}) *)
+  z_guess : int;  (** the accepted coverage guess (0 on the trivial branch) *)
+}
+
+val finalize : t -> result
+(** Always returns a result: if no guess is accepted the estimate falls
+    back to the largest (unaccepted) oracle estimate, and to 0.0 when
+    every oracle reported infeasible. *)
+
+val guesses : t -> int list
+(** The z-guess ladder (diagnostics). *)
+
+val words : t -> int
+
+val words_breakdown : t -> (string * int) list
+(** Words per component, summed over all parallel oracle instances:
+    universe-reduction seeds, large-common, large-set, small-set. *)

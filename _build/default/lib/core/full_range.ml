@@ -1,0 +1,48 @@
+let switch_alpha = 3.0
+let lower_limit = 1.0 /. (1.0 -. exp (-1.0)) (* 1/(1 - 1/e) ≈ 1.582 *)
+
+type engine = Constant_factor | Sketching
+
+type body =
+  | Mv of Mkc_coverage.Mcgregor_vu.t
+  | Rep of Report.t
+
+type t = { body : body }
+
+type result = { estimate : float; sets : int list; engine : engine }
+
+let create (p : Params.t) =
+  if p.alpha <= lower_limit then
+    invalid_arg "Full_range.create: alpha must exceed 1/(1 - 1/e) (Feige's threshold)";
+  if p.alpha <= switch_alpha then begin
+    (* constant-factor regime: the [34]-style algorithm achieves
+       1/(1 - 1/e - ε); pick ε from the slack the caller allowed *)
+    let epsilon = Float.max 0.1 (Float.min 1.0 ((p.alpha -. lower_limit) /. 2.0)) in
+    { body = Mv (Mkc_coverage.Mcgregor_vu.create ~m:p.m ~n:p.n ~k:p.k ~epsilon ~seed:p.base_seed ()) }
+  end
+  else { body = Rep (Report.create p) }
+
+let engine t = match t.body with Mv _ -> Constant_factor | Rep _ -> Sketching
+
+let feed t e =
+  match t.body with
+  | Mv mv -> Mkc_coverage.Mcgregor_vu.feed mv e
+  | Rep rep -> Report.feed rep e
+
+let finalize t =
+  match t.body with
+  | Mv mv ->
+      let r = Mkc_coverage.Mcgregor_vu.finalize mv in
+      {
+        estimate = r.Mkc_coverage.Mcgregor_vu.coverage;
+        sets = r.Mkc_coverage.Mcgregor_vu.chosen;
+        engine = Constant_factor;
+      }
+  | Rep rep ->
+      let r = Report.finalize rep in
+      { estimate = r.Report.estimate; sets = r.Report.sets; engine = Sketching }
+
+let words t =
+  match t.body with
+  | Mv mv -> Mkc_coverage.Mcgregor_vu.words mv
+  | Rep rep -> Report.words rep

@@ -1,0 +1,80 @@
+type t = {
+  params : Params.t;
+  sampler : Mkc_sketch.Sampler.Nested.t; (* over set ids; level g ~ β = 2^g *)
+  sketches : Mkc_sketch.L0_bjkst.t array; (* one per level *)
+}
+
+let num_levels params =
+  1 + Mkc_hashing.Hash_family.ceil_log2 (max 1 (int_of_float (ceil params.Params.alpha)))
+
+let create (params : Params.t) ~seed =
+  let levels = num_levels params in
+  let base_rate = float_of_int params.k /. float_of_int params.m in
+  {
+    params;
+    sampler =
+      Mkc_sketch.Sampler.Nested.create ~base_rate ~levels ~indep:params.indep
+        ~seed:(Mkc_hashing.Splitmix.fork seed 0);
+    sketches =
+      Array.init levels (fun g ->
+          Mkc_sketch.L0_bjkst.create ~seed:(Mkc_hashing.Splitmix.fork seed (g + 1)) ());
+  }
+
+let feed t (e : Mkc_stream.Edge.t) =
+  match Mkc_sketch.Sampler.Nested.min_keep_level t.sampler e.set with
+  | None -> ()
+  | Some finest ->
+      (* Nesting: a set sampled at level [finest] belongs to every
+         coarser (higher-rate) level's collection too. *)
+      for g = finest to Array.length t.sketches - 1 do
+        Mkc_sketch.L0_bjkst.add t.sketches.(g) e.elt
+      done
+
+let beta_of_level g = 1 lsl g
+
+let coverage_estimates t =
+  Array.to_list
+    (Array.mapi (fun g sk -> (beta_of_level g, Mkc_sketch.L0_bjkst.estimate sk)) t.sketches)
+
+let witness t level () =
+  (* Enumerate the sampled sets of the winning level from the stored
+     hash seed; truncate to k ids (a uniform k-subset of F^rnd). *)
+  let out = ref [] and count = ref 0 in
+  let m = t.params.Params.m and k = t.params.Params.k in
+  let s = ref 0 in
+  while !count < k && !s < m do
+    if Mkc_sketch.Sampler.Nested.keep t.sampler ~level !s then begin
+      out := !s :: !out;
+      incr count
+    end;
+    incr s
+  done;
+  List.rev !out
+
+let finalize t =
+  let p = t.params in
+  let u = float_of_int p.Params.u in
+  let best = ref None in
+  Array.iteri
+    (fun g sk ->
+      let beta = float_of_int (beta_of_level g) in
+      let v = Mkc_sketch.L0_bjkst.estimate sk in
+      if v >= p.sigma *. beta *. u /. (4.0 *. p.alpha) then begin
+        let est = 2.0 *. v /. (3.0 *. beta) in
+        match !best with
+        | Some (b, _) when b >= est -> ()
+        | _ -> best := Some (est, g)
+      end)
+    t.sketches;
+  Option.map
+    (fun (est, g) ->
+      {
+        Solution.estimate = est;
+        witness = witness t g;
+        provenance = Solution.Large_common { beta = beta_of_level g };
+      })
+    !best
+
+let words t =
+  Mkc_sketch.Sampler.Nested.words t.sampler
+  + Array.fold_left (fun acc sk -> acc + Mkc_sketch.L0_bjkst.words sk) 0 t.sketches

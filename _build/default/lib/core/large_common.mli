@@ -1,0 +1,34 @@
+(** LargeCommon (Figure 3): the multi-layered set-sampling subroutine of
+    the (α, δ, η)-oracle, covering case I of the analysis — instances
+    where, for some β ≤ α, the (βk)-common elements have mass at least
+    [σβ|U|/α].
+
+    For each guess [β_g = 2^i ≤ α] it samples sets at rate ≈ [β_g k / m]
+    (one Θ(log mn)-wise hash drives all levels, nested — Section A.1)
+    and measures the coverage of the sampled collection with an L0
+    sketch.  By set sampling (Lemma 2.3) the level-β_g sample covers all
+    (β_g k)-common elements w.h.p., so if those are numerous the sketch
+    value is large; the returned estimate [2·VAL/(3β_g)] is a lower
+    bound on the best k-cover inside the sample (Observation 2.4) and
+    hence on OPT.  Total space Õ(1) (Theorem 4.4).
+
+    The witness is the lexicographically-first min(k, |F^rnd|) sampled
+    set ids of the winning level — a uniform k-subset of the sample,
+    which carries a 1/β_g fraction of the sample's coverage in
+    expectation (Observation 2.4). *)
+
+type t
+
+val create : Params.t -> seed:Mkc_hashing.Splitmix.t -> t
+val feed : t -> Mkc_stream.Edge.t -> unit
+val finalize : t -> Solution.outcome option
+(** [None] means "infeasible": no level passed the
+    [σ β_g |U| / (4α)] threshold — then w.h.p. no β ≤ α has common-
+    element mass above the case-I bar (Lemma 4.7), and the other oracle
+    subroutines are in charge. *)
+
+val coverage_estimates : t -> (int * float) list
+(** Per-level [(β_g, L0 estimate of |C(F^rnd_β)|)] diagnostics, used by
+    the fig3 bench. *)
+
+val words : t -> int

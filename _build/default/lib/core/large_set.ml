@@ -1,0 +1,157 @@
+type repeat_state = {
+  elem_sampler : Mkc_sketch.Sampler.Bernoulli.t option; (* None: rate 1 *)
+  partition : Superset_partition.t; (* F -> [q] supersets (Claim 4.9) *)
+  cntr_small : Mkc_sketch.F2_contributing.t;
+  cntr_large : Mkc_sketch.F2_contributing.t;
+  fallback_sampler : Mkc_sketch.Sampler.Bernoulli.t;
+  fallback : (int, Mkc_sketch.L0_bjkst.t) Hashtbl.t; (* sampled supersets M *)
+  fallback_seed : Mkc_hashing.Splitmix.t;
+}
+
+type t = {
+  params : Params.t;
+  w : int;
+  q : int; (* number of supersets *)
+  rho : float; (* element sampling rate *)
+  thr1 : float;
+  thr2 : float;
+  repeats : repeat_state array;
+}
+
+let create (params : Params.t) ~w ~seed =
+  if w < 1 then invalid_arg "Large_set.create: w must be >= 1";
+  let p = params in
+  let q = max 2 (Mkc_hashing.Hash_family.ceil_div p.Params.m w) in
+  let sa = Params.s_alpha p in
+  let rho = min 1.0 (p.t_elem *. sa *. p.eta /. float_of_int p.u) in
+  let l_size = rho *. float_of_int p.u in
+  let thr1 = l_size /. (18.0 *. p.eta *. sa) in
+  let thr2 = l_size /. (6.0 *. p.eta *. p.alpha) in
+  let r1 = max 2 (int_of_float (ceil (3.0 *. sa))) in
+  let r2 = max 2 (q / 4) in
+  let gamma1 = min 1.0 (p.alpha *. p.alpha /. float_of_int p.m) in
+  let gamma2 = 1.0 /. (2.0 *. max 1.0 (Float.log2 p.alpha)) in
+  (* Figure 6 samples ~ q·log(m)/r2 supersets for the oversized-class
+     fallback; with r2 = q/4 that is a constant-size pool. *)
+  let fallback_rate = min 1.0 (8.0 *. float_of_int (q / r2) /. float_of_int q) in
+  let mk_repeat r =
+    let sd = Mkc_hashing.Splitmix.fork seed r in
+    {
+      elem_sampler =
+        (if rho >= 1.0 then None
+         else
+           Some
+             (Mkc_sketch.Sampler.Bernoulli.create ~rate:rho ~indep:p.indep
+                ~seed:(Mkc_hashing.Splitmix.fork sd 0)));
+      partition =
+        Superset_partition.create ~m:p.Params.m ~q ~indep:p.indep
+          ~seed:(Mkc_hashing.Splitmix.fork sd 1);
+      cntr_small =
+        Mkc_sketch.F2_contributing.create ~gamma:gamma1 ~r:r1 ~indep:p.indep
+          ~seed:(Mkc_hashing.Splitmix.fork sd 2) ();
+      cntr_large =
+        Mkc_sketch.F2_contributing.create ~gamma:gamma2 ~r:r2 ~indep:p.indep
+          ~seed:(Mkc_hashing.Splitmix.fork sd 3) ();
+      fallback_sampler =
+        Mkc_sketch.Sampler.Bernoulli.create ~rate:fallback_rate ~indep:p.indep
+          ~seed:(Mkc_hashing.Splitmix.fork sd 4);
+      fallback = Hashtbl.create 16;
+      fallback_seed = Mkc_hashing.Splitmix.fork sd 5;
+    }
+  in
+  (* With ρ = 1 the element sample is the whole universe, so the
+     O(log n) repeats of Figure 7 (whose sole purpose is to dodge
+     common elements in at least one sample, App. B Step 1) buy much
+     less — halve them on the hot small-universe instances. *)
+  let repeats = if rho >= 1.0 then max 1 (p.oracle_repeats / 2) else p.oracle_repeats in
+  { params; w; q; rho; thr1; thr2; repeats = Array.init repeats mk_repeat }
+
+let in_sample rs e =
+  match rs.elem_sampler with
+  | None -> true
+  | Some s -> Mkc_sketch.Sampler.Bernoulli.keep s e
+
+let feed t (e : Mkc_stream.Edge.t) =
+  Array.iter
+    (fun rs ->
+      if in_sample rs e.elt then begin
+        let sid = Superset_partition.superset_of rs.partition e.set in
+        Mkc_sketch.F2_contributing.add rs.cntr_small sid 1;
+        Mkc_sketch.F2_contributing.add rs.cntr_large sid 1;
+        if Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid then begin
+          let sketch =
+            match Hashtbl.find_opt rs.fallback sid with
+            | Some sk -> sk
+            | None ->
+                let sk =
+                  Mkc_sketch.L0_bjkst.create
+                    ~seed:(Mkc_hashing.Splitmix.fork rs.fallback_seed sid) ()
+                in
+                Hashtbl.replace rs.fallback sid sk;
+                sk
+          in
+          Mkc_sketch.L0_bjkst.add sketch e.elt
+        end
+      end)
+    t.repeats
+
+let thresholds t = (t.thr1, t.thr2)
+
+(* A passing candidate, before cross-repeat max. *)
+type candidate = { superset : int; repeat : int; est : float; via_l0 : bool }
+
+let candidates_of_repeat t r rs =
+  let f = t.params.Params.f in
+  let of_hits threshold hits =
+    List.filter_map
+      (fun (h : Mkc_sketch.F2_contributing.hit) ->
+        if h.freq >= threshold /. 2.0 then
+          Some { superset = h.id; repeat = r; est = 2.0 *. h.freq /. (3.0 *. f); via_l0 = false }
+        else None)
+      hits
+  in
+  let small = of_hits t.thr1 (Mkc_sketch.F2_contributing.candidates rs.cntr_small) in
+  let large = of_hits t.thr2 (Mkc_sketch.F2_contributing.candidates rs.cntr_large) in
+  let fallback =
+    Hashtbl.fold
+      (fun sid sk acc ->
+        let v = Mkc_sketch.L0_bjkst.estimate sk in
+        if v >= t.thr2 /. 2.0 then
+          (* Coverage sketch: no duplication discount needed. *)
+          { superset = sid; repeat = r; est = 2.0 *. v /. 3.0; via_l0 = true } :: acc
+        else acc)
+      rs.fallback []
+  in
+  small @ large @ fallback
+
+let witness t (c : candidate) () =
+  let rs = t.repeats.(c.repeat) in
+  Superset_partition.members ~limit:t.params.Params.k rs.partition c.superset
+
+let finalize t =
+  let all =
+    List.concat (List.mapi (fun r rs -> candidates_of_repeat t r rs) (Array.to_list t.repeats))
+  in
+  match List.sort (fun a b -> compare b.est a.est) all with
+  | [] -> None
+  | best :: _ ->
+      Some
+        {
+          Solution.estimate = best.est /. t.rho;
+          witness = witness t best;
+          provenance =
+            Solution.Large_set
+              { superset = best.superset; repeat = best.repeat; via_l0_fallback = best.via_l0 };
+        }
+
+let words t =
+  Array.fold_left
+    (fun acc rs ->
+      acc
+      + (match rs.elem_sampler with None -> 0 | Some s -> Mkc_sketch.Sampler.Bernoulli.words s)
+      + Superset_partition.words rs.partition
+      + Mkc_sketch.F2_contributing.words rs.cntr_small
+      + Mkc_sketch.F2_contributing.words rs.cntr_large
+      + Mkc_sketch.Sampler.Bernoulli.words rs.fallback_sampler
+      + Hashtbl.fold (fun _ sk acc -> acc + Mkc_sketch.L0_bjkst.words sk) rs.fallback 0)
+    0 t.repeats

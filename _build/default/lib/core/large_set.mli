@@ -1,0 +1,43 @@
+(** LargeSet (Figures 4, 6 and 7): the heavy-hitter subroutine of the
+    (α, δ, η)-oracle, covering case II — an optimal solution whose
+    coverage is mostly carried by OPT_large, the sets contributing at
+    least [z/(sα)] each (Definition 4.2).
+
+    Pipeline per parallel repeat (Figure 7 runs O(log n) repeats so that
+    at least one element sample avoids all w-common elements, App. B):
+
+    + sample elements [L ⊆ U] at rate [ρ = t·s·α·η/|U|] (Step 1 of
+      App. B);
+    + hash sets into [q ≈ m/w] supersets of at most [w] sets each
+      (Claim 4.9) — the coordinate vector is
+      [v(i) = Σ_{S ∈ D_i} |S ∩ L|];
+    + hunt a superset from a contributing class with two
+      F2-Contributing instances — [Cntr_small] with
+      [φ₁ = Ω̃(α²/m)] over classes of size ≤ [r₁ = s_L·α] (Case 1,
+      Claim 4.11) and [Cntr_large] with [φ₂ = Ω̃(1)] over classes of
+      size ≤ [r₂] (Case 2, Claim 4.13);
+    + for contributing classes larger than [r₂], fall back to L0
+      sketches on ~[q/r₂] directly sampled supersets (Figure 6, Case 2
+      branch 2).
+
+    A candidate superset's frequency estimate [ṽ] passes at threshold
+    [thr₁/2] (resp. [thr₂/2]) and yields the estimate [2ṽ/(3f)] — the
+    [f = Θ̃(1)] divisor discounts within-superset duplication of
+    non-common elements (Claim 4.10) — scaled back to the full universe
+    by [1/ρ].  Space Õ(m/α²) (Lemma B.7).
+
+    The witness is [{S : h(S) = i*}] for the winning superset [i*]: at
+    most [w ≤ k] sets, enumerable from the stored hash seed. *)
+
+type t
+
+val create : Params.t -> w:int -> seed:Mkc_hashing.Splitmix.t -> t
+(** [w] is the superset size bound — Figure 2 passes [k] when
+    [sα ≥ 2k] and [α] otherwise. *)
+
+val feed : t -> Mkc_stream.Edge.t -> unit
+val finalize : t -> Solution.outcome option
+val words : t -> int
+
+val thresholds : t -> float * float
+(** [(thr1, thr2)] on the sampled-universe scale (diagnostics). *)

@@ -1,0 +1,53 @@
+type t = {
+  params : Params.t;
+  large_common : Large_common.t;
+  large_set : Large_set.t;
+  small_set : Small_set.t option; (* only when sα < 2k *)
+}
+
+let create (params : Params.t) ~seed =
+  let sa = Params.s_alpha params in
+  let heavy_regime = sa >= 2.0 *. float_of_int params.k in
+  let w =
+    if heavy_regime then params.k
+    else max 1 (min params.k (int_of_float (Float.round params.alpha)))
+  in
+  {
+    params;
+    large_common = Large_common.create params ~seed:(Mkc_hashing.Splitmix.fork seed 1);
+    large_set = Large_set.create params ~w ~seed:(Mkc_hashing.Splitmix.fork seed 2);
+    small_set =
+      (if heavy_regime then None
+       else Some (Small_set.create params ~seed:(Mkc_hashing.Splitmix.fork seed 3)));
+  }
+
+let feed t e =
+  Large_common.feed t.large_common e;
+  Large_set.feed t.large_set e;
+  Option.iter (fun ss -> Small_set.feed ss e) t.small_set
+
+let clamp (p : Params.t) outcome =
+  (* No k-cover can exceed the universe size, so cap subroutine
+     estimates at |U| — inverse-sampling scale-ups may overshoot. *)
+  Option.map
+    (fun (o : Solution.outcome) ->
+      { o with estimate = Float.min o.estimate (float_of_int p.Params.u) })
+    outcome
+
+let finalize_all t =
+  [
+    clamp t.params (Large_common.finalize t.large_common);
+    clamp t.params (Large_set.finalize t.large_set);
+    clamp t.params (Option.bind t.small_set Small_set.finalize);
+  ]
+
+let finalize t = Solution.best (finalize_all t)
+
+let words_breakdown t =
+  [
+    ("large-common", Large_common.words t.large_common);
+    ("large-set", Large_set.words t.large_set);
+    ("small-set", match t.small_set with None -> 0 | Some ss -> Small_set.words ss);
+  ]
+
+let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)

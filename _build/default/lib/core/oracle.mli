@@ -1,0 +1,31 @@
+(** The (α, δ, η)-oracle for Max k-Cover (Definition 3.4, Figure 2,
+    Theorem 4.1).
+
+    Runs in parallel, in one pass over the edge stream:
+    - {!Large_common} (always) — case I;
+    - {!Large_set} with [w = k] when [sα ≥ 2k] (then OPT_large carries
+      half the optimum unconditionally, Claim 4.3), else with [w = α] —
+      case II;
+    - {!Small_set} only when [sα < 2k] — case III.
+
+    [finalize] returns the subroutine outcome with the largest estimate.
+    Contract (Definition 3.4): with probability ≥ 1 − δ the returned
+    value is at least [OPT/Õ(α)] whenever [OPT ≥ |U|/η], and w.h.p. it
+    never exceeds OPT.  Total space Õ(m/α²). *)
+
+type t
+
+val create : Params.t -> seed:Mkc_hashing.Splitmix.t -> t
+val feed : t -> Mkc_stream.Edge.t -> unit
+val finalize : t -> Solution.outcome option
+(** [None] ⇔ every subroutine reported infeasible. *)
+
+val finalize_all : t -> Solution.outcome option list
+(** Per-subroutine outcomes [\[large_common; large_set; small_set?\]] —
+    the fig2 bench uses this to build the regime/winner matrix. *)
+
+val words : t -> int
+
+val words_breakdown : t -> (string * int) list
+(** Per-subroutine word counts — the E1 bench uses this to separate the
+    α-dependent Õ(m/α²) mass from the Ω̃(1) floor. *)

@@ -1,0 +1,27 @@
+type t = { k : int; engine : Estimate.t }
+
+type result = {
+  estimate : float;
+  sets : int list;
+  provenance : Solution.provenance option;
+}
+
+let create (p : Params.t) = { k = p.k; engine = Estimate.create p }
+let feed t e = Estimate.feed t.engine e
+
+let truncate k sets =
+  let rec take i = function [] -> [] | x :: rest -> if i >= k then [] else x :: take (i + 1) rest in
+  take 0 sets
+
+let finalize t =
+  let r = Estimate.finalize t.engine in
+  match r.Estimate.outcome with
+  | None -> { estimate = 0.0; sets = []; provenance = None }
+  | Some o ->
+      {
+        estimate = r.Estimate.estimate;
+        sets = truncate t.k (o.Solution.witness ());
+        provenance = Some o.Solution.provenance;
+      }
+
+let words t = Estimate.words t.engine + t.k

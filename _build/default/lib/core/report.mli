@@ -1,0 +1,28 @@
+(** The reporting algorithm (Theorem 3.2): a single-pass α-approximate
+    Max k-Cover in Õ(m/α² + k) space.
+
+    Runs {!Estimate} and materializes the winning witness into an
+    explicit list of at most [k] set ids.  Each subroutine's witness is
+    recoverable from Õ(1) stored hash seeds plus O(k) output words:
+
+    - LargeCommon → a k-subset of the winning sampled collection
+      [{S : h_β(S) sampled}];
+    - LargeSet    → the winning superset [{S : h(S) = i*}], ≤ w ≤ k sets;
+    - SmallSet    → greedy's picks on the stored sub-instance;
+    - Trivial     → k pseudo-random sets.
+
+    The +k term in the space bound is exactly this output. *)
+
+type t
+
+val create : Params.t -> t
+val feed : t -> Mkc_stream.Edge.t -> unit
+
+type result = {
+  estimate : float;  (** estimated coverage of the reported cover *)
+  sets : int list;  (** at most k set ids *)
+  provenance : Solution.provenance option;
+}
+
+val finalize : t -> result
+val words : t -> int

@@ -1,0 +1,40 @@
+(** SmallSet (Figure 5): the element-sampling subroutine of the
+    (α, δ, η)-oracle, covering case III — optimal solutions whose
+    coverage is mostly carried by many small sets
+    ([|C(OPT_large)| < |C(OPT)|/2], only possible when [sα < 2k]).
+
+    Rationale (Section 4.3): subsampling sets at rate Θ̃(1/α) preserves
+    a ([Θ̃(k/α)])-cover with an Ω̃(1/α) fraction of OPT's coverage
+    (Lemma 4.16 / Corollary 4.19); element sampling at a rate tuned by
+    the coverage-scale guess [γ_g] then preserves constant-factor
+    approximability (Lemma 2.5) while the stored sub-instance [(L, M)]
+    fits in Õ(m/α²) words (Lemmas 4.20–4.21).  The sub-instance is
+    solved offline at the end of the pass with the greedy algorithm
+    (the "O(1)-approximation" of the pseudocode) and the sampled
+    coverage is scaled back by the reciprocal sampling rate.
+
+    A guess is accepted only if greedy's sampled coverage is Ω̃(k/α)
+    (Figure 5's final filter) — this is what keeps the oracle from
+    overestimating (Lemma 4.23).
+
+    The witness is greedy's chosen set ids: at most [⌈c·k/α⌉ ≤ k]
+    original set ids, directly available. *)
+
+type t
+
+val create : Params.t -> seed:Mkc_hashing.Splitmix.t -> t
+val feed : t -> Mkc_stream.Edge.t -> unit
+val finalize : t -> Solution.outcome option
+val words : t -> int
+
+val stored_pairs : t -> int
+(** Total (set, element) pairs currently stored across all live
+    sub-instances — the quantity bounded by Lemma 4.21 (diagnostics for
+    the fig5 bench). *)
+
+val budget : t -> int
+(** The cover budget [⌈36k/(sα)⌉-style] used on sub-instances. *)
+
+val cap : t -> int
+(** The per-instance stored-pair cap (Lemma 4.21's Õ(m/α²) instantiated
+    with the profile's polylog). *)

@@ -1,0 +1,28 @@
+type provenance =
+  | Trivial
+  | Large_common of { beta : int }
+  | Large_set of { superset : int; repeat : int; via_l0_fallback : bool }
+  | Small_set of { gamma_exp : int; repeat : int }
+
+type outcome = { estimate : float; witness : unit -> int list; provenance : provenance }
+
+let best outcomes =
+  List.fold_left
+    (fun acc o ->
+      match (acc, o) with
+      | None, o -> o
+      | Some _, None -> acc
+      | Some a, Some b -> if b.estimate > a.estimate then o else acc)
+    None outcomes
+
+let pp_provenance ppf = function
+  | Trivial -> Format.fprintf ppf "trivial"
+  | Large_common { beta } -> Format.fprintf ppf "large-common(β=%d)" beta
+  | Large_set { superset; repeat; via_l0_fallback } ->
+      Format.fprintf ppf "large-set(D%d, rep %d%s)" superset repeat
+        (if via_l0_fallback then ", l0-fallback" else "")
+  | Small_set { gamma_exp; repeat } ->
+      Format.fprintf ppf "small-set(γ=2^-%d, rep %d)" gamma_exp repeat
+
+let pp ppf o =
+  Format.fprintf ppf "estimate=%.1f via %a" o.estimate pp_provenance o.provenance

@@ -1,0 +1,28 @@
+(** Results returned by the streaming algorithms, with provenance.
+
+    Estimation (Theorem 3.1) needs only [estimate]; reporting
+    (Theorem 3.2) additionally materializes a witness k-cover.  Witness
+    set ids are produced lazily by a closure: every subroutine's witness
+    is a preimage of a stored hash seed (e.g. [{S : h(S) = i*}] for the
+    winning superset), so ids are recomputable after the pass in O(k)
+    output space without revisiting the stream. *)
+
+type provenance =
+  | Trivial  (** the [kα ≥ m] branch of Figure 1 *)
+  | Large_common of { beta : int }  (** Figure 3, winning sampling level β *)
+  | Large_set of { superset : int; repeat : int; via_l0_fallback : bool }
+      (** Figures 4/6/7, winning superset index *)
+  | Small_set of { gamma_exp : int; repeat : int }
+      (** Figure 5, winning coverage-scale guess γ = 2^-gamma_exp *)
+
+type outcome = {
+  estimate : float;  (** estimated optimal coverage (universe of the caller) *)
+  witness : unit -> int list;  (** ids of a cover achieving Ω̃(estimate) *)
+  provenance : provenance;
+}
+
+val best : outcome option list -> outcome option
+(** The outcome with the largest estimate, [None] if all are [None]. *)
+
+val pp_provenance : Format.formatter -> provenance -> unit
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,17 @@
+type t = { z : int; hash : Mkc_hashing.Poly_hash.t }
+
+let create ~z ~seed =
+  if z < 1 then invalid_arg "Universe_reduction.create: z must be >= 1";
+  { z; hash = Mkc_hashing.Poly_hash.create ~indep:4 ~range:z ~seed }
+
+let z t = t.z
+let apply t e = Mkc_hashing.Poly_hash.hash t.hash e
+
+let apply_edge t (e : Mkc_stream.Edge.t) = { e with elt = apply t e.elt }
+
+let image_size t elts =
+  let seen = Hashtbl.create (Array.length elts) in
+  Array.iter (fun e -> Hashtbl.replace seen (apply t e) ()) elts;
+  Hashtbl.length seen
+
+let words t = Mkc_hashing.Poly_hash.words t.hash + 1

@@ -1,0 +1,22 @@
+(** Universe reduction (Section 3.1): a 4-wise independent hash
+    [h : U → [z]] mapping the ground set onto [z] pseudo-elements.
+
+    Lemma 3.5: if [|S| ≥ z ≥ 32] then [|h(S)| ≥ z/4] with probability
+    ≥ 3/4 — so for the right guess [z ≤ |C(OPT)|], the reduced instance
+    has an optimal k-cover covering a constant fraction of its universe,
+    which is exactly the promise ([η = 4]) the oracle needs.  Coverage
+    never increases under the reduction, so estimates on the reduced
+    instance never overestimate OPT (Theorem 3.6). *)
+
+type t
+
+val create : z:int -> seed:Mkc_hashing.Splitmix.t -> t
+val z : t -> int
+val apply : t -> int -> int
+(** Pseudo-element of an element, in [\[0, z)]. *)
+
+val apply_edge : t -> Mkc_stream.Edge.t -> Mkc_stream.Edge.t
+val image_size : t -> int array -> int
+(** [|h(S)|] for an explicit element set — test support for Lemma 3.5. *)
+
+val words : t -> int

@@ -1,0 +1,1 @@
+lib/coverage/eval.ml: Mkc_stream

@@ -1,0 +1,1 @@
+lib/coverage/eval.mli: Mkc_stream

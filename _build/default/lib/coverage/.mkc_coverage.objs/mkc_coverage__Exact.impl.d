@@ -1,0 +1,1 @@
+lib/coverage/exact.ml: Array List Mkc_stream

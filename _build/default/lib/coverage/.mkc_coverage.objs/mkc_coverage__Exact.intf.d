@@ -1,0 +1,1 @@
+lib/coverage/exact.mli: Mkc_stream

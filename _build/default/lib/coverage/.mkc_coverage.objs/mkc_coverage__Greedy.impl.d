@@ -1,0 +1,1 @@
+lib/coverage/greedy.ml: Array Hashtbl List Mkc_stream

@@ -1,0 +1,1 @@
+lib/coverage/greedy.mli: Mkc_stream

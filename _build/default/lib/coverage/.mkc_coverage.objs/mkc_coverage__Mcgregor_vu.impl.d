@@ -1,0 +1,1 @@
+lib/coverage/mcgregor_vu.ml: Array Float Greedy Hashtbl List Mkc_hashing Mkc_sketch Mkc_stream

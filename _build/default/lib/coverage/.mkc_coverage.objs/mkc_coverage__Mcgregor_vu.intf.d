@@ -1,0 +1,1 @@
+lib/coverage/mcgregor_vu.mli: Mkc_stream

@@ -1,0 +1,1 @@
+lib/coverage/mv_set_arrival.ml: Array Float Hashtbl List Mkc_hashing Mkc_sketch

@@ -1,0 +1,1 @@
+lib/coverage/mv_set_arrival.mli:

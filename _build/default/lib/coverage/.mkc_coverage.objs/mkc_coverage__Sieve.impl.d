@@ -1,0 +1,1 @@
+lib/coverage/sieve.ml: Array Bytes Float Greedy Hashtbl List

@@ -1,0 +1,1 @@
+lib/coverage/sieve.mli: Greedy

@@ -1,0 +1,1 @@
+lib/coverage/swap_greedy.ml: Array Greedy List

@@ -1,0 +1,55 @@
+type result = { chosen : int list; coverage : int; optimal : bool }
+
+let run ?(max_nodes = 2_000_000) sys ~k =
+  let m = Mkc_stream.Set_system.m sys and n = Mkc_stream.Set_system.n sys in
+  (* Order sets by decreasing size so the greedy-ish prefix finds strong
+     incumbents early and the size-based bound is tight. *)
+  let order =
+    Array.init m (fun i -> i)
+  in
+  Array.sort
+    (fun a b -> compare (Mkc_stream.Set_system.set_size sys b) (Mkc_stream.Set_system.set_size sys a))
+    order;
+  let sizes = Array.map (fun i -> Mkc_stream.Set_system.set_size sys i) order in
+  let best = ref 0 and best_sel = ref [] and nodes = ref 0 and exhausted = ref false in
+  let covered = Array.make n 0 in
+  let cover_count = ref 0 in
+  let add idx =
+    let fresh = ref 0 in
+    Array.iter
+      (fun e ->
+        if covered.(e) = 0 then incr fresh;
+        covered.(e) <- covered.(e) + 1)
+      (Mkc_stream.Set_system.set sys order.(idx));
+    cover_count := !cover_count + !fresh;
+    !fresh
+  in
+  let remove idx fresh =
+    Array.iter (fun e -> covered.(e) <- covered.(e) - 1) (Mkc_stream.Set_system.set sys order.(idx));
+    cover_count := !cover_count - fresh
+  in
+  let rec branch idx budget sel =
+    incr nodes;
+    if !nodes > max_nodes then exhausted := true
+    else begin
+      if !cover_count > !best then begin
+        best := !cover_count;
+        best_sel := sel
+      end;
+      if budget > 0 && idx < m && not !exhausted then begin
+        (* Upper bound: take the [budget] largest remaining sizes. *)
+        let bound = ref !cover_count in
+        for j = idx to min (m - 1) (idx + budget - 1) do
+          bound := !bound + sizes.(j)
+        done;
+        if !bound > !best then begin
+          let fresh = add idx in
+          branch (idx + 1) (budget - 1) (order.(idx) :: sel);
+          remove idx fresh;
+          branch (idx + 1) budget sel
+        end
+      end
+    end
+  in
+  branch 0 k [];
+  { chosen = List.rev !best_sel; coverage = !best; optimal = not !exhausted }

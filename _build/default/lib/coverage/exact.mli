@@ -1,0 +1,14 @@
+(** Exact Max k-Cover by branch and bound, for small instances only.
+
+    Tests use it as the OPT oracle when verifying approximation factors
+    on instances too irregular for a planted optimum.  The bound prunes
+    with the submodular upper bound "current coverage + sum of the
+    [remaining] largest set sizes". Exponential worst case: guard with
+    [max_nodes]. *)
+
+type result = { chosen : int list; coverage : int; optimal : bool }
+(** [optimal] is false when the node budget was exhausted (the result is
+    then the best solution found, a lower bound). *)
+
+val run : ?max_nodes:int -> Mkc_stream.Set_system.t -> k:int -> result
+(** Default [max_nodes] = 2_000_000. *)

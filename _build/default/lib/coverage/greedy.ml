@@ -1,0 +1,100 @@
+type result = { chosen : int list; coverage : int }
+
+(* Max-heap of (gain, id) pairs, array-backed. *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create cap = { data = Array.make (max 1 cap) (0, 0); size = 0 }
+  let better (g1, _) (g2, _) = g1 > g2
+
+  let push t x =
+    if t.size = Array.length t.data then begin
+      let bigger = Array.make (2 * t.size) (0, 0) in
+      Array.blit t.data 0 bigger 0 t.size;
+      t.data <- bigger
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    let i = ref (t.size - 1) in
+    while !i > 0 && better t.data.(!i) t.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.data.(p) in
+      t.data.(p) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.size <- t.size - 1;
+      t.data.(0) <- t.data.(t.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < t.size && better t.data.(l) t.data.(!best) then best := l;
+        if r < t.size && better t.data.(r) t.data.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = t.data.(!best) in
+          t.data.(!best) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      Some top
+    end
+end
+
+let lazy_greedy ~num_candidates ~members ~k =
+  let covered = Hashtbl.create 256 in
+  let gain id =
+    let g = ref 0 in
+    Array.iter (fun e -> if not (Hashtbl.mem covered e) then incr g) (members id);
+    !g
+  in
+  let heap = Heap.create num_candidates in
+  for id = 0 to num_candidates - 1 do
+    Heap.push heap (Array.length (members id), id)
+  done;
+  let chosen = ref [] and total = ref 0 and picked = ref 0 in
+  let rec pick () =
+    if !picked >= k then ()
+    else
+      match Heap.pop heap with
+      | None -> ()
+      | Some (stale_gain, id) ->
+          let fresh = gain id in
+          if fresh = stale_gain then begin
+            (* Submodularity: a top entry with an up-to-date gain is the
+               true argmax; no other entry can exceed its stale bound. *)
+            if fresh > 0 then begin
+              Array.iter (fun e -> Hashtbl.replace covered e ()) (members id);
+              chosen := id :: !chosen;
+              total := !total + fresh;
+              incr picked
+            end;
+            if fresh > 0 then pick ()
+          end
+          else begin
+            Heap.push heap (fresh, id);
+            pick ()
+          end
+  in
+  pick ();
+  { chosen = List.rev !chosen; coverage = !total }
+
+let run sys ~k =
+  lazy_greedy
+    ~num_candidates:(Mkc_stream.Set_system.m sys)
+    ~members:(Mkc_stream.Set_system.set sys)
+    ~k
+
+let run_on_subsets ~n:_ ~sets ~k =
+  let arr = Array.of_list sets in
+  let ids = Array.map fst arr and members = Array.map snd arr in
+  let res = lazy_greedy ~num_candidates:(Array.length arr) ~members:(fun i -> members.(i)) ~k in
+  { res with chosen = List.map (fun i -> ids.(i)) res.chosen }

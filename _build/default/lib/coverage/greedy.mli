@@ -1,0 +1,22 @@
+(** The classic greedy algorithm for Max k-Cover (Nemhauser–Wolsey–
+    Fisher [35]): repeatedly pick the set with the largest marginal
+    coverage.  Guarantees a (1 − 1/e)-fraction of the optimum — i.e.
+    approximation factor 1/(1 − 1/e) ≈ 1.582, tight under P ≠ NP
+    (Feige [23]).
+
+    This is the full-memory baseline of Table 1 and the offline solver
+    invoked by [SmallSet] (Figure 5) on its stored sub-instance.  The
+    implementation is lazy greedy (Minoux): marginal gains are
+    submodular hence non-increasing, so stale priority-queue entries
+    are re-evaluated only when they surface. *)
+
+type result = { chosen : int list; coverage : int }
+(** [chosen] in pick order; [coverage] = |C(chosen)|. *)
+
+val run : Mkc_stream.Set_system.t -> k:int -> result
+
+val run_on_subsets :
+  n:int -> sets:(int * int array) list -> k:int -> result
+(** Greedy over an explicit list of [(set id, member elements)] pairs —
+    the form SmallSet's stored sub-instance takes.  Elements may be any
+    non-negative ints below [n]. *)

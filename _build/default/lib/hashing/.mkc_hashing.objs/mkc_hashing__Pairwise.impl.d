@@ -1,0 +1,1 @@
+lib/hashing/pairwise.ml: Prime_field Splitmix

@@ -1,0 +1,1 @@
+lib/hashing/pairwise.mli: Splitmix

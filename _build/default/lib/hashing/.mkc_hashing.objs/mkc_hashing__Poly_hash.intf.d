@@ -1,0 +1,1 @@
+lib/hashing/poly_hash.mli: Splitmix

@@ -1,0 +1,1 @@
+lib/hashing/prime_field.ml: Array

@@ -1,0 +1,19 @@
+(** Conventions shared by the hash families used in the paper's
+    algorithms. *)
+
+val log_mn_indep : m:int -> n:int -> int
+(** The Θ(log(mn)) independence parameter used throughout Sections 4 and
+    Appendix A.1 ("O(log mn)-wise independent is sufficient for all
+    applications in this paper", footnote 6).  Returns
+    [max 4 (ceil (log2 (m * n)))]. *)
+
+val sample_rate_range : rate:float -> int
+(** Convert a survival probability [rate] in (0, 1] into the integer
+    range [r] such that [Poly_hash.keep] with range [r] survives with
+    probability [1/r ≈ rate].  Clamped to at least 1. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 x] is the smallest [i] with [2^i >= x]; 0 for [x <= 1]. *)
+
+val ceil_div : int -> int -> int
+(** Integer ceiling division for positive arguments. *)

@@ -1,0 +1,12 @@
+type t = { a : int; b : int; range : int }
+
+let create ~range ~seed =
+  if range < 1 then invalid_arg "Pairwise.create: range must be >= 1";
+  let a = 1 + Splitmix.below seed (Prime_field.p - 1) in
+  let b = Splitmix.below seed Prime_field.p in
+  { a; b; range }
+
+let raw t x = Prime_field.add (Prime_field.mul t.a (Prime_field.normalize x)) t.b
+let hash t x = raw t x mod t.range
+let sign t x = if raw t x land 1 = 0 then 1 else -1
+let words _ = 3

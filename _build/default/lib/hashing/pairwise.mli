@@ -1,0 +1,17 @@
+(** Fast 2-wise independent hashing, [h(x) = (a x + b mod p) mod r].
+
+    A special case of {!Poly_hash} kept separate because pairwise hashes
+    sit on the hot path of every sketch row (CountSketch buckets and
+    signs, AMS sign hashes). *)
+
+type t
+
+val create : range:int -> seed:Splitmix.t -> t
+val hash : t -> int -> int
+
+val sign : t -> int -> int
+(** [sign t x] is [+1] or [-1], 4-wise independence is NOT promised —
+    use {!Poly_hash} with [indep:4] where the AMS analysis needs it.
+    This is a pairwise sign. *)
+
+val words : t -> int

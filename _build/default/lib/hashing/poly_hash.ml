@@ -1,0 +1,24 @@
+type t = { coeffs : int array; range : int }
+
+let create ~indep ~range ~seed =
+  if indep < 1 then invalid_arg "Poly_hash.create: indep must be >= 1";
+  if range < 1 then invalid_arg "Poly_hash.create: range must be >= 1";
+  let coeffs =
+    Array.init indep (fun _ -> Prime_field.normalize (Splitmix.next_int seed))
+  in
+  { coeffs; range }
+
+let field_value t x =
+  let x = Prime_field.normalize x in
+  (* Horner evaluation: c_{d-1} x^{d-1} + ... + c_0. *)
+  let acc = ref 0 in
+  for i = Array.length t.coeffs - 1 downto 0 do
+    acc := Prime_field.add (Prime_field.mul !acc x) t.coeffs.(i)
+  done;
+  !acc
+
+let hash t x = field_value t x mod t.range
+let keep t x = hash t x = 0
+let range t = t.range
+let indep t = Array.length t.coeffs
+let words t = Array.length t.coeffs + 1

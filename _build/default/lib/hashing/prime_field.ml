@@ -1,0 +1,71 @@
+let p = (1 lsl 61) - 1
+
+let normalize x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = if a >= b then a - b else a - b + p
+
+(* Multiplication modulo 2^61 - 1, allocation-free in native 63-bit
+   ints (this sits on the hot path of every hash evaluation).
+
+   Split a = a1 * 2^31 + a0 with a1 < 2^30, a0 < 2^31.  Then
+
+     a*b = a1*b1*2^62 + (a1*b0 + a0*b1)*2^31 + a0*b0
+
+   and 2^62 = 2 (mod p).  The middle term mid < 2^62 is reduced by
+   splitting at bit 30 (mid*2^31 = m1*2^61 + m0*2^31 = m1 + m0*2^31).
+   Partial sums are folded mod p eagerly so that every intermediate
+   stays below the native-int bound 2^62:
+     t1 = 2*a1*b1 + m1 + m0*2^31 < 2^61 + 2^32 + 2^61 < 2^62
+     r0 = fold (a0*b0) < 2^61
+     t1' + r0 < 2^62. *)
+let fold61 x =
+  let y = (x land p) + (x lsr 61) in
+  if y >= p then y - p else y
+
+let mul a b =
+  let a1 = a lsr 31 and a0 = a land 0x7FFF_FFFF in
+  let b1 = b lsr 31 and b0 = b land 0x7FFF_FFFF in
+  let mid = (a1 * b0) + (a0 * b1) in
+  let m1 = mid lsr 30 and m0 = mid land 0x3FFF_FFFF in
+  let t1 = fold61 ((2 * a1 * b1) + m1 + (m0 lsl 31)) in
+  let r0 = fold61 (a0 * b0) in
+  fold61 (t1 + r0)
+
+let rec pow b e =
+  if e = 0 then 1
+  else
+    let h = pow b (e / 2) in
+    let h2 = mul h h in
+    if e land 1 = 0 then h2 else mul h2 b
+
+let inv a =
+  if a = 0 then invalid_arg "Prime_field.inv: zero has no inverse";
+  pow a (p - 2)
+
+(* 16-bit limb schoolbook multiplication: exact in native ints because
+   every partial product is < 2^32 and reduced eagerly.  Deliberately
+   avoids [mul] (its test oracle) — shifting is repeated doubling. *)
+let mul_reference a b =
+  let limbs x = [| x land 0xFFFF; (x lsr 16) land 0xFFFF; (x lsr 32) land 0xFFFF; (x lsr 48) land 0xFFFF |] in
+  let la = limbs a and lb = limbs b in
+  let shift_mod x s =
+    let r = ref x in
+    for _ = 1 to s do
+      r := add !r !r
+    done;
+    !r
+  in
+  let acc = ref 0 in
+  for i = 3 downto 0 do
+    for j = 3 downto 0 do
+      let contrib = normalize (la.(i) * lb.(j)) in
+      acc := add !acc (shift_mod contrib (16 * (i + j)))
+    done
+  done;
+  !acc

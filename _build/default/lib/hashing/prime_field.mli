@@ -1,0 +1,38 @@
+(** Arithmetic in the prime field GF(p) for the Mersenne prime
+    [p = 2^61 - 1].
+
+    Polynomial hash families over this field (see {!Poly_hash}) realize the
+    d-wise independent hash functions of Definition A.1 / Lemma A.2 of the
+    paper: a random degree-(d-1) polynomial over GF(p) restricted to a
+    domain of size at most [p] is exactly d-wise independent, and storing it
+    takes [d] field elements — [d log(mn)] bits, matching Lemma A.2.
+
+    Field elements are represented as native OCaml ints in [\[0, p)]
+    (they fit: [p < 2^62]).  Multiplication internally uses 64-bit
+    emulated 128-bit products. *)
+
+val p : int
+(** The field modulus, [2^61 - 1]. *)
+
+val normalize : int -> int
+(** [normalize x] maps an arbitrary int to its residue in [\[0, p)]. *)
+
+val add : int -> int -> int
+(** Field addition. Arguments must be in [\[0, p)]. *)
+
+val sub : int -> int -> int
+(** Field subtraction. Arguments must be in [\[0, p)]. *)
+
+val mul : int -> int -> int
+(** Field multiplication via 128-bit product emulation.
+    Arguments must be in [\[0, p)]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b]{^ e} in the field, [e >= 0]. *)
+
+val inv : int -> int
+(** Multiplicative inverse; raises [Invalid_argument] on zero. *)
+
+val mul_reference : int -> int -> int
+(** Slow schoolbook (16-bit limb) multiplication used as a test oracle for
+    {!mul}. *)

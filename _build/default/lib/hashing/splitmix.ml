@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let next_int t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let below t bound =
+  if bound <= 0 then invalid_arg "Splitmix.below: bound must be positive";
+  (* Rejection sampling to avoid modulo bias on small bounds. *)
+  let limit = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (next t) 1 in
+    (* r is uniform in [0, 2^63). *)
+    let v = Int64.rem r limit in
+    let max_fair = Int64.sub Int64.max_int (Int64.rem Int64.max_int limit) in
+    if Int64.compare r max_fair <= 0 then Int64.to_int v else loop ()
+  in
+  loop ()
+
+let split t = { state = next t }
+
+let fork t i =
+  { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) 0xD1342543DE82EF95L)) }

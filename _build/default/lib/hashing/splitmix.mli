@@ -1,0 +1,33 @@
+(** SplitMix64 pseudo-random generator.
+
+    Used throughout the library to derive independent hash-function seeds
+    from a single experiment seed, so that every run is reproducible.  The
+    generator follows Steele, Lea and Flood (OOPSLA 2014); it is a fast
+    64-bit mixer with provably full period, adequate for seeding the
+    k-wise independent hash families of {!Poly_hash} (which carry the
+    actual independence guarantees needed by the paper's analysis). *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val next_int : t -> int
+(** [next_int t] is [next t] truncated to a non-negative native int
+    (62 bits). *)
+
+val below : t -> int -> int
+(** [below t bound] is a uniform value in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child generator;
+    both [t] and the child may be used afterwards. *)
+
+val fork : t -> int -> t
+(** [fork t i] derives the [i]-th child generator deterministically;
+    unlike {!split} it does not advance [t], so [fork t 0], [fork t 1],
+    ... form a reproducible family. *)

@@ -1,0 +1,29 @@
+let chars = 8
+
+type t = { tables : int64 array array }
+
+let create ~seed =
+  let tables =
+    Array.init chars (fun _ -> Array.init 256 (fun _ -> Splitmix.next seed))
+  in
+  { tables }
+
+let hash64 t x =
+  let acc = ref 0L in
+  let x = ref x in
+  for i = 0 to chars - 1 do
+    let c = !x land 0xFF in
+    acc := Int64.logxor !acc t.tables.(i).(c);
+    x := !x lsr 8
+  done;
+  !acc
+
+let hash t x r =
+  if r < 1 then invalid_arg "Tabulation.hash: range must be >= 1";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (hash64 t x) 1) (Int64.of_int r))
+
+let to_unit_float t x =
+  let bits = Int64.shift_right_logical (hash64 t x) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let words t = chars * Array.length t.tables.(0)

@@ -1,0 +1,27 @@
+(** Simple tabulation hashing (Thorup–Zhang [39]).
+
+    The key is split into 8-bit characters, each indexing a table of
+    random 64-bit words which are XORed together.  Simple tabulation is
+    3-wise independent and behaves like full randomness for many
+    streaming applications (Patrascu–Thorup); the paper cites
+    tabulation-based hashing as one of the F2-heavy-hitter
+    implementations [39].  We use it as a fast full-width mixer for KMV
+    and HyperLogLog, where empirical uniformity matters more than proof
+    obligations. *)
+
+type t
+
+val create : seed:Splitmix.t -> t
+(** Fresh tables for 8 input characters (56-bit keys). *)
+
+val hash64 : t -> int -> int64
+(** Full-width 64-bit hash of a non-negative int key. *)
+
+val hash : t -> int -> int -> int
+(** [hash t x r] reduces {!hash64} to [\[0, r)]. *)
+
+val to_unit_float : t -> int -> float
+(** [to_unit_float t x] maps the hash to a float in [\[0, 1)] —
+    convenient for order statistics (KMV). *)
+
+val words : t -> int

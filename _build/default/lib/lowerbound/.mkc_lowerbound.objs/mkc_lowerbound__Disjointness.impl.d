@@ -1,0 +1,1 @@
+lib/lowerbound/disjointness.ml: Array List Mkc_hashing

@@ -1,0 +1,1 @@
+lib/lowerbound/protocol.ml: Array Disjointness Float List Mkc_core Mkc_hashing Mkc_sketch Mkc_stream Reduction

@@ -1,0 +1,1 @@
+lib/lowerbound/protocol.mli: Disjointness Mkc_core Mkc_stream

@@ -1,0 +1,1 @@
+lib/lowerbound/reduction.mli: Disjointness Mkc_stream

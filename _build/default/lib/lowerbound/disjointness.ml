@@ -1,0 +1,49 @@
+type case = Yes | No
+
+type t = {
+  r : int;
+  m : int;
+  case : case;
+  players : int array array;
+  planted : int option;
+}
+
+let generate ~r ~m ~case ~seed ?(fill = 0.5) () =
+  if r < 2 then invalid_arg "Disjointness.generate: r must be >= 2";
+  if m < r then invalid_arg "Disjointness.generate: m must be >= r";
+  if fill <= 0.0 || fill > 1.0 then invalid_arg "Disjointness.generate: fill in (0,1]";
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let buckets = Array.make r [] in
+  let planted = match case with No -> Some (Mkc_hashing.Splitmix.below rng m) | Yes -> None in
+  let used = int_of_float (fill *. float_of_int m) in
+  for item = 0 to m - 1 do
+    if Some item = planted then
+      (* the unique common item: give it to every player *)
+      Array.iteri (fun i b -> buckets.(i) <- item :: b) buckets
+    else if item < used then begin
+      (* partition the filled items among players: disjoint by design *)
+      let owner = Mkc_hashing.Splitmix.below rng r in
+      buckets.(owner) <- item :: buckets.(owner)
+    end
+  done;
+  let players = Array.map (fun b -> Array.of_list (List.sort compare b)) buckets in
+  { r; m; case; players; planted }
+
+let validate t =
+  let count = Array.make t.m 0 in
+  Array.iter
+    (fun player -> Array.iter (fun item -> count.(item) <- count.(item) + 1) player)
+    t.players;
+  match t.case with
+  | Yes -> Array.for_all (fun c -> c <= 1) count
+  | No ->
+      let full = ref 0 and ok = ref true in
+      Array.iteri
+        (fun item c ->
+          if c = t.r then begin
+            incr full;
+            if Some item <> t.planted then ok := false
+          end
+          else if c > 1 then ok := false)
+        count;
+      !ok && !full = 1

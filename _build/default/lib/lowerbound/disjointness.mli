@@ -1,0 +1,31 @@
+(** r-player Set Disjointness with the unique-intersection promise
+    (Section 5).
+
+    Each of [r] players holds a set [T_i ⊆ [m]]; the input is promised
+    to be either
+    - {b Yes}: all [T_i] pairwise disjoint, or
+    - {b No}: a unique item [j*] belongs to every [T_i]
+      (the sets are otherwise disjoint).
+
+    Chakrabarti–Khot–Sun: any one-way protocol needs Ω(m/r) bits
+    (Theorem 5.1), hence any single-pass streaming algorithm solving it
+    needs Ω(m/r²) space (Corollary 5.2). *)
+
+type case = Yes | No
+
+type t = {
+  r : int;  (** number of players *)
+  m : int;  (** item universe *)
+  case : case;
+  players : int array array;  (** players.(i) = sorted items of T_i *)
+  planted : int option;  (** the unique common item in a No instance *)
+}
+
+val generate : r:int -> m:int -> case:case -> seed:int -> ?fill:float -> unit -> t
+(** Random promise instance.  [fill] (default 0.5) is the fraction of
+    the [m] items distributed among players (items are partitioned so
+    disjointness holds; a No instance additionally plants one common
+    item). *)
+
+val validate : t -> bool
+(** Checks the promise (test support). *)

@@ -1,0 +1,76 @@
+type verdict = Declares_yes | Declares_no
+
+type distinguisher = {
+  feed : Mkc_stream.Edge.t -> unit;
+  decide : unit -> verdict;
+  space : unit -> int;
+}
+
+type outcome = { correct : bool; message_words : int }
+
+let play (d : Disjointness.t) mk =
+  let dist = mk () in
+  let stream = Reduction.to_stream d in
+  let bounds = Reduction.player_boundaries d in
+  let max_message = ref 0 in
+  Array.iteri
+    (fun pos e ->
+      (* A player boundary is a hand-off: measure the message. *)
+      if pos > 0 && Array.exists (fun b -> b = pos) bounds then
+        max_message := max !max_message (dist.space ());
+      dist.feed e)
+    stream;
+  max_message := max !max_message (dist.space ());
+  let verdict = dist.decide () in
+  let correct =
+    match (verdict, d.case) with
+    | Declares_yes, Disjointness.Yes | Declares_no, Disjointness.No -> true
+    | Declares_yes, Disjointness.No | Declares_no, Disjointness.Yes -> false
+  in
+  { correct; message_words = !max_message }
+
+let coverage_distinguisher ~m ~alpha ?(profile = Mkc_core.Params.Practical) ~seed () =
+  fun () ->
+   let n = max 2 (int_of_float (ceil alpha)) in
+   let params = Mkc_core.Params.make ~m ~n ~k:1 ~alpha ~profile ~seed () in
+   let est = Mkc_core.Estimate.create params in
+   {
+     feed = (fun e -> Mkc_core.Estimate.feed est e);
+     decide =
+       (fun () ->
+         let r = Mkc_core.Estimate.finalize est in
+         if r.Mkc_core.Estimate.estimate > Float.max 2.5 (alpha /. 4.0) then Declares_no
+         else Declares_yes);
+     space = (fun () -> Mkc_core.Estimate.words est);
+   }
+
+let linf_distinguisher ?(phi_scale = 1.0) ~m ~alpha ~seed () =
+  let phi =
+    Float.min 1.0 (phi_scale *. alpha *. alpha /. (float_of_int m +. (alpha *. alpha)))
+  in
+  let hh =
+    Mkc_sketch.F2_heavy_hitter.create ~phi ~seed:(Mkc_hashing.Splitmix.create seed) ()
+  in
+  {
+    feed = (fun (e : Mkc_stream.Edge.t) -> Mkc_sketch.F2_heavy_hitter.add hh e.set 1);
+    decide =
+      (fun () ->
+        let heavy =
+          Mkc_sketch.F2_heavy_hitter.candidates hh
+          |> List.exists (fun (h : Mkc_sketch.F2_heavy_hitter.hit) -> h.freq >= alpha /. 2.0)
+        in
+        if heavy then Declares_no else Declares_yes);
+    space = (fun () -> Mkc_sketch.F2_heavy_hitter.words hh);
+  }
+
+let exact_distinguisher ~m ~r () =
+  let counts = Array.make m 0 in
+  let seen_full = ref false in
+  {
+    feed =
+      (fun (e : Mkc_stream.Edge.t) ->
+        counts.(e.set) <- counts.(e.set) + 1;
+        if counts.(e.set) >= r then seen_full := true);
+    decide = (fun () -> if !seen_full then Declares_no else Declares_yes);
+    space = (fun () -> m + 1);
+  }

@@ -1,0 +1,67 @@
+(** One-way communication protocol simulation (Section 5).
+
+    In the reduction, player [i] runs the streaming algorithm over its
+    own pairs and forwards the algorithm's memory state to player
+    [i+1]; the message size IS the algorithm's space.  This module
+    plays that game with an arbitrary streaming distinguisher and
+    reports whether it solves the promise problem, together with the
+    simulated message size — the empirical side of Theorem 3.3: a
+    correct α-approximate estimator must carry Ω(m/α²) words across
+    player boundaries. *)
+
+type verdict = Declares_yes | Declares_no
+
+type distinguisher = {
+  feed : Mkc_stream.Edge.t -> unit;
+  decide : unit -> verdict;
+  space : unit -> int;  (** words carried between players *)
+}
+
+type outcome = {
+  correct : bool;
+  message_words : int;  (** maximum state size at any player boundary *)
+}
+
+val play : Disjointness.t -> (unit -> distinguisher) -> outcome
+(** Streams the players' pairs in speaking order through a fresh
+    distinguisher, recording the state's word count at each of the
+    [r - 1] hand-offs. *)
+
+val coverage_distinguisher :
+  m:int ->
+  alpha:float ->
+  ?profile:Mkc_core.Params.profile ->
+  seed:int ->
+  unit ->
+  unit ->
+  distinguisher
+(** A distinguisher wrapping the paper's own estimator
+    ({!Mkc_core.Estimate} with k = 1) on the reduced Max 1-Cover
+    instance: declare No iff the estimate is above [max(2.5, α/4)].  A No
+    instance (OPT = α, Claim 5.3) yields an estimate ≥ (2/(3f))·α ≈ α/3
+    under the practical profile, while a Yes instance (OPT = 1,
+    Claim 5.4) stays at the quantization floor (≤ ~2); the threshold
+    sits between the two signals, which separate once α ≳ 8.  Note the estimator must be created knowing m and the
+    number of players (= n of the coverage instance ≈ α). *)
+
+val linf_distinguisher :
+  ?phi_scale:float -> m:int -> alpha:float -> seed:int -> unit -> distinguisher
+(** The distinguisher sketched in the paper's "Lower bound" paragraph
+    (§1): an α-approximation of the L∞ norm of the vector counting, per
+    set, how many players own it.  In a No instance one coordinate
+    reaches α while all others stay at 1, so it is an
+    [α²/(m + α²)]-heavy hitter of F2 and an {!Mkc_sketch.F2_heavy_hitter}
+    of width O(m/α²) finds it — the matching upper bound that inspired
+    the algorithm.  Declares No iff some candidate's estimated frequency
+    exceeds α/2.
+
+    [phi_scale] (default 1.0) multiplies the heavy-hitter threshold φ,
+    shrinking both the CountSketch and the candidate tracker by that
+    factor; the E8 bench raises it to probe the tightness frontier —
+    once the state drops to o(m/α²) words the distinguisher must start
+    failing, which is Theorem 3.3 observed from the algorithmic side. *)
+
+val exact_distinguisher : m:int -> r:int -> unit -> distinguisher
+(** A full-memory reference distinguisher (stores per-set cardinalities,
+    Θ(m) words): declares No iff some set reaches cardinality [r].
+    Always correct; anchors the space axis of the E8 bench. *)

@@ -1,0 +1,21 @@
+let to_stream (d : Disjointness.t) =
+  let out = ref [] in
+  for i = Array.length d.players - 1 downto 0 do
+    Array.iter
+      (fun item -> out := { Mkc_stream.Edge.set = item; elt = i } :: !out)
+      d.players.(i)
+  done;
+  Array.of_list !out
+
+let to_system (d : Disjointness.t) =
+  Mkc_stream.Set_system.of_edges ~n:d.r ~m:d.m (Array.to_list (to_stream d))
+
+let player_boundaries (d : Disjointness.t) =
+  let bounds = Array.make d.r 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i p ->
+      bounds.(i) <- !acc;
+      acc := !acc + Array.length p)
+    d.players;
+  bounds

@@ -1,0 +1,25 @@
+(** The reduction of Section 5: α-player Set Disjointness(m) →
+    Max 1-Cover on edge-arrival streams.
+
+    Universe [U_I = {e_1, …, e_α}] (one element per player); one set
+    [S_j] per item [j ∈ [m]], where [S_j = {i : j ∈ T_i}].  Player [i]
+    emits the pairs [(S_j, e_i)] for its items [j ∈ T_i] — so the
+    stream is exactly the players' inputs in speaking order, and a
+    streaming algorithm's memory between players is a one-way message.
+
+    Claims 5.3/5.4: a No instance has optimal 1-cover coverage [α]
+    (the planted common item's set covers every player-element); a Yes
+    instance has optimal coverage 1.  Hence any algorithm estimating
+    Max 1-Cover within a factor < α distinguishes the cases and
+    inherits the Ω(m/α²) bound (Theorem 3.3). *)
+
+val to_stream : Disjointness.t -> Mkc_stream.Edge.t array
+(** The induced edge stream in player order (player 0 first). *)
+
+val to_system : Disjointness.t -> Mkc_stream.Set_system.t
+(** The full Max 1-Cover instance (n = r elements, m sets) — for
+    offline verification of Claims 5.3/5.4. *)
+
+val player_boundaries : Disjointness.t -> int array
+(** [boundaries.(i)] = index in the stream where player [i]'s pairs
+    begin; used by {!Protocol} to cut the stream into messages. *)

@@ -1,0 +1,1 @@
+lib/sketch/count_sketch.ml: Array Mkc_hashing

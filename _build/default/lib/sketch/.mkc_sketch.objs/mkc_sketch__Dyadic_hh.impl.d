@@ -1,0 +1,1 @@
+lib/sketch/dyadic_hh.ml: Array Count_sketch List Mkc_hashing

@@ -1,0 +1,1 @@
+lib/sketch/dyadic_hh.mli: Mkc_hashing

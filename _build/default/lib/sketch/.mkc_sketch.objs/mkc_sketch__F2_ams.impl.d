@@ -1,0 +1,1 @@
+lib/sketch/f2_ams.ml: Array Mkc_hashing

@@ -1,0 +1,1 @@
+lib/sketch/f2_ams.mli: Mkc_hashing

@@ -1,0 +1,1 @@
+lib/sketch/f2_contributing.ml: Array F2_heavy_hitter Hashtbl List Mkc_hashing Sampler

@@ -1,0 +1,1 @@
+lib/sketch/f2_contributing.mli: Mkc_hashing

@@ -1,0 +1,1 @@
+lib/sketch/f2_heavy_hitter.ml: Count_sketch Float Hashtbl List Mkc_hashing Space

@@ -1,0 +1,1 @@
+lib/sketch/f2_heavy_hitter.mli: Mkc_hashing

@@ -1,0 +1,1 @@
+lib/sketch/hyperloglog.ml: Bytes Char Float Int64 Mkc_hashing

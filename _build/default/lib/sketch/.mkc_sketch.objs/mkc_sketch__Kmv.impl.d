@@ -1,0 +1,1 @@
+lib/sketch/kmv.ml: Float Mkc_hashing Set

@@ -1,0 +1,1 @@
+lib/sketch/kmv.mli: Mkc_hashing

@@ -1,0 +1,1 @@
+lib/sketch/l0_bjkst.ml: Float Hashtbl Int64 List Mkc_hashing Space

@@ -1,0 +1,1 @@
+lib/sketch/l0_bjkst.mli: Mkc_hashing

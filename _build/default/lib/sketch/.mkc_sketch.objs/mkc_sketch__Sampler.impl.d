@@ -1,0 +1,1 @@
+lib/sketch/sampler.ml: Array Mkc_hashing

@@ -1,0 +1,1 @@
+lib/sketch/sampler.mli: Mkc_hashing

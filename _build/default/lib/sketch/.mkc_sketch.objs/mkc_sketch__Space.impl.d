@@ -1,0 +1,1 @@
+lib/sketch/space.ml: Array Format Hashtbl

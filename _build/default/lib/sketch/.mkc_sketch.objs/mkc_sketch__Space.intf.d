@@ -1,0 +1,1 @@
+lib/sketch/space.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/sketch/top_k.ml: Hashtbl List Space

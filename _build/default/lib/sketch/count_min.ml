@@ -1,0 +1,36 @@
+type t = {
+  depth : int;
+  width : int;
+  buckets : Mkc_hashing.Pairwise.t array;
+  counters : int array array;
+}
+
+let create ?(depth = 5) ~width ~seed () =
+  if depth < 1 then invalid_arg "Count_min.create: depth must be >= 1";
+  if width < 1 then invalid_arg "Count_min.create: width must be >= 1";
+  {
+    depth;
+    width;
+    buckets =
+      Array.init depth (fun r ->
+          Mkc_hashing.Pairwise.create ~range:width ~seed:(Mkc_hashing.Splitmix.fork seed r));
+    counters = Array.init depth (fun _ -> Array.make width 0);
+  }
+
+let add t i delta =
+  for r = 0 to t.depth - 1 do
+    let b = Mkc_hashing.Pairwise.hash t.buckets.(r) i in
+    t.counters.(r).(b) <- t.counters.(r).(b) + delta
+  done
+
+let estimate t i =
+  let best = ref max_float in
+  for r = 0 to t.depth - 1 do
+    let b = Mkc_hashing.Pairwise.hash t.buckets.(r) i in
+    best := min !best (float_of_int t.counters.(r).(b))
+  done;
+  !best
+
+let words t =
+  (t.depth * t.width)
+  + Array.fold_left (fun acc h -> acc + Mkc_hashing.Pairwise.words h) 0 t.buckets

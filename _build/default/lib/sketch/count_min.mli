@@ -1,0 +1,17 @@
+(** Count-Min sketch (Cormode–Muthukrishnan).
+
+    The L1 analogue of {!Count_sketch}: per-row error is [F1 / width]
+    and estimates never undershoot (for insertion-only streams).
+    Included as an ablation point for experiment E10 — it needs
+    [Θ(1/φ)] width for φ·F1 heavy hitters but [Θ(1/φ²)]-ish width to
+    match the L2 guarantee Theorem 2.10 relies on, which is exactly why
+    the paper's space bound wants CountSketch. *)
+
+type t
+
+val create : ?depth:int -> width:int -> seed:Mkc_hashing.Splitmix.t -> unit -> t
+val add : t -> int -> int -> unit
+val estimate : t -> int -> float
+(** Min over rows; an overestimate in insertion-only streams. *)
+
+val words : t -> int

@@ -1,0 +1,58 @@
+type t = {
+  depth : int;
+  width : int;
+  buckets : Mkc_hashing.Pairwise.t array;
+  signs : Mkc_hashing.Poly_hash.t array;
+  counters : int array array; (* depth x width *)
+}
+
+let create ?(depth = 5) ~width ~seed () =
+  if depth < 1 then invalid_arg "Count_sketch.create: depth must be >= 1";
+  if width < 1 then invalid_arg "Count_sketch.create: width must be >= 1";
+  {
+    depth;
+    width;
+    buckets =
+      Array.init depth (fun r ->
+          Mkc_hashing.Pairwise.create ~range:width ~seed:(Mkc_hashing.Splitmix.fork seed (2 * r)));
+    signs =
+      Array.init depth (fun r ->
+          Mkc_hashing.Poly_hash.create ~indep:4 ~range:2
+            ~seed:(Mkc_hashing.Splitmix.fork seed ((2 * r) + 1)));
+    counters = Array.init depth (fun _ -> Array.make width 0);
+  }
+
+let sign h x = if Mkc_hashing.Poly_hash.hash h x = 0 then 1 else -1
+
+let add t i delta =
+  for r = 0 to t.depth - 1 do
+    let b = Mkc_hashing.Pairwise.hash t.buckets.(r) i in
+    t.counters.(r).(b) <- t.counters.(r).(b) + (sign t.signs.(r) i * delta)
+  done
+
+let estimate t i =
+  let ests =
+    Array.init t.depth (fun r ->
+        let b = Mkc_hashing.Pairwise.hash t.buckets.(r) i in
+        float_of_int (sign t.signs.(r) i * t.counters.(r).(b)))
+  in
+  Array.sort compare ests;
+  if t.depth land 1 = 1 then ests.(t.depth / 2)
+  else (ests.((t.depth / 2) - 1) +. ests.(t.depth / 2)) /. 2.0
+
+let f2_estimate t =
+  let per_row =
+    Array.init t.depth (fun r ->
+        Array.fold_left
+          (fun acc c -> acc +. (float_of_int c *. float_of_int c))
+          0.0 t.counters.(r))
+  in
+  Array.sort compare per_row;
+  per_row.(t.depth / 2)
+
+let width t = t.width
+
+let words t =
+  (t.depth * t.width)
+  + Array.fold_left (fun acc h -> acc + Mkc_hashing.Pairwise.words h) 0 t.buckets
+  + Array.fold_left (fun acc h -> acc + Mkc_hashing.Poly_hash.words h) 0 t.signs

@@ -1,0 +1,69 @@
+type t = {
+  num_levels : int;
+  (* One nested sampler drives all class-size guesses: F2C level i
+     (class size ≈ 2^i, survival rate oversample/2^i) is the nested
+     sampler's level (num_levels - 1 - i), so one hash evaluation per
+     update decides every level. *)
+  sampler : Sampler.Nested.t;
+  hhs : F2_heavy_hitter.t array;
+}
+
+type hit = { id : int; freq : float; level : int }
+
+let create ?(depth = 5) ?(oversample = 2.0) ~gamma ~r ~indep ~seed () =
+  if gamma <= 0.0 then invalid_arg "F2_contributing.create: gamma must be positive";
+  if r < 1 then invalid_arg "F2_contributing.create: r must be >= 1";
+  let num_levels = Mkc_hashing.Hash_family.ceil_log2 r + 1 in
+  (* Lemma 2.9: once only ~polylog coordinates of a γ-contributing class
+     survive the subsampling, each survivor is an Ω̃(γ)-heavy hitter of
+     the substream.  The practical profile folds the polylog divisor
+     into φ = γ/2. *)
+  let phi = min 1.0 (gamma /. 2.0) in
+  let base_rate = oversample /. float_of_int (1 lsl (num_levels - 1)) in
+  {
+    num_levels;
+    sampler =
+      Sampler.Nested.create ~base_rate ~levels:num_levels ~indep
+        ~seed:(Mkc_hashing.Splitmix.fork seed 0);
+    hhs =
+      Array.init num_levels (fun i ->
+          F2_heavy_hitter.create ~depth ~phi ~seed:(Mkc_hashing.Splitmix.fork seed (i + 1)) ());
+  }
+
+let add t i delta =
+  match Sampler.Nested.min_keep_level t.sampler i with
+  | None -> ()
+  | Some min_nested ->
+      (* nested level j ↔ F2C level (num_levels - 1 - j); the item
+         survives at nested levels >= min_nested, i.e. F2C levels
+         <= num_levels - 1 - min_nested. *)
+      let top = t.num_levels - 1 - min_nested in
+      for lvl = 0 to top do
+        F2_heavy_hitter.add t.hhs.(lvl) i delta
+      done
+
+let dedup hits =
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun (h : hit) ->
+      match Hashtbl.find_opt best h.id with
+      | Some (prev : hit) when prev.freq >= h.freq -> ()
+      | _ -> Hashtbl.replace best h.id h)
+    hits;
+  Hashtbl.fold (fun _ h acc -> h :: acc) best []
+  |> List.sort (fun a b -> compare b.freq a.freq)
+
+let collect t extract =
+  Array.to_list t.hhs
+  |> List.mapi (fun i hh ->
+         extract hh
+         |> List.map (fun (h : F2_heavy_hitter.hit) -> { id = h.id; freq = h.freq; level = i }))
+  |> List.concat |> dedup
+
+let hits t = collect t F2_heavy_hitter.hits
+let candidates t = collect t F2_heavy_hitter.candidates
+let levels t = Array.length t.hhs
+
+let words t =
+  Sampler.Nested.words t.sampler
+  + Array.fold_left (fun acc hh -> acc + F2_heavy_hitter.words hh) 0 t.hhs

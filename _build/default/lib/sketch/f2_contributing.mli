@@ -1,0 +1,52 @@
+(** F2-Contributing (Theorem 2.11, after Indyk–Woodruff [29]).
+
+    A class of coordinates [R_t = \{i : 2^(t-1) < a(i) ≤ 2^t\}] is
+    γ-contributing when [|R_t| · 2^(2t) ≥ γ·F2(a)].  The algorithm of
+    Section 2.2 finds, w.h.p., one coordinate from {e every}
+    γ-contributing class: for each guess [n_t = 2^i] of the class size
+    ([i ≤ log r]) it subsamples coordinates at rate ≈ [polylog / 2^i]
+    with a Θ(log mn)-wise independent hash and runs an
+    {!F2_heavy_hitter} on the surviving substream — once only polylog
+    members of the class survive, each is an Ω̃(γ)-heavy hitter of the
+    subsampled F2 (Lemma 2.9).  Reported values are (1 ± 1/2)-accurate.
+
+    [r] bounds the class sizes searched; Figure 6 exploits this to keep
+    supersets inflated by common elements out of the candidate set
+    (Remark 4.12). *)
+
+type t
+
+type hit = { id : int; freq : float; level : int }
+(** [level] is the size-guess index i (class size ≈ 2^i) whose
+    substream surfaced the coordinate. *)
+
+val create :
+  ?depth:int ->
+  ?oversample:float ->
+  gamma:float ->
+  r:int ->
+  indep:int ->
+  seed:Mkc_hashing.Splitmix.t ->
+  unit ->
+  t
+(** [create ~gamma ~r ~indep ~seed ()] prepares [⌈log2 r⌉ + 1] parallel
+    heavy-hitter instances.  [indep] is the independence of the
+    coordinate-subsampling hashes (Θ(log mn) per the paper).
+    [oversample] multiplies the survival rate (the paper's [12 log m];
+    default 2.0 under the practical profile). *)
+
+val add : t -> int -> int -> unit
+(** [add t i delta]: feed an update for coordinate [i]; each level
+    processes it iff [i] survives that level's subsampling. *)
+
+val hits : t -> hit list
+(** One or more candidates per level that passed the per-level φ-heavy
+    test, deduplicated by coordinate (keeping the largest frequency
+    estimate), sorted by decreasing frequency. *)
+
+val candidates : t -> hit list
+(** All tracked candidates across levels (no φ filter), deduplicated and
+    sorted by decreasing frequency — callers apply absolute thresholds. *)
+
+val levels : t -> int
+val words : t -> int

@@ -1,0 +1,66 @@
+type t = {
+  phi : float;
+  clamp : bool;
+  cs : Count_sketch.t;
+  cap : int;
+  (* Candidate tracking: exact counts of tracked ids since insertion
+     (SpaceSaving-style).  In the paper's insertion-only application the
+     coordinate frequency IS the stream count, so an exact counter both
+     identifies heavy candidates and avoids re-estimating through the
+     CountSketch on every update (a per-update sort); the reported
+     values still come from the CountSketch at finalize time, keeping
+     the Theorem 2.10 (1 ± 1/2) guarantee. *)
+  counts : (int, int ref) Hashtbl.t;
+}
+
+type hit = { id : int; freq : float }
+
+let create ?(depth = 5) ?(width_factor = 8) ?(clamp = true) ~phi ~seed () =
+  if phi <= 0.0 || phi > 1.0 then invalid_arg "F2_heavy_hitter.create: phi must be in (0, 1]";
+  let width = max 4 (int_of_float (ceil (float_of_int width_factor /. phi))) in
+  let cap = max 4 (int_of_float (ceil (4.0 /. phi))) in
+  {
+    phi;
+    clamp;
+    cs = Count_sketch.create ~depth ~width ~seed:(Mkc_hashing.Splitmix.fork seed 0) ();
+    cap;
+    counts = Hashtbl.create 16;
+  }
+
+let prune t =
+  let entries = Hashtbl.fold (fun id c acc -> (id, !c) :: acc) t.counts [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) entries in
+  Hashtbl.reset t.counts;
+  List.iteri (fun i (id, c) -> if i < t.cap then Hashtbl.replace t.counts id (ref c)) sorted
+
+let add t i delta =
+  Count_sketch.add t.cs i delta;
+  (match Hashtbl.find_opt t.counts i with
+  | Some c -> c := !c + delta
+  | None -> Hashtbl.replace t.counts i (ref delta));
+  if Hashtbl.length t.counts > 2 * t.cap then prune t
+
+let candidates t =
+  if Hashtbl.length t.counts > t.cap then prune t;
+  (* The CountSketch estimate of a light coordinate can be inflated by
+     bucket collisions with a genuinely heavy one; the exact
+     since-insertion counter is a sound upper bound in insertion-only
+     streams, so report the minimum of the two.  (A heavy coordinate is
+     tracked from early on, so its counter is near-exact and the
+     (1 ± 1/2) value guarantee is preserved.) *)
+  Hashtbl.fold
+    (fun id c acc ->
+      let est = Count_sketch.estimate t.cs id in
+      let freq = if t.clamp then Float.min est (float_of_int !c) else est in
+      { id; freq } :: acc)
+    t.counts []
+  |> List.sort (fun a b -> compare b.freq a.freq)
+
+let hits t =
+  let f2 = Count_sketch.f2_estimate t.cs in
+  let threshold = t.phi *. f2 in
+  candidates t |> List.filter (fun { freq; _ } -> freq *. freq >= threshold)
+
+let f2_estimate t = Count_sketch.f2_estimate t.cs
+let phi t = t.phi
+let words t = Count_sketch.words t.cs + Space.hashtbl t.counts ~entry_words:2

@@ -1,0 +1,50 @@
+(** F2-HeavyHitter (Theorem 2.10): single-pass algorithm that, with high
+    probability, returns every coordinate [i] with [a(i)² ≥ φ·F2(a)]
+    together with a (1 ± 1/2)-approximation of [a(i)], in Õ(1/φ)
+    space.
+
+    Implementation: a {!Count_sketch} of width Θ(1/φ) for frequency
+    estimates and the in-sketch F2 estimate, plus a {!Top_k} candidate
+    tracker of capacity Θ(1/φ) (any φ-heavy item occupies a constant
+    fraction of the stream's L2 mass, so rescoring on each arrival keeps
+    it in the tracker w.h.p.). *)
+
+type t
+
+type hit = { id : int; freq : float }
+(** A reported coordinate with its approximate frequency. *)
+
+val create :
+  ?depth:int ->
+  ?width_factor:int ->
+  ?clamp:bool ->
+  phi:float ->
+  seed:Mkc_hashing.Splitmix.t ->
+  unit ->
+  t
+(** [create ~phi ~seed ()] targets φ-heavy hitters of F2.  CountSketch
+    width is [width_factor / phi] (default factor 8, so per-row error ≤
+    (1/√8)·√(φ F2) and the (1 ± 1/2) value guarantee holds w.h.p.).
+
+    [clamp] (default true) caps each candidate's reported frequency by
+    its exact since-insertion counter — sound for insertion-only
+    streams and the fix for collision-inflated light candidates; set it
+    to false to reproduce the unclamped textbook estimator (the E10
+    ablation does). *)
+
+val add : t -> int -> int -> unit
+(** [add t i delta]. The heavy-hitter applications in this paper are
+    insertion-only ([delta ≥ 1]). *)
+
+val hits : t -> hit list
+(** Candidates whose estimated frequency passes the φ·F̂2 test,
+    sorted by decreasing frequency. *)
+
+val candidates : t -> hit list
+(** All tracked candidates with fresh estimates, no φ filter (used by
+    callers that apply their own absolute thresholds, e.g. Figure 4's
+    [thr1]/[thr2] tests). Sorted by decreasing frequency. *)
+
+val f2_estimate : t -> float
+val phi : t -> float
+val words : t -> int

@@ -1,0 +1,18 @@
+(** HyperLogLog distinct-element sketch (Flajolet et al.), with linear
+    counting for the small-cardinality regime.
+
+    Included as the third L0 estimator for the sketch-accuracy ablation
+    (experiment E10); its relative error [1.04/√(2^b)] is the weakest of
+    the three at equal word budgets but its registers are bytes, so it
+    is the cheapest per unit of accuracy. *)
+
+type t
+
+val create : ?bits:int -> seed:Mkc_hashing.Splitmix.t -> unit -> t
+(** [bits] is the register-index width; [2^bits] registers are kept.
+    Default 10 (1024 registers, ≈3.2% standard error). *)
+
+val add : t -> int -> unit
+val estimate : t -> float
+val merge : t -> t -> t
+val words : t -> int

@@ -1,0 +1,42 @@
+type t = {
+  cap : int;
+  tab : Mkc_hashing.Tabulation.t;
+  (* fingerprint -> trailing-zero level of the element's hash *)
+  buf : (int64, int) Hashtbl.t;
+  mutable z : int;
+}
+
+let create ?(cap = 96) ~seed () =
+  if cap < 4 then invalid_arg "L0_bjkst.create: cap must be >= 4";
+  { cap; tab = Mkc_hashing.Tabulation.create ~seed; buf = Hashtbl.create 64; z = 0 }
+
+let trailing_zeros v =
+  if Int64.equal v 0L then 64
+  else
+    let rec go i v = if Int64.logand v 1L = 1L then i else go (i + 1) (Int64.shift_right_logical v 1) in
+    go 0 v
+
+let prune t =
+  while Hashtbl.length t.buf > t.cap do
+    t.z <- t.z + 1;
+    let doomed =
+      Hashtbl.fold (fun fp lvl acc -> if lvl < t.z then fp :: acc else acc) t.buf []
+    in
+    List.iter (Hashtbl.remove t.buf) doomed
+  done
+
+let add t x =
+  let h = Mkc_hashing.Tabulation.hash64 t.tab x in
+  let lvl = trailing_zeros h in
+  if lvl >= t.z then begin
+    (* The hash itself is the fingerprint: collisions over a 64-bit
+       range are negligible for the stream sizes we target. *)
+    if not (Hashtbl.mem t.buf h) then begin
+      Hashtbl.replace t.buf h lvl;
+      prune t
+    end
+  end
+
+let estimate t = float_of_int (Hashtbl.length t.buf) *. Float.pow 2.0 (float_of_int t.z)
+let level t = t.z
+let words t = Space.hashtbl t.buf ~entry_words:2 + Mkc_hashing.Tabulation.words t.tab + 2

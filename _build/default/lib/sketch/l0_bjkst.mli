@@ -1,0 +1,24 @@
+(** BJKST distinct-element sketch (Bar-Yossef–Jayram–Kumar–Sivakumar–
+    Trevisan [11], algorithm 2).
+
+    Maintains a level [z] and a buffer of fingerprints of elements whose
+    hash has at least [z] trailing zero bits; when the buffer overflows
+    the level is raised and the buffer pruned.  The estimate is
+    [|buffer| · 2^z].  With buffer capacity Θ(1/ε²) this gives the
+    (1 ± ε)-approximation of Theorem 2.12 in Õ(1) space.
+
+    This is the default L0 estimator used by [LargeCommon] (Figure 3)
+    and the L0 fallback of [LargeSetComplete] (Figure 6). *)
+
+type t
+
+val create : ?cap:int -> seed:Mkc_hashing.Splitmix.t -> unit -> t
+(** Default [cap] = 96 (ε ≈ 1/4 in practice; Theorem 2.12 only needs
+    ε = 1/2). *)
+
+val add : t -> int -> unit
+val estimate : t -> float
+val level : t -> int
+(** Current sampling level [z] (diagnostic). *)
+
+val words : t -> int

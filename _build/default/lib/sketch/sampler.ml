@@ -1,0 +1,75 @@
+module Bernoulli = struct
+  type t = { hash : Mkc_hashing.Poly_hash.t }
+
+  let create ~rate ~indep ~seed =
+    let range = Mkc_hashing.Hash_family.sample_rate_range ~rate in
+    { hash = Mkc_hashing.Poly_hash.create ~indep ~range ~seed }
+
+  let keep t x = Mkc_hashing.Poly_hash.keep t.hash x
+  let rate t = 1.0 /. float_of_int (Mkc_hashing.Poly_hash.range t.hash)
+  let words t = Mkc_hashing.Poly_hash.words t.hash
+end
+
+module Nested = struct
+  type t = { hash : Mkc_hashing.Poly_hash.t; base_range : int; levels : int }
+
+  let create ~base_rate ~levels ~indep ~seed =
+    if levels < 1 then invalid_arg "Nested.create: levels must be >= 1";
+    if base_rate <= 0.0 then invalid_arg "Nested.create: base_rate must be positive";
+    (* Round the base rate down to a reciprocal power of two so that
+       level ranges nest exactly. *)
+    let base_range =
+      if base_rate >= 1.0 then 1
+      else begin
+        let r = ref 1 in
+        while 1.0 /. float_of_int (!r * 2) >= base_rate do
+          r := !r * 2
+        done;
+        !r
+      end
+    in
+    { hash = Mkc_hashing.Poly_hash.create ~indep ~range:base_range ~seed; base_range; levels }
+
+  let range_at t level =
+    if level < 0 || level >= t.levels then invalid_arg "Nested: level out of range";
+    max 1 (t.base_range lsr level)
+
+  let keep t ~level x = Mkc_hashing.Poly_hash.hash t.hash x mod range_at t level = 0
+
+  let min_keep_level t x =
+    let h = Mkc_hashing.Poly_hash.hash t.hash x in
+    let rec go level =
+      if level >= t.levels then None
+      else if h mod max 1 (t.base_range lsr level) = 0 then Some level
+      else go (level + 1)
+    in
+    go 0
+  let rate t ~level = 1.0 /. float_of_int (range_at t level)
+  let levels t = t.levels
+  let words t = Mkc_hashing.Poly_hash.words t.hash + 2
+end
+
+module Reservoir = struct
+  type t = {
+    cap : int;
+    buf : int array;
+    mutable count : int;
+    rng : Mkc_hashing.Splitmix.t;
+  }
+
+  let create ~cap ~seed =
+    if cap < 1 then invalid_arg "Reservoir.create: cap must be >= 1";
+    { cap; buf = Array.make cap 0; count = 0; rng = seed }
+
+  let add t x =
+    if t.count < t.cap then t.buf.(t.count) <- x
+    else begin
+      let j = Mkc_hashing.Splitmix.below t.rng (t.count + 1) in
+      if j < t.cap then t.buf.(j) <- x
+    end;
+    t.count <- t.count + 1
+
+  let contents t = Array.sub t.buf 0 (min t.count t.cap)
+  let seen t = t.count
+  let words t = t.cap + 2
+end

@@ -1,0 +1,68 @@
+(** Sampling primitives used by the paper's algorithms.
+
+    - {!Bernoulli}: hash-based subsampling with limited independence —
+      the implementation of set sampling (Lemma 2.3, Appendix A.1) and
+      element sampling (Lemma 2.5).  Membership is a pure function of
+      the item, so the same item is consistently kept or dropped across
+      the whole stream with only the hash seed stored.
+    - {!Reservoir}: classic reservoir sampling, used where a uniform
+      fixed-size sample of {e stream positions} is needed (e.g. the
+      superset sample M of Figure 6, Case 2). *)
+
+module Bernoulli : sig
+  type t
+
+  val create : rate:float -> indep:int -> seed:Mkc_hashing.Splitmix.t -> t
+  (** [create ~rate ~indep ~seed] keeps each item independently with
+      probability ~[rate], using an [indep]-wise independent hash
+      (Appendix A.1 implements set sampling with Θ(log mn)-wise
+      independence). *)
+
+  val keep : t -> int -> bool
+
+  val rate : t -> float
+  (** The realized rate [1 / range] (the requested rate rounded to a
+      reciprocal of an integer). *)
+
+  val words : t -> int
+end
+
+module Nested : sig
+  (** Multi-layered subsampling (Section 4.1): a single hash induces a
+      chain of samples [S_0 ⊆ S_1 ⊆ ... ⊆ S_L] with geometrically
+      increasing rates — level [i] keeps an item with probability
+      [min(1, base_rate · 2^i)], and an item kept at level [i] is kept
+      at every coarser level [j > i].  Evaluating all levels costs one
+      hash, which matters on the per-edge hot path. *)
+
+  type t
+
+  val create :
+    base_rate:float -> levels:int -> indep:int -> seed:Mkc_hashing.Splitmix.t -> t
+  (** [base_rate] is the (finest) level-0 rate, rounded down to a
+      reciprocal power of two. [levels >= 1]. *)
+
+  val keep : t -> level:int -> int -> bool
+
+  val min_keep_level : t -> int -> int option
+  (** The finest (smallest) level at which the item survives, computed
+      with a single hash evaluation; [None] if it survives at no level.
+      By nesting, the item survives at exactly the levels
+      [>= min_keep_level]. *)
+
+  val rate : t -> level:int -> float
+  (** The realized rate of a level (exactly [2^-j] for some j). *)
+
+  val levels : t -> int
+  val words : t -> int
+end
+
+module Reservoir : sig
+  type t
+
+  val create : cap:int -> seed:Mkc_hashing.Splitmix.t -> t
+  val add : t -> int -> unit
+  val contents : t -> int array
+  val seen : t -> int
+  val words : t -> int
+end

@@ -1,0 +1,21 @@
+(** Space accounting in 64-bit words.
+
+    The paper's object of study is the {e space} of single-pass
+    algorithms, so every sketch and every streaming state in this
+    repository exposes [words : t -> int], the number of 64-bit machine
+    words it retains between stream updates.  Hash functions count their
+    seed/coefficient storage (Lemma A.2: a d-wise independent function
+    costs d words).  Transient per-update scratch is not counted, and
+    neither is the read-only input configuration (m, n, k, alpha). *)
+
+val int_array : int array -> int
+(** Words held by an int array (its length). *)
+
+val float_array : float array -> int
+
+val hashtbl : ('a, 'b) Hashtbl.t -> entry_words:int -> int
+(** Words held by a hashtbl with [entry_words] words per binding
+    (key + payload), ignoring bucket overhead. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Pretty-print a word count as words and KiB. *)

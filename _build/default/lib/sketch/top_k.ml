@@ -1,0 +1,28 @@
+(* Amortized implementation: candidates accumulate in a hashtable up to
+   2×cap, then one O(size log size) prune keeps the top cap by score.
+   This keeps per-offer cost O(1) amortized, which matters because the
+   tracker capacity is Θ(1/φ) = Θ̃(m/α²) in the paper's main regime. *)
+type t = { cap : int; tbl : (int, float) Hashtbl.t }
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Top_k.create: cap must be >= 1";
+  { cap; tbl = Hashtbl.create 16 }
+
+let prune t =
+  let entries = Hashtbl.fold (fun id score acc -> (id, score) :: acc) t.tbl [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) entries in
+  Hashtbl.reset t.tbl;
+  List.iteri (fun i (id, score) -> if i < t.cap then Hashtbl.replace t.tbl id score) sorted
+
+let offer t id score =
+  Hashtbl.replace t.tbl id score;
+  if Hashtbl.length t.tbl > 2 * t.cap then prune t
+
+let mem t id = Hashtbl.mem t.tbl id
+
+let to_list t =
+  if Hashtbl.length t.tbl > t.cap then prune t;
+  Hashtbl.fold (fun id score acc -> (id, score) :: acc) t.tbl []
+
+let cardinal t = min t.cap (Hashtbl.length t.tbl)
+let words t = Space.hashtbl t.tbl ~entry_words:2 + 1

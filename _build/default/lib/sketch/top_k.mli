@@ -1,0 +1,22 @@
+(** Bounded candidate tracker for heavy-hitter identification.
+
+    CountSketch alone cannot {e enumerate} heavy items; the standard fix
+    (Charikar–Chen) is to keep a small set of candidate ids, updating a
+    candidate's score whenever it reappears in the stream and evicting
+    the lowest-scored candidate when over capacity.  Scores here are
+    whatever estimate the caller supplies (typically the current
+    CountSketch estimate). *)
+
+type t
+
+val create : cap:int -> t
+val offer : t -> int -> float -> unit
+(** [offer t id score]: insert or rescore [id]; may evict the current
+    minimum if the tracker is full and [score] beats it. *)
+
+val mem : t -> int -> bool
+val to_list : t -> (int * float) list
+(** Candidates with their last recorded scores, unordered. *)
+
+val cardinal : t -> int
+val words : t -> int

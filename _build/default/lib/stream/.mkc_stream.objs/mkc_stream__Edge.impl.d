@@ -1,0 +1,1 @@
+lib/stream/edge.ml: Format Int

@@ -1,0 +1,1 @@
+lib/stream/edge.mli: Format

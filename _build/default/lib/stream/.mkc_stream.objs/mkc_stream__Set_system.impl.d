@@ -1,0 +1,1 @@
+lib/stream/set_system.ml: Array Edge Format List Mkc_hashing

@@ -1,0 +1,1 @@
+lib/stream/set_system.mli: Edge Format

@@ -1,0 +1,1 @@
+lib/stream/stats.ml: Array Hashtbl List Option Set_system

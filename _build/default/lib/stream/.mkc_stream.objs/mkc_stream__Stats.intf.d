@@ -1,0 +1,1 @@
+lib/stream/stats.mli: Set_system

@@ -1,0 +1,1 @@
+lib/stream/stream_source.ml: Array Edge Fun List Printf Set_system String

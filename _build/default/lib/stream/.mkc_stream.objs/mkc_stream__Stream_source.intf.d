@@ -1,0 +1,1 @@
+lib/stream/stream_source.mli: Edge Set_system

@@ -1,0 +1,12 @@
+type t = { set : int; elt : int }
+
+let make ~set ~elt =
+  if set < 0 || elt < 0 then invalid_arg "Edge.make: ids must be non-negative";
+  { set; elt }
+
+let compare a b =
+  let c = Int.compare a.set b.set in
+  if c <> 0 then c else Int.compare a.elt b.elt
+
+let equal a b = compare a b = 0
+let pp ppf { set; elt } = Format.fprintf ppf "(S%d, e%d)" set elt

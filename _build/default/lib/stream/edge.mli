@@ -1,0 +1,14 @@
+(** A stream token in the general (edge-arrival) model: the pair
+    [(set, element)] meaning "element [elt] belongs to set [set]".
+
+    Sets are identified by ints in [\[0, m)], elements by ints in
+    [\[0, n)].  Duplicate pairs may appear in a stream; all algorithms
+    in this repository are duplicate-tolerant as the paper requires
+    (frequencies count multiplicity only where the analysis says so). *)
+
+type t = { set : int; elt : int }
+
+val make : set:int -> elt:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+let frequency_histogram sys =
+  let freq = Set_system.frequencies sys in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun f -> Hashtbl.replace tbl f (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f)))
+    freq;
+  Hashtbl.fold (fun f c acc -> (f, c) :: acc) tbl [] |> List.sort compare
+
+let ucmn_size sys ~lambda =
+  if lambda <= 0.0 then invalid_arg "Stats.ucmn_size: lambda must be positive";
+  let threshold =
+    max 1 (int_of_float (ceil (float_of_int (Set_system.m sys) /. lambda)))
+  in
+  Set_system.common_elements sys ~threshold
+
+let max_frequency sys = Array.fold_left max 0 (Set_system.frequencies sys)
+
+let contribution_profile sys sel =
+  let seen = Array.make (Set_system.n sys) false in
+  sel
+  |> List.map (fun i ->
+         let fresh = ref 0 in
+         Array.iter
+           (fun e ->
+             if not seen.(e) then begin
+               seen.(e) <- true;
+               incr fresh
+             end)
+           (Set_system.set sys i);
+         !fresh)
+  |> Array.of_list

@@ -1,0 +1,21 @@
+(** Instance statistics used in the paper's case analysis.
+
+    Computed offline (full-memory) from a {!Set_system}; tests use them
+    to place instances into the paper's regimes I/II/III (Section 4) and
+    to verify set-sampling claims. *)
+
+val frequency_histogram : Set_system.t -> (int * int) list
+(** Pairs [(frequency, #elements with that frequency)] sorted by
+    frequency. *)
+
+val ucmn_size : Set_system.t -> lambda:float -> int
+(** |U^cmn_λ| with the paper's polylog factor set to 1: the number of
+    elements appearing in at least [m / λ] sets (Definition 2.1,
+    practical profile). [lambda > 0]. *)
+
+val max_frequency : Set_system.t -> int
+
+val contribution_profile : Set_system.t -> int list -> int array
+(** Given a selection in a fixed order, the disjoint contributions
+    |O'_i| of Definition 4.2 (first-come ownership of covered
+    elements). *)

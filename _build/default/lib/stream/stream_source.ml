@@ -1,0 +1,37 @@
+type t = Edge.t array
+
+let of_array a = Array.copy a
+let of_system ?seed sys = Set_system.edge_stream ?seed sys
+let length = Array.length
+let iter = Array.iter
+let fold f init t = Array.fold_left f init t
+let to_array = Array.copy
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter (fun (e : Edge.t) -> Printf.fprintf oc "%d %d\n" e.set e.elt) t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match String.split_on_char ' ' (String.trim line) with
+             | [ s; e ] -> acc := Edge.make ~set:(int_of_string s) ~elt:(int_of_string e) :: !acc
+             | _ -> failwith (Printf.sprintf "Stream_source.load: malformed line %S" line)
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !acc))
+
+let max_ids t =
+  Array.fold_left
+    (fun (ms, me) (e : Edge.t) -> (max ms (e.set + 1), max me (e.elt + 1)))
+    (0, 0) t

@@ -1,0 +1,29 @@
+(** Single-pass edge streams.
+
+    A stream is an abstract sequence of {!Edge.t} that can be consumed
+    exactly once per [iter] — algorithms receive it only through
+    {!iter}/{!fold}, mirroring the one-pass model.  Backing storage is
+    an array (tests, benches) or a file (CLI). *)
+
+type t
+
+val of_array : Edge.t array -> t
+val of_system : ?seed:int -> Set_system.t -> t
+(** Edge stream of a set system, shuffled when [seed] is given. *)
+
+val length : t -> int
+val iter : (Edge.t -> unit) -> t -> unit
+val fold : ('a -> Edge.t -> 'a) -> 'a -> t -> 'a
+val to_array : t -> Edge.t array
+(** A copy, for re-shuffling or persistence. *)
+
+val save : t -> string -> unit
+(** Text format: a header line [n m] is NOT stored; each line is
+    "set elt". *)
+
+val load : string -> t
+(** Inverse of {!save}; raises [Failure] on malformed lines. *)
+
+val max_ids : t -> int * int
+(** [(max set id + 1, max element id + 1)] — a cheap (m, n) bound for
+    loaded streams. *)

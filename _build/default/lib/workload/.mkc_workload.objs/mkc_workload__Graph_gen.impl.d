@@ -1,0 +1,1 @@
+lib/workload/graph_gen.ml: Array List Mkc_hashing Mkc_stream Zipf

@@ -1,0 +1,1 @@
+lib/workload/planted.ml: Array List Mkc_hashing Mkc_stream

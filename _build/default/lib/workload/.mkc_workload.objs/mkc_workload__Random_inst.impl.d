@@ -1,0 +1,1 @@
+lib/workload/random_inst.ml: Array Mkc_hashing Mkc_stream Zipf

@@ -1,0 +1,1 @@
+lib/workload/random_inst.mli: Mkc_stream

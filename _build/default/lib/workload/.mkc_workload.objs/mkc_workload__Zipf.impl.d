@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array Float Int64 Mkc_hashing

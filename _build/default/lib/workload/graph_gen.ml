@@ -1,0 +1,30 @@
+let power_law ~vertices ~edges ~skew ~seed =
+  if vertices < 1 then invalid_arg "Graph_gen.power_law: vertices must be >= 1";
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let src = Zipf.create ~n:vertices ~s:skew ~seed:(Mkc_hashing.Splitmix.fork rng 0) in
+  let buckets = Array.make vertices [] in
+  for _ = 1 to edges do
+    let u = Zipf.sample src in
+    let v = Mkc_hashing.Splitmix.below rng vertices in
+    buckets.(u) <- v :: buckets.(u)
+  done;
+  Mkc_stream.Set_system.create ~n:vertices ~m:vertices
+    ~sets:(Array.map Array.of_list buckets)
+
+let in_arrival_stream sys ~seed =
+  let n = Mkc_stream.Set_system.n sys in
+  let by_target = Array.make n [] in
+  Array.iter
+    (fun (e : Mkc_stream.Edge.t) -> by_target.(e.elt) <- e :: by_target.(e.elt))
+    (Mkc_stream.Set_system.edges sys);
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Mkc_hashing.Splitmix.below rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let out = ref [] in
+  Array.iter (fun v -> out := List.rev_append by_target.(v) !out) order;
+  Mkc_stream.Stream_source.of_array (Array.of_list (List.rev !out))

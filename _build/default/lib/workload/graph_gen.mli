@@ -1,0 +1,21 @@
+(** Directed-graph coverage workloads.
+
+    The paper motivates the edge-arrival model with graph neighborhoods
+    (footnote 2): when sets are out-neighborhoods of vertices, the input
+    representation may list a vertex's {e incoming} edges contiguously,
+    scattering each set across the stream.  These generators produce
+    such instances: picking [k] vertices to maximize the union of their
+    out-neighborhoods (e.g. influence seeding / dominating-set style
+    tasks). *)
+
+val power_law :
+  vertices:int -> edges:int -> skew:float -> seed:int -> Mkc_stream.Set_system.t
+(** Random multigraph with Zipf-distributed endpoints: set [u] =
+    out-neighborhood of vertex [u]; ground set = vertices.  Parallel
+    edges collapse. *)
+
+val in_arrival_stream :
+  Mkc_stream.Set_system.t -> seed:int -> Mkc_stream.Stream_source.t
+(** The adversarial order of footnote 2: (set = u, elt = v) pairs
+    grouped by {e target} v — each set arrives maximally
+    non-contiguously. [seed] shuffles the order of target groups. *)

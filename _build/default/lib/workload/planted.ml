@@ -1,0 +1,93 @@
+type t = {
+  system : Mkc_stream.Set_system.t;
+  planted_sets : int list;
+  planted_coverage : int;
+}
+
+let permutation rng m =
+  let perm = Array.init m (fun i -> i) in
+  for i = m - 1 downto 1 do
+    let j = Mkc_hashing.Splitmix.below rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  perm
+
+let planted ~n ~m ~num_planted ~coverage_fraction ~noise_size ?(noise_overlap = 0.5) ~seed () =
+  if num_planted < 1 || num_planted > m then invalid_arg "Planted.planted: bad num_planted";
+  if coverage_fraction <= 0.0 || coverage_fraction > 1.0 then
+    invalid_arg "Planted.planted: coverage_fraction must be in (0, 1]";
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let covered = max num_planted (int_of_float (coverage_fraction *. float_of_int n)) in
+  let covered = min covered n in
+  (* Planted sets: consecutive chunks of the covered region. *)
+  let chunk i =
+    let lo = covered * i / num_planted and hi = covered * (i + 1) / num_planted in
+    Array.init (hi - lo) (fun j -> lo + j)
+  in
+  let noise () =
+    Array.init noise_size (fun _ ->
+        let from_covered =
+          covered >= n
+          || Mkc_hashing.Splitmix.below rng 1000 < int_of_float (noise_overlap *. 1000.0)
+        in
+        if from_covered then Mkc_hashing.Splitmix.below rng covered
+        else covered + Mkc_hashing.Splitmix.below rng (n - covered))
+  in
+  (* Spread planted ids over [0, m) via a random permutation. *)
+  let perm = permutation rng m in
+  let sets = Array.make m [||] in
+  for i = 0 to num_planted - 1 do
+    sets.(perm.(i)) <- chunk i
+  done;
+  for i = num_planted to m - 1 do
+    sets.(perm.(i)) <- noise ()
+  done;
+  let system = Mkc_stream.Set_system.create ~n ~m ~sets in
+  let planted_sets = List.init num_planted (fun i -> perm.(i)) in
+  { system; planted_sets; planted_coverage = covered }
+
+let few_large ~n ~m ~k ~seed =
+  planted ~n ~m ~num_planted:k ~coverage_fraction:0.5
+    ~noise_size:(max 1 (n / (8 * max 1 k)))
+    ~seed ()
+
+let many_small ~n ~m ~k ~seed =
+  let small = max 1 (n / (2 * max 1 k)) in
+  planted ~n ~m ~num_planted:k ~coverage_fraction:0.5 ~noise_size:(max 1 (small / 2)) ~seed ()
+
+let common_heavy ~n ~m ~k ~beta ~seed =
+  if beta < 1 then invalid_arg "Planted.common_heavy: beta must be >= 1";
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let num_common = max 1 (n / 4) in
+  let freq = max 2 (m / (beta * k)) in
+  let buckets = Array.make m [] in
+  (* Common block: each of the first [num_common] elements lands in
+     [freq] random sets — they are (βk)-common by construction. *)
+  for e = 0 to num_common - 1 do
+    for _ = 1 to freq do
+      let s = Mkc_hashing.Splitmix.below rng m in
+      buckets.(s) <- e :: buckets.(s)
+    done
+  done;
+  (* Rare tail: each remaining element appears in exactly one set. *)
+  for e = num_common to n - 1 do
+    let s = Mkc_hashing.Splitmix.below rng m in
+    buckets.(s) <- e :: buckets.(s)
+  done;
+  let system =
+    Mkc_stream.Set_system.create ~n ~m ~sets:(Array.map Array.of_list buckets)
+  in
+  (* A certified k-cover: the k largest sets (a lower bound on OPT). *)
+  let by_size =
+    List.init m (fun i -> i)
+    |> List.sort (fun a b ->
+           compare (Mkc_stream.Set_system.set_size system b) (Mkc_stream.Set_system.set_size system a))
+  in
+  let planted_sets = List.filteri (fun i _ -> i < k) by_size in
+  {
+    system;
+    planted_sets;
+    planted_coverage = Mkc_stream.Set_system.coverage system planted_sets;
+  }

@@ -1,0 +1,52 @@
+(** Planted instances keyed to the paper's case analysis (Section 4).
+
+    The oracle of Figure 2 wins through different subroutines depending
+    on the instance:
+
+    - case I (many common elements)        → [LargeCommon], Figure 3;
+    - case II (few large sets carry OPT)   → [LargeSet], Figures 4/6/7;
+    - case III (many small sets carry OPT) → [SmallSet], Figure 5.
+
+    Each generator plants a known optimal solution so tests can compare
+    streaming estimates against a certified [OPT] without solving
+    NP-hard instances. *)
+
+type t = {
+  system : Mkc_stream.Set_system.t;
+  planted_sets : int list;  (** ids of the planted (near-)optimal k-cover *)
+  planted_coverage : int;  (** exact coverage of [planted_sets] *)
+}
+
+val planted :
+  n:int ->
+  m:int ->
+  num_planted:int ->
+  coverage_fraction:float ->
+  noise_size:int ->
+  ?noise_overlap:float ->
+  seed:int ->
+  unit ->
+  t
+(** Plant [num_planted] disjoint sets jointly covering
+    [coverage_fraction · n] elements (sizes as equal as possible); the
+    remaining [m - num_planted] noise sets each draw [noise_size]
+    elements, a fraction [noise_overlap] (default 0.5) of them from the
+    planted region and the rest from the uncovered region. The planted
+    sets are an optimal [num_planted]-cover by construction whenever
+    noise sets are smaller than planted ones. *)
+
+val few_large : n:int -> m:int -> k:int -> seed:int -> t
+(** Case II: [k] planted sets of size [n/(2k)] each — few sets, each
+    contributing a large fraction of OPT. *)
+
+val many_small : n:int -> m:int -> k:int -> seed:int -> t
+(** Case III: [k] planted sets, each tiny relative to OPT (use with
+    large [k]); noise sets are same-sized so the regime is genuinely
+    "many small sets". *)
+
+val common_heavy :
+  n:int -> m:int -> k:int -> beta:int -> seed:int -> t
+(** Case I: a block of [βk]-common elements — each appears in [~m/(βk)]
+    sets — dominating the optimum, so covering the common block with βk
+    random sets is near-optimal (Lemma 2.3).  [planted_sets] is a best
+    k-prefix of the planting. *)

@@ -1,0 +1,19 @@
+let uniform ~n ~m ~set_size ~seed =
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let sets =
+    Array.init m (fun _ ->
+        Array.init set_size (fun _ -> Mkc_hashing.Splitmix.below rng n))
+  in
+  Mkc_stream.Set_system.create ~n ~m ~sets
+
+let zipf_sizes ~n ~m ~max_size ~skew ~seed =
+  if max_size < 1 then invalid_arg "Random_inst.zipf_sizes: max_size must be >= 1";
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let size_dist = Zipf.create ~n:max_size ~s:skew ~seed:(Mkc_hashing.Splitmix.fork rng 0) in
+  let elt_dist = Zipf.create ~n ~s:skew ~seed:(Mkc_hashing.Splitmix.fork rng 1) in
+  let sets =
+    Array.init m (fun _ ->
+        let size = 1 + Zipf.sample size_dist in
+        Array.init size (fun _ -> Zipf.sample elt_dist))
+  in
+  Mkc_stream.Set_system.create ~n ~m ~sets

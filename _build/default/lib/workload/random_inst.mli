@@ -1,0 +1,12 @@
+(** Unstructured random set systems. *)
+
+val uniform :
+  n:int -> m:int -> set_size:int -> seed:int -> Mkc_stream.Set_system.t
+(** Each of the [m] sets draws [set_size] elements uniformly (with
+    replacement; duplicates collapse). *)
+
+val zipf_sizes :
+  n:int -> m:int -> max_size:int -> skew:float -> seed:int -> Mkc_stream.Set_system.t
+(** Set sizes follow a Zipf law over [\[1, max_size\]]; elements are
+    drawn from a Zipf law over the ground set, producing both skewed
+    set sizes and skewed element frequencies. *)

@@ -1,0 +1,15 @@
+(** Zipf (power-law) sampling.
+
+    Used to synthesize the skewed workloads that motivate maximum
+    coverage in the paper's introduction (information retrieval, data
+    mining): topic popularity and set sizes in real corpora are
+    heavy-tailed. *)
+
+type t
+
+val create : n:int -> s:float -> seed:Mkc_hashing.Splitmix.t -> t
+(** Distribution over [\[0, n)] with P(i) ∝ 1/(i+1)^s. [s >= 0]. *)
+
+val sample : t -> int
+val pmf : t -> int -> float
+val words : t -> int

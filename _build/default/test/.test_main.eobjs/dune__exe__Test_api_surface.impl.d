@@ -1,0 +1,1 @@
+test/test_api_surface.ml: Alcotest Array Filename Format Fun List Mkc_core Mkc_coverage Mkc_hashing Mkc_sketch Mkc_stream Mkc_workload String Sys

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Fun List Mkc_core Mkc_coverage Mkc_stream Mkc_workload

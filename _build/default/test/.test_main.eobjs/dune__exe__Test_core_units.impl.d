@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array Float Fun Hashtbl List Mkc_core Mkc_coverage Mkc_hashing Mkc_stream Mkc_workload Option Printf

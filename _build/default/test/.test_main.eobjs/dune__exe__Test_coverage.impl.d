@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Fun List Mkc_coverage Mkc_stream Mkc_workload

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Filename Float Format Fun Int64 List Mkc_core Mkc_coverage Mkc_hashing Mkc_lowerbound Mkc_sketch Mkc_stream Mkc_workload Option String Sys

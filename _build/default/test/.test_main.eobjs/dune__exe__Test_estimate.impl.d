@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Array Float List Mkc_core Mkc_coverage Mkc_hashing Mkc_stream Mkc_workload Printf

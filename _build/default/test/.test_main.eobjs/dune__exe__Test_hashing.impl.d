@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Fun Hashtbl Int64 List Mkc_hashing QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Mkc_lowerbound Mkc_stream Printf

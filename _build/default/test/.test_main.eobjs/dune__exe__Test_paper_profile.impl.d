@@ -1,0 +1,1 @@
+test/test_paper_profile.ml: Alcotest Array Float List Mkc_core Mkc_hashing Mkc_stream Mkc_workload

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Fun List Mkc_core Mkc_coverage Mkc_hashing Mkc_sketch Mkc_stream Mkc_workload Printf QCheck QCheck_alcotest

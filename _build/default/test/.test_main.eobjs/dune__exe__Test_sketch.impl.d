@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Float Hashtbl List Mkc_hashing Mkc_sketch Option QCheck QCheck_alcotest

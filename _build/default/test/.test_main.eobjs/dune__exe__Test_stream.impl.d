@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Array Filename Fun Mkc_stream Stdlib

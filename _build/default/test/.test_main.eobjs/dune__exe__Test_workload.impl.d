@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hashtbl List Mkc_coverage Mkc_hashing Mkc_stream Mkc_workload Option

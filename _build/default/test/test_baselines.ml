@@ -1,0 +1,144 @@
+(* Tests for the set-arrival baselines completing Table 1: swap-greedy
+   (Saha–Getoor-style) and threshold-greedy in sampled space
+   (McGregor–Vu-style). *)
+
+module Ss = Mkc_stream.Set_system
+module Sg = Mkc_coverage.Swap_greedy
+module Mva = Mkc_coverage.Mv_set_arrival
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let feed_sets feed state sys =
+  for i = 0 to Ss.m sys - 1 do
+    feed state i (Ss.set sys i)
+  done
+
+(* ---------- swap greedy ---------- *)
+
+let test_swap_greedy_fills_up () =
+  let sys =
+    Ss.create ~n:40 ~m:8 ~sets:(Array.init 8 (fun i -> Array.init 5 (fun j -> (5 * i) + j)))
+  in
+  let sg = Sg.create ~n:40 ~k:4 in
+  feed_sets Sg.feed sg sys;
+  let r = Sg.result sg in
+  checki "k disjoint sets -> 4 * 5 covered" 20 r.coverage;
+  checki "keeps k sets" 4 (List.length r.chosen)
+
+let test_swap_greedy_swaps_in_better () =
+  (* small sets first, then one giant set: it must be swapped in *)
+  let sg = Sg.create ~n:100 ~k:2 in
+  Sg.feed sg 0 [| 0 |];
+  Sg.feed sg 1 [| 1 |];
+  Sg.feed sg 2 (Array.init 50 (fun i -> 10 + i));
+  let r = Sg.result sg in
+  checkb "giant set swapped in" true (List.mem 2 r.chosen);
+  checkb "coverage includes the giant" true (r.coverage >= 50)
+
+let test_swap_greedy_constant_factor () =
+  for seed = 1 to 6 do
+    let sys = Mkc_workload.Random_inst.uniform ~n:300 ~m:60 ~set_size:20 ~seed:(40 + seed) in
+    let k = 5 in
+    let sg = Sg.create ~n:300 ~k in
+    feed_sets Sg.feed sg sys;
+    let r = Sg.result sg in
+    let opt_proxy = (Mkc_coverage.Greedy.run sys ~k).coverage in
+    (* the swap rule guarantees a constant factor; hold it to 4 like [37] *)
+    checkb "within factor 4 of greedy" true (4 * r.coverage >= opt_proxy);
+    checki "reported coverage is real" (Ss.coverage sys r.chosen) r.coverage
+  done
+
+let test_swap_greedy_ignores_empty_sets () =
+  let sg = Sg.create ~n:10 ~k:2 in
+  Sg.feed sg 0 [||];
+  Sg.feed sg 1 [| 3 |];
+  let r = Sg.result sg in
+  checkb "empty set not kept" true (not (List.mem 0 r.chosen));
+  checki "coverage" 1 r.coverage
+
+let test_swap_greedy_duplicate_members () =
+  let sg = Sg.create ~n:10 ~k:1 in
+  Sg.feed sg 0 [| 1; 1; 1; 2 |];
+  checki "duplicates collapse" 2 (Sg.result sg).coverage
+
+let test_swap_greedy_space_tracks_solution () =
+  let sg = Sg.create ~n:1000 ~k:3 in
+  Sg.feed sg 0 (Array.init 100 Fun.id);
+  Sg.feed sg 1 (Array.init 100 (fun i -> 200 + i));
+  checkb "words ~ stored members" true (Sg.words sg >= 200 && Sg.words sg < 300)
+
+(* ---------- McGregor–Vu set arrival ---------- *)
+
+let test_mv_set_arrival_planted () =
+  for seed = 1 to 4 do
+    let pl = Mkc_workload.Planted.few_large ~n:2048 ~m:128 ~k:4 ~seed:(50 + seed) in
+    let sys = pl.system in
+    let mva = Mva.create ~k:4 ~seed:(60 + seed) () in
+    feed_sets Mva.feed mva sys;
+    let r = Mva.result mva in
+    let true_cov = Ss.coverage sys r.Mva.chosen in
+    (* threshold greedy guarantees ~1/2; demand a factor 4 with sampling slack *)
+    checkb "within factor 4 of OPT" true (4 * true_cov >= pl.planted_coverage);
+    checkb "at most k sets" true (List.length r.Mva.chosen <= 4)
+  done
+
+let test_mv_set_arrival_estimate_sane () =
+  let pl = Mkc_workload.Planted.few_large ~n:2048 ~m:128 ~k:4 ~seed:70 in
+  let mva = Mva.create ~k:4 ~seed:71 () in
+  feed_sets Mva.feed mva pl.system;
+  let r = Mva.result mva in
+  checkb "scaled estimate within [OPT/4, 2.5 OPT]" true
+    (r.Mva.coverage >= float_of_int pl.planted_coverage /. 4.0
+    && r.Mva.coverage <= 2.5 *. float_of_int pl.planted_coverage)
+
+let test_mv_set_arrival_space_independent_of_n () =
+  (* same sets embedded in a tiny and a huge ground set: stored words
+     should be in the same ballpark (no Õ(n) bitmaps) *)
+  let mk n =
+    let pl = Mkc_workload.Planted.few_large ~n ~m:64 ~k:4 ~seed:80 in
+    let mva = Mva.create ~k:4 ~seed:81 () in
+    feed_sets Mva.feed mva pl.system;
+    Mva.words mva
+  in
+  let w_small = mk 1024 and w_big = mk 16384 in
+  checkb "space does not scale with n" true (w_big < 8 * max 1 w_small)
+
+let test_mv_set_arrival_validation () =
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Mv_set_arrival.create: epsilon must be in (0, 1]") (fun () ->
+      ignore (Mva.create ~epsilon:0.0 ~k:2 ()))
+
+(* set-arrival baselines vs the edge-arrival core, same instance *)
+let test_baselines_vs_streaming_consistency () =
+  let pl = Mkc_workload.Planted.few_large ~n:1024 ~m:128 ~k:4 ~seed:90 in
+  let sys = pl.system in
+  let opt = pl.planted_coverage in
+  (* all three should land within their guarantees of the same OPT *)
+  let sg = Sg.create ~n:1024 ~k:4 in
+  feed_sets Sg.feed sg sys;
+  checkb "swap-greedy in window" true (4 * (Sg.result sg).coverage >= opt);
+  let mva = Mva.create ~k:4 ~seed:91 () in
+  feed_sets Mva.feed mva sys;
+  checkb "mv in window" true
+    (4 * Ss.coverage sys (Mva.result mva).Mva.chosen >= opt);
+  let p = Mkc_core.Params.make ~m:128 ~n:1024 ~k:4 ~alpha:4.0 ~seed:92 () in
+  let rep = Mkc_core.Report.create p in
+  Array.iter (Mkc_core.Report.feed rep) (Ss.edge_stream ~seed:93 sys);
+  let streaming_cov = Ss.coverage sys (Mkc_core.Report.finalize rep).Mkc_core.Report.sets in
+  checkb "edge-arrival core within Õ(α)" true (64 * streaming_cov >= opt)
+
+let suite =
+  [
+    Alcotest.test_case "swap-greedy fills up" `Quick test_swap_greedy_fills_up;
+    Alcotest.test_case "swap-greedy swaps in better" `Quick test_swap_greedy_swaps_in_better;
+    Alcotest.test_case "swap-greedy constant factor" `Quick test_swap_greedy_constant_factor;
+    Alcotest.test_case "swap-greedy ignores empty" `Quick test_swap_greedy_ignores_empty_sets;
+    Alcotest.test_case "swap-greedy dedups members" `Quick test_swap_greedy_duplicate_members;
+    Alcotest.test_case "swap-greedy space" `Quick test_swap_greedy_space_tracks_solution;
+    Alcotest.test_case "mv planted" `Quick test_mv_set_arrival_planted;
+    Alcotest.test_case "mv estimate sane" `Quick test_mv_set_arrival_estimate_sane;
+    Alcotest.test_case "mv space independent of n" `Quick test_mv_set_arrival_space_independent_of_n;
+    Alcotest.test_case "mv validation" `Quick test_mv_set_arrival_validation;
+    Alcotest.test_case "baselines vs streaming" `Slow test_baselines_vs_streaming_consistency;
+  ]

@@ -1,0 +1,147 @@
+(* Tests for Section 5: the DSJ promise instances, the reduction to
+   Max 1-Cover (Claims 5.3/5.4), and the one-way protocol simulation. *)
+
+module Dsj = Mkc_lowerbound.Disjointness
+module Red = Mkc_lowerbound.Reduction
+module Proto = Mkc_lowerbound.Protocol
+module Ss = Mkc_stream.Set_system
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_generate_yes_valid () =
+  for seed = 1 to 10 do
+    let d = Dsj.generate ~r:8 ~m:256 ~case:Dsj.Yes ~seed () in
+    checkb "yes instance valid" true (Dsj.validate d)
+  done
+
+let test_generate_no_valid () =
+  for seed = 1 to 10 do
+    let d = Dsj.generate ~r:8 ~m:256 ~case:Dsj.No ~seed () in
+    checkb "no instance valid" true (Dsj.validate d);
+    checkb "planted item recorded" true (d.planted <> None)
+  done
+
+let test_generate_validation () =
+  Alcotest.check_raises "r < 2 rejected"
+    (Invalid_argument "Disjointness.generate: r must be >= 2") (fun () ->
+      ignore (Dsj.generate ~r:1 ~m:10 ~case:Dsj.Yes ~seed:0 ()))
+
+let test_claim_5_3_no_case () =
+  (* No instance: optimal 1-cover coverage = α (the planted item's set
+     covers every player element) *)
+  for seed = 1 to 5 do
+    let r = 6 in
+    let d = Dsj.generate ~r ~m:128 ~case:Dsj.No ~seed:(100 + seed) () in
+    let sys = Red.to_system d in
+    let best = ref 0 in
+    for j = 0 to 127 do
+      best := max !best (Ss.coverage sys [ j ])
+    done;
+    checki "Claim 5.3: optimal 1-cover = r" r !best
+  done
+
+let test_claim_5_4_yes_case () =
+  (* Yes instance: every set has cardinality <= 1 *)
+  for seed = 1 to 5 do
+    let d = Dsj.generate ~r:6 ~m:128 ~case:Dsj.Yes ~seed:(200 + seed) () in
+    let sys = Red.to_system d in
+    let best = ref 0 in
+    for j = 0 to 127 do
+      best := max !best (Ss.coverage sys [ j ])
+    done;
+    checki "Claim 5.4: optimal 1-cover = 1" 1 !best
+  done
+
+let test_stream_in_player_order () =
+  let d = Dsj.generate ~r:4 ~m:64 ~case:Dsj.Yes ~seed:7 () in
+  let stream = Red.to_stream d in
+  (* element ids (players) must be non-decreasing along the stream *)
+  let ok = ref true and last = ref 0 in
+  Array.iter
+    (fun (e : Mkc_stream.Edge.t) ->
+      if e.elt < !last then ok := false;
+      last := max !last e.elt)
+    stream;
+  checkb "player-major order" true !ok
+
+let test_player_boundaries () =
+  let d = Dsj.generate ~r:4 ~m:64 ~case:Dsj.Yes ~seed:8 () in
+  let bounds = Red.player_boundaries d in
+  checki "r boundaries" 4 (Array.length bounds);
+  checki "first at 0" 0 bounds.(0);
+  let sizes = Array.map Array.length d.players in
+  checki "second boundary after player 0" sizes.(0) bounds.(1)
+
+let test_exact_distinguisher_always_correct () =
+  for seed = 1 to 10 do
+    let case = if seed mod 2 = 0 then Dsj.Yes else Dsj.No in
+    let d = Dsj.generate ~r:8 ~m:256 ~case ~seed:(300 + seed) () in
+    let out = Proto.play d (Proto.exact_distinguisher ~m:256 ~r:8) in
+    checkb "exact distinguisher correct" true out.Proto.correct;
+    checkb "exact distinguisher pays Θ(m)" true (out.Proto.message_words >= 256)
+  done
+
+let test_coverage_distinguisher_mostly_correct () =
+  (* The paper's own estimator distinguishes Yes (OPT=1) from No (OPT=α)
+     whenever its approximation factor beats α.  With α=9 players the
+     practical-profile signals (α/3 vs the ~2 quantization floor)
+     separate cleanly; demand >= 85% success over 20 trials. *)
+  let alpha = 9.0 and r = 9 and m = 512 in
+  let correct = ref 0 and trials = 20 in
+  for t = 1 to trials do
+    let case = if t mod 2 = 0 then Dsj.Yes else Dsj.No in
+    let d = Dsj.generate ~r ~m ~case ~seed:(400 + t) () in
+    let out = Proto.play d (Proto.coverage_distinguisher ~m ~alpha ~seed:(500 + t) ()) in
+    if out.Proto.correct then incr correct
+  done;
+  checkb
+    (Printf.sprintf "coverage distinguisher correct %d/%d" !correct trials)
+    true
+    (!correct >= (17 * trials) / 20)
+
+let test_linf_distinguisher_correct () =
+  (* the §1 L∞/F2-sketch distinguisher: cheap and sharp on the promise gap *)
+  let alpha = 8.0 and r = 8 and m = 1024 in
+  let correct = ref 0 and trials = 20 and max_msg = ref 0 in
+  for t = 1 to trials do
+    let case = if t mod 2 = 0 then Dsj.Yes else Dsj.No in
+    let d = Dsj.generate ~r ~m ~case ~seed:(600 + t) () in
+    let out = Proto.play d (fun () -> Proto.linf_distinguisher ~m ~alpha ~seed:(700 + t) ()) in
+    if out.Proto.correct then incr correct;
+    max_msg := max !max_msg out.Proto.message_words
+  done;
+  checkb
+    (Printf.sprintf "linf distinguisher correct %d/%d" !correct trials)
+    true
+    (!correct >= (9 * trials) / 10);
+  (* space well below the exact Θ(m) distinguisher *)
+  checkb "message o(m)" true (!max_msg < m)
+
+let test_linf_space_scales_inverse_alpha_squared () =
+  let words alpha =
+    let d = Dsj.generate ~r:4 ~m:4096 ~case:Dsj.Yes ~seed:11 () in
+    (Proto.play d (fun () -> Proto.linf_distinguisher ~m:4096 ~alpha ~seed:12 ())).Proto.message_words
+  in
+  checkb "words decrease with alpha" true (words 4.0 > words 16.0)
+
+let test_protocol_message_words_positive () =
+  let d = Dsj.generate ~r:4 ~m:128 ~case:Dsj.No ~seed:9 () in
+  let out = Proto.play d (Proto.coverage_distinguisher ~m:128 ~alpha:4.0 ~seed:10 ()) in
+  checkb "message size measured" true (out.Proto.message_words > 0)
+
+let suite =
+  [
+    Alcotest.test_case "generate yes valid" `Quick test_generate_yes_valid;
+    Alcotest.test_case "generate no valid" `Quick test_generate_no_valid;
+    Alcotest.test_case "generate validation" `Quick test_generate_validation;
+    Alcotest.test_case "Claim 5.3 (No case)" `Quick test_claim_5_3_no_case;
+    Alcotest.test_case "Claim 5.4 (Yes case)" `Quick test_claim_5_4_yes_case;
+    Alcotest.test_case "stream in player order" `Quick test_stream_in_player_order;
+    Alcotest.test_case "player boundaries" `Quick test_player_boundaries;
+    Alcotest.test_case "exact distinguisher" `Quick test_exact_distinguisher_always_correct;
+    Alcotest.test_case "coverage distinguisher" `Slow test_coverage_distinguisher_mostly_correct;
+    Alcotest.test_case "linf distinguisher" `Quick test_linf_distinguisher_correct;
+    Alcotest.test_case "linf m/α² space" `Quick test_linf_space_scales_inverse_alpha_squared;
+    Alcotest.test_case "protocol message size" `Quick test_protocol_message_words_positive;
+  ]

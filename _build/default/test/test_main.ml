@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "maxkcover"
+    [
+      ("hashing", Test_hashing.suite);
+      ("sketch", Test_sketch.suite);
+      ("stream", Test_stream.suite);
+      ("workload", Test_workload.suite);
+      ("coverage", Test_coverage.suite);
+      ("baselines", Test_baselines.suite);
+      ("core-units", Test_core_units.suite);
+      ("estimate", Test_estimate.suite);
+      ("lowerbound", Test_lowerbound.suite);
+      ("paper-profile", Test_paper_profile.suite);
+      ("properties", Test_props.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("api-surface", Test_api_surface.suite);
+    ]

@@ -1,0 +1,82 @@
+(* The Paper profile instantiates Table 2's constants literally.  At
+   laptop scale its thresholds are mostly vacuous (that is the point of
+   the Practical profile), but the code paths must still run, respect
+   the space accounting, and never crash or overclaim.  These tests pin
+   that behavior and the documented relationships between the two
+   profiles. *)
+
+module Sm = Mkc_hashing.Splitmix
+module Ss = Mkc_stream.Set_system
+module P = Mkc_core.Params
+
+let checkb = Alcotest.(check bool)
+
+let small_instance seed = Mkc_workload.Planted.few_large ~n:512 ~m:256 ~k:8 ~seed
+
+let run_with profile sys ~k ~alpha ~seed =
+  let p = P.make ~m:(Ss.m sys) ~n:(Ss.n sys) ~k ~alpha ~profile ~seed () in
+  let est = Mkc_core.Estimate.create p in
+  Array.iter (Mkc_core.Estimate.feed est) (Ss.edge_stream ~seed:(seed + 1) sys);
+  (Mkc_core.Estimate.finalize est, Mkc_core.Estimate.words est)
+
+let test_paper_profile_runs () =
+  let pl = small_instance 1 in
+  let r, words = run_with P.Paper pl.system ~k:8 ~alpha:4.0 ~seed:2 in
+  checkb "terminates with a finite estimate" true
+    (Float.is_finite r.Mkc_core.Estimate.estimate);
+  checkb "estimate bounded by n" true (r.Mkc_core.Estimate.estimate <= 512.0);
+  checkb "space accounted" true (words > 0)
+
+let test_paper_profile_never_wild_overestimate () =
+  let pl = small_instance 3 in
+  let r, _ = run_with P.Paper pl.system ~k:8 ~alpha:4.0 ~seed:4 in
+  checkb "estimate <= 2 OPT" true
+    (r.Mkc_core.Estimate.estimate <= 2.0 *. float_of_int pl.planted_coverage)
+
+let test_paper_profile_uses_more_independence () =
+  let paper = P.make ~m:1024 ~n:1024 ~k:8 ~alpha:4.0 ~profile:P.Paper () in
+  let practical = P.make ~m:1024 ~n:1024 ~k:8 ~alpha:4.0 () in
+  checkb "paper indep >= practical indep" true (paper.indep >= practical.indep);
+  checkb "paper repeats >= practical repeats" true
+    (paper.oracle_repeats >= practical.oracle_repeats
+    && paper.z_repeats >= practical.z_repeats)
+
+let test_paper_profile_space_larger () =
+  (* more repeats, denser ladder, higher independence ⇒ more words *)
+  let words profile =
+    let p = P.make ~m:2048 ~n:2048 ~k:8 ~alpha:8.0 ~profile ~seed:5 () in
+    Mkc_core.Estimate.words (Mkc_core.Estimate.create p)
+  in
+  checkb "paper-profile state is larger" true (words P.Paper > words P.Practical)
+
+let test_paper_profile_thresholds_vacuous () =
+  (* document the calibration gap: with Table 2 constants at this scale,
+     σβ|U|/α < 1, i.e. the LargeCommon acceptance bar is below one
+     element — exactly why the practical profile exists *)
+  let p = P.make ~m:2048 ~n:2048 ~k:8 ~alpha:8.0 ~profile:P.Paper () in
+  checkb "sigma threshold below one element" true
+    (p.sigma *. float_of_int p.n /. p.alpha < 1.0)
+
+let test_profiles_share_formulas () =
+  (* s·α scales with w in both profiles *)
+  let s_alpha profile k alpha =
+    P.s_alpha (P.make ~m:4096 ~n:4096 ~k ~alpha ~profile ())
+  in
+  List.iter
+    (fun profile ->
+      checkb "sα grows with w = min(k, α)" true
+        (s_alpha profile 64 16.0 > s_alpha profile 64 4.0 *. 0.99))
+    [ P.Paper; P.Practical ]
+
+let suite =
+  [
+    Alcotest.test_case "paper profile runs" `Slow test_paper_profile_runs;
+    Alcotest.test_case "paper profile no overestimate" `Slow
+      test_paper_profile_never_wild_overestimate;
+    Alcotest.test_case "paper profile independence" `Quick
+      test_paper_profile_uses_more_independence;
+    Alcotest.test_case "paper profile space larger" `Quick test_paper_profile_space_larger;
+    Alcotest.test_case "paper thresholds vacuous at laptop scale" `Quick
+      test_paper_profile_thresholds_vacuous;
+    Alcotest.test_case "profiles share formulas" `Quick test_profiles_share_formulas;
+  ]

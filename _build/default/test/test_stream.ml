@@ -1,0 +1,155 @@
+(* Tests for the streaming substrate: edges, set systems, stream sources,
+   instance statistics. *)
+
+module Edge = Mkc_stream.Edge
+module Ss = Mkc_stream.Set_system
+module Src = Mkc_stream.Stream_source
+module Stats = Mkc_stream.Stats
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let tiny () =
+  (* U = {0..5}, F = { {0,1,2}, {2,3}, {4}, {} } *)
+  Ss.create ~n:6 ~m:4 ~sets:[| [| 0; 1; 2 |]; [| 2; 3 |]; [| 4 |]; [||] |]
+
+let test_edge_make_and_compare () =
+  let a = Edge.make ~set:1 ~elt:2 and b = Edge.make ~set:1 ~elt:3 in
+  checkb "ordering" true (Edge.compare a b < 0);
+  checkb "equality" true (Edge.equal a (Edge.make ~set:1 ~elt:2));
+  Alcotest.check_raises "negative ids rejected"
+    (Invalid_argument "Edge.make: ids must be non-negative") (fun () ->
+      ignore (Edge.make ~set:(-1) ~elt:0))
+
+let test_system_dedup () =
+  let s = Ss.create ~n:4 ~m:1 ~sets:[| [| 1; 1; 3; 3; 3; 0 |] |] in
+  checki "duplicates removed" 3 (Ss.set_size s 0);
+  checkb "sorted" true (Ss.set s 0 = [| 0; 1; 3 |])
+
+let test_system_validation () =
+  Alcotest.check_raises "element out of range"
+    (Invalid_argument "Set_system.create: element out of range") (fun () ->
+      ignore (Ss.create ~n:2 ~m:1 ~sets:[| [| 5 |] |]));
+  Alcotest.check_raises "wrong set count"
+    (Invalid_argument "Set_system.create: |sets| <> m") (fun () ->
+      ignore (Ss.create ~n:2 ~m:3 ~sets:[| [||] |]))
+
+let test_coverage () =
+  let s = tiny () in
+  checki "single set" 3 (Ss.coverage s [ 0 ]);
+  checki "overlapping union" 4 (Ss.coverage s [ 0; 1 ]);
+  checki "all sets" 5 (Ss.coverage s [ 0; 1; 2; 3 ]);
+  checki "empty selection" 0 (Ss.coverage s []);
+  checki "duplicate selection" 3 (Ss.coverage s [ 0; 0 ])
+
+let test_covered_indicator () =
+  let s = tiny () in
+  let mark = Ss.covered s [ 1 ] in
+  checkb "covers 2 and 3 only" true
+    (mark = [| false; false; true; true; false; false |])
+
+let test_frequencies () =
+  let s = tiny () in
+  checkb "frequency vector" true (Ss.frequencies s = [| 1; 1; 2; 1; 1; 0 |])
+
+let test_common_elements () =
+  let s = tiny () in
+  checki "threshold 2" 1 (Ss.common_elements s ~threshold:2);
+  checki "threshold 1" 5 (Ss.common_elements s ~threshold:1)
+
+let test_total_size_and_edges () =
+  let s = tiny () in
+  checki "total size" 6 (Ss.total_size s);
+  let es = Ss.edges s in
+  checki "edge count" 6 (Array.length es);
+  (* canonical order is set-major *)
+  checkb "first edge" true (Edge.equal es.(0) (Edge.make ~set:0 ~elt:0))
+
+let test_of_edges_roundtrip () =
+  let s = tiny () in
+  let s' = Ss.of_edges ~n:6 ~m:4 (Array.to_list (Ss.edges s)) in
+  for i = 0 to 3 do
+    checkb "sets preserved" true (Ss.set s i = Ss.set s' i)
+  done
+
+let test_edge_stream_is_permutation () =
+  let s = tiny () in
+  let sorted a =
+    let a = Array.copy a in
+    Array.sort Edge.compare a;
+    a
+  in
+  let canonical = sorted (Ss.edges s) in
+  let shuffled = sorted (Ss.edge_stream ~seed:42 s) in
+  checkb "same multiset of edges" true (canonical = shuffled)
+
+let test_edge_stream_seed_changes_order () =
+  let s =
+    Ss.create ~n:64 ~m:8 ~sets:(Array.init 8 (fun i -> Array.init 8 (fun j -> (8 * i) + j)))
+  in
+  let a = Ss.edge_stream ~seed:1 s and b = Ss.edge_stream ~seed:2 s in
+  checkb "different seeds shuffle differently" false (a = b)
+
+let test_stream_source_iter_fold () =
+  let s = tiny () in
+  let src = Src.of_system s in
+  checki "length" 6 (Src.length src);
+  let count = ref 0 in
+  Src.iter (fun _ -> incr count) src;
+  checki "iter visits all" 6 !count;
+  let total = Src.fold (fun acc (e : Edge.t) -> acc + e.elt) 0 src in
+  checki "fold over elements" (0 + 1 + 2 + 2 + 3 + 4) total
+
+let test_stream_source_save_load () =
+  let s = tiny () in
+  let src = Src.of_system ~seed:5 s in
+  let path = Filename.temp_file "mkc_stream" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Stdlib.Sys.remove path)
+    (fun () ->
+      Src.save src path;
+      let loaded = Src.load path in
+      checkb "roundtrip" true (Src.to_array src = Src.to_array loaded))
+
+let test_stream_source_max_ids () =
+  let src = Src.of_array [| Edge.make ~set:3 ~elt:9; Edge.make ~set:1 ~elt:0 |] in
+  checkb "max ids" true (Src.max_ids src = (4, 10))
+
+let test_stats_histogram () =
+  let s = tiny () in
+  checkb "histogram" true
+    (Stats.frequency_histogram s = [ (0, 1); (1, 4); (2, 1) ])
+
+let test_stats_ucmn () =
+  let s = tiny () in
+  (* m = 4; lambda = 2 -> threshold m/lambda = 2: one element (elt 2) *)
+  checki "ucmn λ=2" 1 (Stats.ucmn_size s ~lambda:2.0);
+  checki "max frequency" 2 (Stats.max_frequency s)
+
+let test_stats_contribution_profile () =
+  let s = tiny () in
+  let prof = Stats.contribution_profile s [ 0; 1; 2 ] in
+  checkb "disjoint contributions" true (prof = [| 3; 1; 1 |]);
+  (* contributions sum to the coverage *)
+  checki "sum = coverage" (Ss.coverage s [ 0; 1; 2 ]) (Array.fold_left ( + ) 0 prof)
+
+let suite =
+  [
+    Alcotest.test_case "edge make/compare" `Quick test_edge_make_and_compare;
+    Alcotest.test_case "system dedup" `Quick test_system_dedup;
+    Alcotest.test_case "system validation" `Quick test_system_validation;
+    Alcotest.test_case "coverage" `Quick test_coverage;
+    Alcotest.test_case "covered indicator" `Quick test_covered_indicator;
+    Alcotest.test_case "frequencies" `Quick test_frequencies;
+    Alcotest.test_case "common elements" `Quick test_common_elements;
+    Alcotest.test_case "total size / edges" `Quick test_total_size_and_edges;
+    Alcotest.test_case "of_edges roundtrip" `Quick test_of_edges_roundtrip;
+    Alcotest.test_case "edge stream is a permutation" `Quick test_edge_stream_is_permutation;
+    Alcotest.test_case "edge stream seed sensitivity" `Quick test_edge_stream_seed_changes_order;
+    Alcotest.test_case "stream source iter/fold" `Quick test_stream_source_iter_fold;
+    Alcotest.test_case "stream source save/load" `Quick test_stream_source_save_load;
+    Alcotest.test_case "stream source max_ids" `Quick test_stream_source_max_ids;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "stats ucmn / max freq" `Quick test_stats_ucmn;
+    Alcotest.test_case "stats contribution profile" `Quick test_stats_contribution_profile;
+  ]
