@@ -20,6 +20,7 @@ let registry =
     ("e9", Experiments.e9);
     ("e10", Experiments.e10);
     ("micro", Micro.run);
+    ("pipeline", Pipeline_bench.run);
   ]
 
 let () =

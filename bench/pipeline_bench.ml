@@ -1,0 +1,94 @@
+(* Ingestion-throughput micro-benchmark for the Sink/Pipeline layer.
+
+   Three ways to drive the same Estimate sink over a ~10^6-edge stream:
+     per-edge   Stream_source.iter + Sink.feed        (the old ingestion path)
+     batched    Stream_source.chunks + Sink.feed_batch (Pipeline.run)
+     parallel   Pipeline.feed_all_parallel over Estimate.shards
+
+   All three runs use identical params/seeds, so their finalized results
+   must be identical — the benchmark asserts this before reporting.
+   Results go to stdout and to BENCH_pipeline.json (machine-readable). *)
+
+module Ss = Mkc_stream.Set_system
+module P = Mkc_core.Params
+module E = Mkc_core.Estimate
+
+let json_out = "BENCH_pipeline.json"
+
+type timing = { mode : string; seconds : float; edges_per_sec : float }
+
+let time_ingest name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  (name, dt)
+
+let outcome_fingerprint (r : E.result) =
+  let witness =
+    match r.E.outcome with
+    | None -> []
+    | Some o -> List.sort compare (o.Mkc_core.Solution.witness ())
+  in
+  (r.E.estimate, r.E.z_guess, witness)
+
+let run () =
+  Exp_util.header "pipeline: per-edge vs batched vs domain-parallel ingestion";
+  let n = 65536 and m = 4096 and k = 32 and alpha = 8.0 and seed = 11 in
+  let sys = Mkc_workload.Random_inst.uniform ~n ~m ~set_size:256 ~seed in
+  let src = Mkc_stream.Stream_source.of_system ~seed:(seed + 1) sys in
+  let edges = Mkc_stream.Stream_source.length src in
+  let domains = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  Format.printf "stream: %d edges (n=%d, m=%d), k=%d, alpha=%g, %d domains@." edges n
+    m k alpha domains;
+  let params = P.make ~m ~n ~k ~alpha ~seed () in
+  let fresh () = E.create params in
+  let e_seq = fresh () and e_batch = fresh () and e_par = fresh () in
+  let timings =
+    [
+      time_ingest "per-edge" (fun () ->
+          Mkc_stream.Stream_source.iter (E.feed e_seq) src);
+      time_ingest "batched" (fun () ->
+          Mkc_stream.Stream_source.chunks
+            (fun a ~pos ~len -> E.feed_batch e_batch a ~pos ~len)
+            src);
+      time_ingest "parallel" (fun () ->
+          Mkc_stream.Pipeline.feed_all_parallel ~domains (E.shards e_par) src);
+    ]
+  in
+  let results = List.map (fun e -> outcome_fingerprint (E.finalize e)) [ e_seq; e_batch; e_par ] in
+  (match results with
+  | [ a; b; c ] ->
+      if a <> b || a <> c then failwith "pipeline bench: ingestion modes disagree!"
+  | _ -> assert false);
+  let (estimate, z_guess, _) = List.hd results in
+  Format.printf "all modes agree: estimate %.0f (z-guess %d)@." estimate z_guess;
+  let timings =
+    List.map
+      (fun (mode, seconds) ->
+        { mode; seconds; edges_per_sec = float_of_int edges /. seconds })
+      timings
+  in
+  List.iter
+    (fun t ->
+      Format.printf "  %-8s  %6.3fs  %10.0f edges/s@." t.mode t.seconds t.edges_per_sec)
+    timings;
+  let oc = open_out json_out in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"edges\": %d,\n  \"n\": %d,\n  \"m\": %d,\n  \"k\": %d,\n  \"alpha\": %g,\n  \"domains\": %d,\n  \"estimate\": %.0f,\n"
+       edges n m k alpha domains estimate);
+  Buffer.add_string b "  \"modes\": [\n";
+  List.iteri
+    (fun i t ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"mode\": %S, \"seconds\": %.6f, \"edges_per_sec\": %.0f }%s\n"
+           t.mode t.seconds t.edges_per_sec
+           (if i = List.length timings - 1 then "" else ",")))
+    timings;
+  Buffer.add_string b "  ]\n}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "wrote %s@." json_out

@@ -31,6 +31,28 @@ let profile_arg =
     & info [ "profile" ] ~docv:"PROFILE"
         ~doc:"Constant profile: $(b,practical) (calibrated) or $(b,paper) (Table 2 literal).")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Ingestion domains. With D > 1 the independent oracle instances are \
+           sharded across D domains; results are identical to a sequential run.")
+
+let chunk_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok v
+      | _ -> Error (`Msg "chunk size must be a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt pos_int Mkc_stream.Pipeline.default_chunk
+    & info [ "chunk" ] ~docv:"EDGES" ~doc:"Ingestion chunk size in edges.")
+
 let load_stream path =
   let src = Mkc_stream.Stream_source.load path in
   let m, n = Mkc_stream.Stream_source.max_ids src in
@@ -80,12 +102,18 @@ let generate_cmd =
 
 (* ---------- estimate ---------- *)
 
-let estimate path k alpha seed profile =
+let estimate path k alpha seed profile domains chunk =
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let est = Mkc_core.Estimate.create params in
-  Mkc_stream.Stream_source.iter (Mkc_core.Estimate.feed est) src;
-  let r = Mkc_core.Estimate.finalize est in
+  let r =
+    if domains > 1 then
+      Mkc_stream.Pipeline.run_parallel ~domains ~chunk
+        ~shards:(Mkc_core.Estimate.shards est)
+        ~finalize:(fun () -> Mkc_core.Estimate.finalize est)
+        src
+    else Mkc_stream.Pipeline.run ~chunk Mkc_core.Estimate.sink est src
+  in
   Format.printf "stream: %d pairs, m=%d, n=%d@." (Mkc_stream.Stream_source.length src) m n;
   Format.printf "estimated optimal %d-cover coverage: %.0f@." k r.Mkc_core.Estimate.estimate;
   (match r.Mkc_core.Estimate.outcome with
@@ -98,16 +126,24 @@ let estimate path k alpha seed profile =
 let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate" ~doc:"α-approximate coverage estimation (Theorem 3.1)")
-    Term.(const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg)
+    Term.(
+      const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
+      $ domains_arg $ chunk_arg)
 
 (* ---------- report ---------- *)
 
-let report path k alpha seed profile =
+let report path k alpha seed profile domains chunk =
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let rep = Mkc_core.Report.create params in
-  Mkc_stream.Stream_source.iter (Mkc_core.Report.feed rep) src;
-  let r = Mkc_core.Report.finalize rep in
+  let r =
+    if domains > 1 then
+      Mkc_stream.Pipeline.run_parallel ~domains ~chunk
+        ~shards:(Mkc_core.Report.shards rep)
+        ~finalize:(fun () -> Mkc_core.Report.finalize rep)
+        src
+    else Mkc_stream.Pipeline.run ~chunk Mkc_core.Report.sink rep src
+  in
   Format.printf "estimated coverage: %.0f@." r.Mkc_core.Report.estimate;
   (match r.Mkc_core.Report.provenance with
   | Some p -> Format.printf "via: %a@." Mkc_core.Solution.pp_provenance p
@@ -119,7 +155,9 @@ let report path k alpha seed profile =
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"α-approximate k-cover reporting (Theorem 3.2)")
-    Term.(const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg)
+    Term.(
+      const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
+      $ domains_arg $ chunk_arg)
 
 (* ---------- greedy ---------- *)
 

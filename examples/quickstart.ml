@@ -19,24 +19,31 @@ let () =
   (* The stream arrives as (set, element) pairs in adversarial order —
      here a pseudorandom shuffle. *)
   let stream = Ss.edge_stream ~seed:42 sys in
+  let src = Mkc_stream.Stream_source.of_array stream in
   Format.printf "streaming %d (set, element) pairs, single pass...@." (Array.length stream);
 
   (* 1. Estimation (Theorem 3.1): α-approximate optimal coverage size in
-     Õ(m/α²) space. *)
+     Õ(m/α²) space.  Create a sink, run the pipeline over the stream in
+     cache-friendly chunks, read the finalized result. *)
   let params = P.make ~m:(Ss.m sys) ~n:(Ss.n sys) ~k ~alpha ~seed:7 () in
   let est = Mkc_core.Estimate.create params in
-  Array.iter (Mkc_core.Estimate.feed est) stream;
-  let r = Mkc_core.Estimate.finalize est in
+  let r = Mkc_stream.Pipeline.run Mkc_core.Estimate.sink est src in
   Format.printf "estimated optimal coverage: %.0f  (space: %d words)@." r.Mkc_core.Estimate.estimate
     (Mkc_core.Estimate.words est);
   (match r.Mkc_core.Estimate.outcome with
   | Some o -> Format.printf "winning subroutine: %a@." Mkc_core.Solution.pp_provenance o.provenance
   | None -> ());
 
-  (* 2. Reporting (Theorem 3.2): an actual k-cover in Õ(m/α² + k) space. *)
+  (* 2. Reporting (Theorem 3.2): an actual k-cover in Õ(m/α² + k) space.
+     Same pipeline, different sink — here sharded across two domains
+     (the result is identical to a sequential run by construction). *)
   let rep = Mkc_core.Report.create params in
-  Array.iter (Mkc_core.Report.feed rep) stream;
-  let sol = Mkc_core.Report.finalize rep in
+  let sol =
+    Mkc_stream.Pipeline.run_parallel ~domains:2
+      ~shards:(Mkc_core.Report.shards rep)
+      ~finalize:(fun () -> Mkc_core.Report.finalize rep)
+      src
+  in
   let cov = Ss.coverage sys sol.Mkc_core.Report.sets in
   Format.printf "@.reported %d sets with true coverage %d@."
     (List.length sol.Mkc_core.Report.sets)

@@ -4,7 +4,11 @@ type body =
   | Trivial of { estimate : float; witness : unit -> int list }
   | Run of { insts : inst array }
 
-type t = { params : Params.t; body : body }
+type t = {
+  params : Params.t;
+  body : body;
+  mutable scratch : Mkc_stream.Edge.t array; (* reduced-edge buffer for feed_batch *)
+}
 
 type result = { estimate : float; outcome : Solution.outcome option; z_guess : int }
 
@@ -51,7 +55,7 @@ let create (p : Params.t) =
       Run { insts }
     end
   in
-  { params = p; body }
+  { params = p; body; scratch = [||] }
 
 let feed t e =
   match t.body with
@@ -59,6 +63,32 @@ let feed t e =
   | Run { insts } ->
       Array.iter
         (fun inst -> Oracle.feed inst.oracle (Universe_reduction.apply_edge inst.reduction e))
+        insts
+
+let reduce_chunk reduction scratch edges ~pos ~len =
+  for i = 0 to len - 1 do
+    scratch.(i) <- Universe_reduction.apply_edge reduction (Array.unsafe_get edges (pos + i))
+  done
+
+let grow scratch len =
+  if Array.length scratch >= len then scratch
+  else Array.make len (Mkc_stream.Edge.make ~set:0 ~elt:0)
+
+let feed_batch t edges ~pos ~len =
+  match t.body with
+  | Trivial _ -> ()
+  | Run { insts } ->
+      (* Instance-outer: each oracle instance reduces and consumes the
+         whole chunk before the next starts, so one instance's sketches
+         stay hot and the per-edge instance dispatch is paid once per
+         chunk.  Instances are mutually independent, so the final state
+         is exactly the edge-by-edge one. *)
+      t.scratch <- grow t.scratch len;
+      let scratch = t.scratch in
+      Array.iter
+        (fun inst ->
+          reduce_chunk inst.reduction scratch edges ~pos ~len;
+          Oracle.feed_batch inst.oracle scratch ~pos:0 ~len)
         insts
 
 let finalize t =
@@ -116,3 +146,49 @@ let words_breakdown t =
           List.iter (fun (k, w) -> bump k w) (Oracle.words_breakdown inst.oracle))
         insts;
       Hashtbl.fold (fun k w l -> (k, w) :: l) acc [] |> List.sort compare
+
+let sink : (t, result) Mkc_stream.Sink.sink =
+  (module struct
+    type nonrec t = t
+    type nonrec result = result
+
+    let feed = feed
+    let feed_batch = feed_batch
+    let finalize = finalize
+    let words = words
+    let words_breakdown = words_breakdown
+  end)
+
+(* One z-guess × repeat instance as an independently driveable sink —
+   the unit the parallel pipeline schedules.  Each shard owns a private
+   reduced-edge scratch buffer so shards never share mutable state. *)
+type shard = { inst : inst; mutable shard_scratch : Mkc_stream.Edge.t array }
+
+let shard_sink : (shard, unit) Mkc_stream.Sink.sink =
+  (module struct
+    type t = shard
+    type result = unit
+
+    let feed s e =
+      Oracle.feed s.inst.oracle (Universe_reduction.apply_edge s.inst.reduction e)
+
+    let feed_batch s edges ~pos ~len =
+      s.shard_scratch <- grow s.shard_scratch len;
+      reduce_chunk s.inst.reduction s.shard_scratch edges ~pos ~len;
+      Oracle.feed_batch s.inst.oracle s.shard_scratch ~pos:0 ~len
+
+    let finalize _ = ()
+    let words s = Universe_reduction.words s.inst.reduction + Oracle.words s.inst.oracle
+
+    let words_breakdown s =
+      ("universe-reduction", Universe_reduction.words s.inst.reduction)
+      :: Oracle.words_breakdown s.inst.oracle
+  end)
+
+let shards t =
+  match t.body with
+  | Trivial _ -> [||] (* the trivial branch ignores the stream *)
+  | Run { insts } ->
+      Array.map
+        (fun inst -> Mkc_stream.Sink.pack shard_sink { inst; shard_scratch = [||] })
+        insts

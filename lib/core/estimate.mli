@@ -22,6 +22,11 @@ type t
 val create : Params.t -> t
 val feed : t -> Mkc_stream.Edge.t -> unit
 
+val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** Chunked ingestion, equivalent to edge-by-edge {!feed}: the z-guess ×
+    repeat instances are driven instance-outer over each chunk, so the
+    per-edge fan-out dispatch is paid once per chunk. *)
+
 type result = {
   estimate : float;
   outcome : Solution.outcome option;
@@ -43,3 +48,16 @@ val words : t -> int
 val words_breakdown : t -> (string * int) list
 (** Words per component, summed over all parallel oracle instances:
     universe-reduction seeds, large-common, large-set, small-set. *)
+
+val sink : (t, result) Mkc_stream.Sink.sink
+(** The whole estimator as a single {!Mkc_stream.Sink}, for the
+    sequential {!Mkc_stream.Pipeline} drivers. *)
+
+val shards : t -> Mkc_stream.Sink.any array
+(** The z-ladder × repeats fan-out as a data-driven array of mutually
+    independent sinks — one per (guess, repeat) oracle instance, each
+    with a private scratch buffer.  Driving every shard over the full
+    stream (in any interleaving, e.g.
+    {!Mkc_stream.Pipeline.feed_all_parallel}) leaves this estimator in
+    exactly the state of edge-by-edge {!feed}; then {!finalize} as
+    usual.  Empty on the trivial branch, which ignores the stream. *)

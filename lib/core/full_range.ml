@@ -29,6 +29,11 @@ let feed t e =
   | Mv mv -> Mkc_coverage.Mcgregor_vu.feed mv e
   | Rep rep -> Report.feed rep e
 
+let feed_batch t edges ~pos ~len =
+  match t.body with
+  | Mv mv -> Mkc_coverage.Mcgregor_vu.feed_batch mv edges ~pos ~len
+  | Rep rep -> Report.feed_batch rep edges ~pos ~len
+
 let finalize t =
   match t.body with
   | Mv mv ->
@@ -46,3 +51,27 @@ let words t =
   match t.body with
   | Mv mv -> Mkc_coverage.Mcgregor_vu.words mv
   | Rep rep -> Report.words rep
+
+let words_breakdown t =
+  match t.body with
+  | Mv mv -> [ ("mcgregor-vu", Mkc_coverage.Mcgregor_vu.words mv) ]
+  | Rep rep ->
+      let module R = (val Report.sink) in
+      R.words_breakdown rep
+
+let shards t =
+  match t.body with
+  | Mv mv -> [| Mkc_stream.Sink.pack Mkc_coverage.Mcgregor_vu.sink mv |]
+  | Rep rep -> Report.shards rep
+
+let sink : (t, result) Mkc_stream.Sink.sink =
+  (module struct
+    type nonrec t = t
+    type nonrec result = result
+
+    let feed = feed
+    let feed_batch = feed_batch
+    let finalize = finalize
+    let words = words
+    let words_breakdown = words_breakdown
+  end)

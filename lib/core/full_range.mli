@@ -29,7 +29,19 @@ val create : Params.t -> t
 val engine : t -> engine
 val feed : t -> Mkc_stream.Edge.t -> unit
 
+val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** Chunked ingestion, equivalent to edge-by-edge {!feed} on whichever
+    engine is active. *)
+
 type result = { estimate : float; sets : int list; engine : engine }
 
 val finalize : t -> result
 val words : t -> int
+
+val sink : (t, result) Mkc_stream.Sink.sink
+(** The front-end as a {!Mkc_stream.Sink}. *)
+
+val shards : t -> Mkc_stream.Sink.any array
+(** Independent shards for {!Mkc_stream.Pipeline.feed_all_parallel}: the
+    sketching engine's oracle instances, or the single [34]-style
+    baseline in the constant-factor regime. *)

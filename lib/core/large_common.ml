@@ -30,6 +30,19 @@ let feed t (e : Mkc_stream.Edge.t) =
         Mkc_sketch.L0_bjkst.add t.sketches.(g) e.elt
       done
 
+let feed_batch t edges ~pos ~len =
+  let sampler = t.sampler and sketches = t.sketches in
+  let top = Array.length sketches - 1 in
+  for i = pos to pos + len - 1 do
+    let (e : Mkc_stream.Edge.t) = Array.unsafe_get edges i in
+    match Mkc_sketch.Sampler.Nested.min_keep_level sampler e.set with
+    | None -> ()
+    | Some finest ->
+        for g = finest to top do
+          Mkc_sketch.L0_bjkst.add sketches.(g) e.elt
+        done
+  done
+
 let beta_of_level g = 1 lsl g
 
 let coverage_estimates t =

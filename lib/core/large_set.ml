@@ -71,28 +71,39 @@ let in_sample rs e =
   | None -> true
   | Some s -> Mkc_sketch.Sampler.Bernoulli.keep s e
 
-let feed t (e : Mkc_stream.Edge.t) =
+let feed_repeat rs (e : Mkc_stream.Edge.t) =
+  if in_sample rs e.elt then begin
+    let sid = Superset_partition.superset_of rs.partition e.set in
+    Mkc_sketch.F2_contributing.add rs.cntr_small sid 1;
+    Mkc_sketch.F2_contributing.add rs.cntr_large sid 1;
+    if Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid then begin
+      let sketch =
+        match Hashtbl.find_opt rs.fallback sid with
+        | Some sk -> sk
+        | None ->
+            let sk =
+              Mkc_sketch.L0_bjkst.create
+                ~seed:(Mkc_hashing.Splitmix.fork rs.fallback_seed sid) ()
+            in
+            Hashtbl.replace rs.fallback sid sk;
+            sk
+      in
+      Mkc_sketch.L0_bjkst.add sketch e.elt
+    end
+  end
+
+let feed t e = Array.iter (fun rs -> feed_repeat rs e) t.repeats
+
+let feed_batch t edges ~pos ~len =
+  (* Repeat-outer: one repeat's samplers, partition, and counters stay
+     hot across the chunk; per-repeat edge order is unchanged, so the
+     state is exactly the edge-by-edge one. *)
+  let stop = pos + len - 1 in
   Array.iter
     (fun rs ->
-      if in_sample rs e.elt then begin
-        let sid = Superset_partition.superset_of rs.partition e.set in
-        Mkc_sketch.F2_contributing.add rs.cntr_small sid 1;
-        Mkc_sketch.F2_contributing.add rs.cntr_large sid 1;
-        if Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid then begin
-          let sketch =
-            match Hashtbl.find_opt rs.fallback sid with
-            | Some sk -> sk
-            | None ->
-                let sk =
-                  Mkc_sketch.L0_bjkst.create
-                    ~seed:(Mkc_hashing.Splitmix.fork rs.fallback_seed sid) ()
-                in
-                Hashtbl.replace rs.fallback sid sk;
-                sk
-          in
-          Mkc_sketch.L0_bjkst.add sketch e.elt
-        end
-      end)
+      for i = pos to stop do
+        feed_repeat rs (Array.unsafe_get edges i)
+      done)
     t.repeats
 
 let thresholds t = (t.thr1, t.thr2)

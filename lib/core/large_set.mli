@@ -36,6 +36,11 @@ val create : Params.t -> w:int -> seed:Mkc_hashing.Splitmix.t -> t
     [sα ≥ 2k] and [α] otherwise. *)
 
 val feed : t -> Mkc_stream.Edge.t -> unit
+
+val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** Chunked ingestion, equivalent to edge-by-edge {!feed} (repeats are
+    driven repeat-outer for cache locality). *)
+
 val finalize : t -> Solution.outcome option
 val words : t -> int
 

@@ -26,6 +26,13 @@ let feed t e =
   Large_set.feed t.large_set e;
   Option.iter (fun ss -> Small_set.feed ss e) t.small_set
 
+let feed_batch t edges ~pos ~len =
+  (* Subroutine-outer: each subroutine's sketches stay hot across the
+     whole chunk instead of being revisited on every edge. *)
+  Large_common.feed_batch t.large_common edges ~pos ~len;
+  Large_set.feed_batch t.large_set edges ~pos ~len;
+  Option.iter (fun ss -> Small_set.feed_batch ss edges ~pos ~len) t.small_set
+
 let clamp (p : Params.t) outcome =
   (* No k-cover can exceed the universe size, so cap subroutine
      estimates at |U| — inverse-sampling scale-ups may overshoot. *)
@@ -51,3 +58,15 @@ let words_breakdown t =
   ]
 
 let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
+
+let sink : (t, Solution.outcome option) Mkc_stream.Sink.sink =
+  (module struct
+    type nonrec t = t
+    type result = Solution.outcome option
+
+    let feed = feed
+    let feed_batch = feed_batch
+    let finalize = finalize
+    let words = words
+    let words_breakdown = words_breakdown
+  end)

@@ -17,6 +17,11 @@ type t
 
 val create : Params.t -> seed:Mkc_hashing.Splitmix.t -> t
 val feed : t -> Mkc_stream.Edge.t -> unit
+
+val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** Chunked ingestion, equivalent to edge-by-edge {!feed}: each
+    subroutine consumes the whole chunk before the next starts. *)
+
 val finalize : t -> Solution.outcome option
 (** [None] ⇔ every subroutine reported infeasible. *)
 
@@ -29,3 +34,7 @@ val words : t -> int
 val words_breakdown : t -> (string * int) list
 (** Per-subroutine word counts — the E1 bench uses this to separate the
     α-dependent Õ(m/α²) mass from the Ω̃(1) floor. *)
+
+val sink : (t, Solution.outcome option) Mkc_stream.Sink.sink
+(** The oracle as a {!Mkc_stream.Sink} (one z-guess instance of the
+    {!Estimate} fan-out, or standalone). *)

@@ -8,6 +8,8 @@ type result = {
 
 let create (p : Params.t) = { k = p.k; engine = Estimate.create p }
 let feed t e = Estimate.feed t.engine e
+let feed_batch t edges ~pos ~len = Estimate.feed_batch t.engine edges ~pos ~len
+let shards t = Estimate.shards t.engine
 
 let truncate k sets =
   let rec take i = function [] -> [] | x :: rest -> if i >= k then [] else x :: take (i + 1) rest in
@@ -25,3 +27,15 @@ let finalize t =
       }
 
 let words t = Estimate.words t.engine + t.k
+
+let sink : (t, result) Mkc_stream.Sink.sink =
+  (module struct
+    type nonrec t = t
+    type nonrec result = result
+
+    let feed = feed
+    let feed_batch = feed_batch
+    let finalize = finalize
+    let words = words
+    let words_breakdown t = ("report-output", t.k) :: Estimate.words_breakdown t.engine
+  end)

@@ -18,6 +18,9 @@ type t
 val create : Params.t -> t
 val feed : t -> Mkc_stream.Edge.t -> unit
 
+val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** Chunked ingestion, equivalent to edge-by-edge {!feed}. *)
+
 type result = {
   estimate : float;  (** estimated coverage of the reported cover *)
   sets : int list;  (** at most k set ids *)
@@ -26,3 +29,11 @@ type result = {
 
 val finalize : t -> result
 val words : t -> int
+
+val sink : (t, result) Mkc_stream.Sink.sink
+(** The reporter as a {!Mkc_stream.Sink}. *)
+
+val shards : t -> Mkc_stream.Sink.any array
+(** The underlying estimator's independent oracle instances, for
+    {!Mkc_stream.Pipeline.feed_all_parallel}; see
+    {!Estimate.shards}. *)

@@ -84,20 +84,29 @@ let add_pair t inst set elt =
     end
   end
 
-let feed t (e : Mkc_stream.Edge.t) =
+let feed_repeat t rs (e : Mkc_stream.Edge.t) =
+  match Mkc_sketch.Sampler.Nested.min_keep_level rs.elem_sampler e.elt with
+  | None -> ()
+  | Some min_lvl ->
+      if in_m rs e.set then begin
+        (* Element survives at levels >= min_lvl, i.e. guesses
+           g <= (guesses - 1) - min_lvl. *)
+        let top_guess = t.guesses - 1 - min_lvl in
+        for g = 0 to top_guess do
+          add_pair t rs.instances.(g) e.set e.elt
+        done
+      end
+
+let feed t e = Array.iter (fun rs -> feed_repeat t rs e) t.repeats
+
+let feed_batch t edges ~pos ~len =
+  (* Repeat-outer chunked ingestion; per-repeat edge order unchanged. *)
+  let stop = pos + len - 1 in
   Array.iter
     (fun rs ->
-      match Mkc_sketch.Sampler.Nested.min_keep_level rs.elem_sampler e.elt with
-      | None -> ()
-      | Some min_lvl ->
-          if in_m rs e.set then begin
-            (* Element survives at levels >= min_lvl, i.e. guesses
-               g <= (guesses - 1) - min_lvl. *)
-            let top_guess = t.guesses - 1 - min_lvl in
-            for g = 0 to top_guess do
-              add_pair t rs.instances.(g) e.set e.elt
-            done
-          end)
+      for i = pos to stop do
+        feed_repeat t rs (Array.unsafe_get edges i)
+      done)
     t.repeats
 
 let elem_rate t gamma_exp =

@@ -48,28 +48,38 @@ let create ~m ~n ~k ?(epsilon = 0.5) ?(seed = 1) () =
 let rate_of g =
   match g.sampler with None -> 1.0 | Some s -> Mkc_sketch.Sampler.Bernoulli.rate s
 
-let feed t (e : Mkc_stream.Edge.t) =
+let feed_guess t g (e : Mkc_stream.Edge.t) =
+  if not g.dead then begin
+    let keep =
+      match g.sampler with
+      | None -> true
+      | Some s -> Mkc_sketch.Sampler.Bernoulli.keep s e.elt
+    in
+    if keep then begin
+      (match Hashtbl.find_opt g.store e.set with
+      | Some members -> members := e.elt :: !members
+      | None -> Hashtbl.replace g.store e.set (ref [ e.elt ]));
+      g.pairs <- g.pairs + 1;
+      if g.pairs > t.cap then begin
+        (* this guess of OPT was too small: its sample is too dense *)
+        g.dead <- true;
+        Hashtbl.reset g.store;
+        g.pairs <- 0
+      end
+    end
+  end
+
+let feed t e = List.iter (fun g -> feed_guess t g e) t.guesses
+
+let feed_batch t edges ~pos ~len =
+  (* Guess-outer: one guess's sampler and store stay hot across the
+     chunk; per-guess edge order is unchanged. *)
+  let stop = pos + len - 1 in
   List.iter
     (fun g ->
-      if not g.dead then begin
-        let keep =
-          match g.sampler with
-          | None -> true
-          | Some s -> Mkc_sketch.Sampler.Bernoulli.keep s e.elt
-        in
-        if keep then begin
-          (match Hashtbl.find_opt g.store e.set with
-          | Some members -> members := e.elt :: !members
-          | None -> Hashtbl.replace g.store e.set (ref [ e.elt ]));
-          g.pairs <- g.pairs + 1;
-          if g.pairs > t.cap then begin
-            (* this guess of OPT was too small: its sample is too dense *)
-            g.dead <- true;
-            Hashtbl.reset g.store;
-            g.pairs <- 0
-          end
-        end
-      end)
+      for i = pos to stop do
+        feed_guess t g (Array.unsafe_get edges i)
+      done)
     t.guesses
 
 let finalize t =
@@ -97,3 +107,15 @@ let finalize t =
   { !best with words }
 
 let words t = List.fold_left (fun acc g -> acc + (2 * g.pairs) + 4) 0 t.guesses
+
+let sink : (t, result) Mkc_stream.Sink.sink =
+  (module struct
+    type nonrec t = t
+    type nonrec result = result
+
+    let feed = feed
+    let feed_batch = feed_batch
+    let finalize = finalize
+    let words = words
+    let words_breakdown t = [ ("mcgregor-vu", words t) ]
+  end)

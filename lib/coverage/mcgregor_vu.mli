@@ -23,8 +23,17 @@ val create :
 (** Default ε = 0.5, seed 1. *)
 
 val feed : t -> Mkc_stream.Edge.t -> unit
+
+val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** Chunked ingestion, equivalent to edge-by-edge {!feed} (guesses are
+    driven guess-outer for cache locality). *)
+
 val finalize : t -> result
 (** [coverage] is the scaled estimate of the reported cover's coverage;
     [chosen] has at most k set ids. *)
 
 val words : t -> int
+
+val sink : (t, result) Mkc_stream.Sink.sink
+(** The baseline as a {!Mkc_stream.Sink}, for the {!Mkc_stream.Pipeline}
+    drivers and the {!Mkc_core.Full_range} front-end. *)

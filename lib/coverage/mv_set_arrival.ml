@@ -105,3 +105,9 @@ let words t =
   Hashtbl.fold
     (fun _ g acc -> acc + Hashtbl.length g.covered + g.picked + 4)
     t.guesses 0
+
+let edge_sink t =
+  Mkc_stream.Sink.Set_arrival.create
+    ~feed_set:(fun id members -> feed t id members)
+    ~finalize:(fun () -> result t)
+    ~words:(fun () -> words t)

@@ -24,3 +24,10 @@ val create : ?epsilon:float -> ?seed:int -> k:int -> unit -> t
 val feed : t -> int -> int array -> unit
 val result : t -> result
 val words : t -> int
+
+val edge_sink : t -> result Mkc_stream.Sink.Set_arrival.t
+(** The threshold-greedy baseline as an edge sink via the set-arrival
+    adapter: drive it with [Mkc_stream.Sink.Set_arrival.sink ()] over a
+    stream whose edges arrive grouped by set (e.g. the canonical
+    set-major order).  On any other order the adapter re-feeds fragments
+    of a set as separate arrivals. *)

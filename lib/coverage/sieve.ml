@@ -100,3 +100,9 @@ let result t =
 
 let words t =
   Hashtbl.fold (fun _ g acc -> acc + ((t.n + 7) / 8) + g.picked + 3) t.guesses 0
+
+let edge_sink t =
+  Mkc_stream.Sink.Set_arrival.create
+    ~feed_set:(fun id members -> feed t id members)
+    ~finalize:(fun () -> result t)
+    ~words:(fun () -> words t)

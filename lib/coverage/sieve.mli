@@ -21,3 +21,11 @@ val feed : t -> int -> int array -> unit
 
 val result : t -> Greedy.result
 val words : t -> int
+
+val edge_sink : t -> Greedy.result Mkc_stream.Sink.Set_arrival.t
+(** The sieve as an edge sink via the set-arrival adapter: drive it with
+    [Mkc_stream.Sink.Set_arrival.sink ()] over a stream whose edges
+    arrive grouped by set (e.g. the canonical set-major order).  On any
+    other order the adapter re-feeds fragments of a set as separate
+    arrivals — which is exactly the failure the paper's edge-arrival
+    model exposes. *)

@@ -30,6 +30,19 @@ let add t i delta =
     t.counters.(r).(b) <- t.counters.(r).(b) + (sign t.signs.(r) i * delta)
   done
 
+let add_batch t ids ~pos ~len ~delta =
+  (* Row-outer loop: one row's bucket/sign hashes and counter array stay
+     hot across the whole chunk.  Per-bucket integer additions commute,
+     so the final counters equal per-item [add]'s. *)
+  for r = 0 to t.depth - 1 do
+    let bh = t.buckets.(r) and sh = t.signs.(r) and row = t.counters.(r) in
+    for i = pos to pos + len - 1 do
+      let x = Array.unsafe_get ids i in
+      let b = Mkc_hashing.Pairwise.hash bh x in
+      row.(b) <- row.(b) + (sign sh x * delta)
+    done
+  done
+
 let estimate t i =
   let ests =
     Array.init t.depth (fun r ->

@@ -42,6 +42,20 @@ let add t i delta =
         F2_heavy_hitter.add t.hhs.(lvl) i delta
       done
 
+let add_batch t ids ~pos ~len ~delta =
+  (* Batched path: sampler and level array hoisted; each item still
+     decides all its levels with one hash evaluation. *)
+  let sampler = t.sampler and hhs = t.hhs and levels = t.num_levels in
+  for i = pos to pos + len - 1 do
+    let x = Array.unsafe_get ids i in
+    match Sampler.Nested.min_keep_level sampler x with
+    | None -> ()
+    | Some min_nested ->
+        for lvl = 0 to levels - 1 - min_nested do
+          F2_heavy_hitter.add hhs.(lvl) x delta
+        done
+  done
+
 let dedup hits =
   let best = Hashtbl.create 16 in
   List.iter

@@ -39,6 +39,10 @@ val add : t -> int -> int -> unit
 (** [add t i delta]: feed an update for coordinate [i]; each level
     processes it iff [i] survives that level's subsampling. *)
 
+val add_batch : t -> int array -> pos:int -> len:int -> delta:int -> unit
+(** [add_batch t ids ~pos ~len ~delta] ≡ per-item [add] over the chunk
+    with the per-call dispatch hoisted out of the loop. *)
+
 val hits : t -> hit list
 (** One or more candidates per level that passed the per-level φ-heavy
     test, deduplicated by coordinate (keeping the largest frequency

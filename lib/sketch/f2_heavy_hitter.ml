@@ -40,6 +40,19 @@ let add t i delta =
   | None -> Hashtbl.replace t.counts i (ref delta));
   if Hashtbl.length t.counts > 2 * t.cap then prune t
 
+let add_batch t ids ~pos ~len ~delta =
+  (* The CountSketch half is commutative, so it takes the row-outer
+     batched path; the exact-counter half replays the chunk in order so
+     candidate tracking and pruning behave exactly as per-item [add]. *)
+  Count_sketch.add_batch t.cs ids ~pos ~len ~delta;
+  for i = pos to pos + len - 1 do
+    let x = Array.unsafe_get ids i in
+    (match Hashtbl.find_opt t.counts x with
+    | Some c -> c := !c + delta
+    | None -> Hashtbl.replace t.counts x (ref delta));
+    if Hashtbl.length t.counts > 2 * t.cap then prune t
+  done
+
 let candidates t =
   if Hashtbl.length t.counts > t.cap then prune t;
   (* The CountSketch estimate of a light coordinate can be inflated by

@@ -36,6 +36,10 @@ val add : t -> int -> int -> unit
 (** [add t i delta]. The heavy-hitter applications in this paper are
     insertion-only ([delta ≥ 1]). *)
 
+val add_batch : t -> int array -> pos:int -> len:int -> delta:int -> unit
+(** [add_batch t ids ~pos ~len ~delta] ≡ per-item [add] over the chunk;
+    the CountSketch rows are updated row-outer. *)
+
 val hits : t -> hit list
 (** Candidates whose estimated frequency passes the φ·F̂2 test,
     sorted by decreasing frequency. *)

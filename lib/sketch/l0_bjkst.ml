@@ -37,6 +37,19 @@ let add t x =
     end
   end
 
+let add_batch t xs ~pos ~len =
+  (* Batched fast path: one monomorphic loop, hash/level state hoisted
+     out; pruning still triggers exactly as in edge-by-edge [add]. *)
+  let tab = t.tab and buf = t.buf in
+  for i = pos to pos + len - 1 do
+    let h = Mkc_hashing.Tabulation.hash64 tab (Array.unsafe_get xs i) in
+    let lvl = trailing_zeros h in
+    if lvl >= t.z && not (Hashtbl.mem buf h) then begin
+      Hashtbl.replace buf h lvl;
+      prune t
+    end
+  done
+
 let estimate t = float_of_int (Hashtbl.length t.buf) *. Float.pow 2.0 (float_of_int t.z)
 let level t = t.z
 let words t = Space.hashtbl t.buf ~entry_words:2 + Mkc_hashing.Tabulation.words t.tab + 2

@@ -17,6 +17,11 @@ val create : ?cap:int -> seed:Mkc_hashing.Splitmix.t -> unit -> t
     ε = 1/2). *)
 
 val add : t -> int -> unit
+
+val add_batch : t -> int array -> pos:int -> len:int -> unit
+(** [add_batch t xs ~pos ~len] ≡ [add] over [xs.(pos .. pos+len-1)],
+    with the per-call dispatch hoisted out of the loop. *)
+
 val estimate : t -> float
 val level : t -> int
 (** Current sampling level [z] (diagnostic). *)

@@ -1,0 +1,42 @@
+let default_chunk = 8192
+
+let run_seq (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
+  Stream_source.iter (M.feed sink) src;
+  M.finalize sink
+
+let run ?(chunk = default_chunk) (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
+  Stream_source.chunks ~chunk (fun edges ~pos ~len -> M.feed_batch sink edges ~pos ~len) src;
+  M.finalize sink
+
+let feed_all ?(chunk = default_chunk) sinks src =
+  Stream_source.chunks ~chunk
+    (fun edges ~pos ~len ->
+      Array.iter (fun s -> Sink.Any.feed_batch s edges ~pos ~len) sinks)
+    src
+
+let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
+  let domains =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  let domains = min domains (Array.length sinks) in
+  if domains <= 1 then feed_all ~chunk sinks src
+  else begin
+    (* Round-robin sharding: sink i belongs to domain (i mod domains).
+       Each domain drives only its own sinks, over the shared read-only
+       stream, so no two domains ever touch the same mutable state. *)
+    let group g =
+      let mine = ref [] in
+      Array.iteri (fun i s -> if i mod domains = g then mine := s :: !mine) sinks;
+      Array.of_list (List.rev !mine)
+    in
+    let workers =
+      Array.init domains (fun g ->
+          let mine = group g in
+          Domain.spawn (fun () -> feed_all ~chunk mine src))
+    in
+    Array.iter Domain.join workers
+  end
+
+let run_parallel ?domains ?chunk ~shards ~finalize src =
+  feed_all_parallel ?domains ?chunk shards src;
+  finalize ()

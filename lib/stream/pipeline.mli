@@ -1,0 +1,58 @@
+(** Drivers that push an edge stream through {!Sink}s.
+
+    Three ingestion modes, all observationally identical on any fixed
+    set of sinks (same seeds ⇒ bit-for-bit the same results):
+
+    - {!run_seq} — one edge at a time, the literal streaming model;
+    - {!run} / {!feed_all} — batched: the stream is cut into
+      cache-friendly chunks and handed to [feed_batch], paying the
+      per-edge dispatch once per chunk;
+    - {!feed_all_parallel} / {!run_parallel} — batched AND sharded:
+      mutually independent sinks (e.g. {!Mkc_core.Estimate.shards}'s
+      z-guess × repeat oracle instances) are distributed round-robin
+      over OCaml 5 domains, each domain driving its sinks through the
+      whole (shared, read-only) stream.
+
+    Determinism of the parallel driver: every sink is owned by exactly
+    one domain and sees the full stream in order, and no state is
+    shared between sinks, so the final state of each sink — and hence
+    any finalize result — is identical to the sequential drivers'.
+    Parallelism changes wall-clock only, never output. *)
+
+val default_chunk : int
+(** 8192 edges — two pages of edge records; chosen so a chunk plus a
+    hot sketch fits in L2. *)
+
+val run_seq : ('s, 'r) Sink.sink -> 's -> Stream_source.t -> 'r
+(** Feed edge-by-edge, then finalize.  The reference driver batched
+    modes are tested against. *)
+
+val run : ?chunk:int -> ('s, 'r) Sink.sink -> 's -> Stream_source.t -> 'r
+(** Feed in chunks via [feed_batch], then finalize. *)
+
+val feed_all : ?chunk:int -> Sink.any array -> Stream_source.t -> unit
+(** Drive several sinks through one pass, chunk by chunk (all sinks see
+    chunk [i] before any sees chunk [i+1]).  Finalization is the
+    caller's: packed sinks share state with the typed handles used to
+    build them. *)
+
+val feed_all_parallel :
+  ?domains:int -> ?chunk:int -> Sink.any array -> Stream_source.t -> unit
+(** Like {!feed_all}, but the sinks are sharded round-robin across
+    [domains] OCaml domains (default
+    [Domain.recommended_domain_count ()], capped by the number of
+    sinks).  Requires the sinks to be pairwise independent — no shared
+    mutable state — which holds for all shard arrays exposed by this
+    library.  With [domains <= 1] this is exactly {!feed_all}. *)
+
+val run_parallel :
+  ?domains:int ->
+  ?chunk:int ->
+  shards:Sink.any array ->
+  finalize:(unit -> 'r) ->
+  Stream_source.t ->
+  'r
+(** [run_parallel ~shards ~finalize src]: {!feed_all_parallel} the
+    shards, then call [finalize] (which typically finalizes the typed
+    handle the shards were derived from, e.g.
+    [Estimate.finalize est] after driving [Estimate.shards est]). *)

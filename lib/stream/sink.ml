@@ -1,0 +1,81 @@
+module type S = sig
+  type t
+  type result
+
+  val feed : t -> Edge.t -> unit
+  val feed_batch : t -> Edge.t array -> pos:int -> len:int -> unit
+  val finalize : t -> result
+  val words : t -> int
+  val words_breakdown : t -> (string * int) list
+end
+
+type ('s, 'r) sink = (module S with type t = 's and type result = 'r)
+type any = Any : ('s, 'r) sink * 's -> any
+
+let pack m s = Any (m, s)
+
+module Any = struct
+  let feed (Any ((module M), s)) e = M.feed s e
+  let feed_batch (Any ((module M), s)) edges ~pos ~len = M.feed_batch s edges ~pos ~len
+  let words (Any ((module M), s)) = M.words s
+  let words_breakdown (Any ((module M), s)) = M.words_breakdown s
+end
+
+let batch_by_feed feed s edges ~pos ~len =
+  for i = pos to pos + len - 1 do
+    feed s edges.(i)
+  done
+
+module Set_arrival = struct
+  type 'r t = {
+    feed_set : int -> int array -> unit;
+    fin : unit -> 'r;
+    words_of : unit -> int;
+    mutable cur : int; (* current set id; -1 = no open set *)
+    mutable buf : int array;
+    mutable len : int;
+  }
+
+  let create ~feed_set ~finalize ~words =
+    { feed_set; fin = finalize; words_of = words; cur = -1; buf = Array.make 16 0; len = 0 }
+
+  let flush t =
+    if t.cur >= 0 then t.feed_set t.cur (Array.sub t.buf 0 t.len);
+    t.cur <- -1;
+    t.len <- 0
+
+  let push t elt =
+    if t.len = Array.length t.buf then begin
+      let bigger = Array.make (2 * t.len) 0 in
+      Array.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    t.buf.(t.len) <- elt;
+    t.len <- t.len + 1
+
+  let feed t (e : Edge.t) =
+    if e.set <> t.cur then begin
+      flush t;
+      t.cur <- e.set
+    end;
+    push t e.elt
+
+  let feed_batch t edges ~pos ~len = batch_by_feed feed t edges ~pos ~len
+  let finalize t =
+    flush t;
+    t.fin ()
+
+  let words t = t.words_of ()
+
+  let sink (type r) () : (r t, r) sink =
+    (module struct
+      type nonrec t = r t
+      type result = r
+
+      let feed = feed
+      let feed_batch = feed_batch
+      let finalize = finalize
+      let words = words
+      let words_breakdown t = [ ("set-arrival-adapter", words t) ]
+    end)
+end

@@ -1,0 +1,97 @@
+(** The one streaming interface every single-pass consumer implements.
+
+    A sink is created fully parameterized (all randomness fixed by
+    seeds), then driven through the edge stream — one edge at a time
+    ({!S.feed}) or a cache-friendly chunk at a time ({!S.feed_batch}) —
+    and finally collapsed into its result ({!S.finalize}).  The two
+    driving modes are REQUIRED to be observationally equivalent: for
+    any split of the stream into chunks, [feed_batch] must leave the
+    sink in exactly the state that edge-by-edge [feed] would
+    ({!Pipeline} and the test suite rely on this).
+
+    Implementations live next to their algorithms (e.g.
+    {!Mkc_core.Estimate.sink}); this module only fixes the shape and
+    provides the packing/adaptation glue:
+
+    - [('s, 'r) sink] — a first-class module pairing a state type with
+      its result type;
+    - {!any} / {!Any} — the existential packing used to drive a
+      heterogeneous fleet of sinks over one stream (the unit of
+      scheduling for {!Pipeline.feed_all_parallel});
+    - {!Set_arrival} — an adapter running a set-arrival algorithm
+      (consume whole sets) on an edge stream whose edges arrive grouped
+      by set (the canonical set-major order). *)
+
+module type S = sig
+  type t
+  type result
+
+  val feed : t -> Edge.t -> unit
+  (** Consume one edge. *)
+
+  val feed_batch : t -> Edge.t array -> pos:int -> len:int -> unit
+  (** Consume [edges.(pos .. pos+len-1)] in order.  Must be equivalent
+      to [len] successive {!feed} calls; implementations restructure
+      the work (instance-outer loops, hoisted dispatch, batched sketch
+      updates) but never reorder updates to any single structure. *)
+
+  val finalize : t -> result
+  (** Collapse the sink.  Sinks are single-shot: feeding after
+      [finalize] is unspecified. *)
+
+  val words : t -> int
+  (** Retained 64-bit words (the space accounting of the paper). *)
+
+  val words_breakdown : t -> (string * int) list
+  (** [words] split by component, for the space experiments. *)
+end
+
+type ('s, 'r) sink = (module S with type t = 's and type result = 'r)
+(** A sink implementation as a first-class module: ['s] is the mutable
+    state, ['r] the finalize result. *)
+
+type any = Any : ('s, 'r) sink * 's -> any
+(** A sink with its result type hidden — the driveable unit.  Callers
+    that packed the sink keep the typed state and finalize through it
+    after driving. *)
+
+val pack : ('s, 'r) sink -> 's -> any
+
+(** Operations on packed sinks. *)
+module Any : sig
+  val feed : any -> Edge.t -> unit
+  val feed_batch : any -> Edge.t array -> pos:int -> len:int -> unit
+  val words : any -> int
+  val words_breakdown : any -> (string * int) list
+end
+
+val batch_by_feed :
+  ('s -> Edge.t -> unit) -> 's -> Edge.t array -> pos:int -> len:int -> unit
+(** Default [feed_batch] for implementations with no batched fast path:
+    a plain loop over [feed]. *)
+
+(** Run a set-arrival algorithm (e.g. {!Mkc_coverage.Sieve},
+    {!Mkc_coverage.Mv_set_arrival}) as an edge sink.
+
+    Buffers the members of the current set and hands the completed set
+    to [feed_set] when the set id changes (or at finalize), so it is
+    only faithful on streams where each set's edges arrive
+    contiguously — exactly the set-arrival orders those baselines
+    require.  This is the adapter the baseline comparisons use to share
+    the {!Pipeline} drivers with the edge-arrival algorithms. *)
+module Set_arrival : sig
+  type 'r t
+
+  val create :
+    feed_set:(int -> int array -> unit) ->
+    finalize:(unit -> 'r) ->
+    words:(unit -> int) ->
+    'r t
+
+  val feed : 'r t -> Edge.t -> unit
+  val feed_batch : 'r t -> Edge.t array -> pos:int -> len:int -> unit
+  val finalize : 'r t -> 'r
+
+  val sink : unit -> ('r t, 'r) sink
+  (** The first-class module instance over this adapter. *)
+end

@@ -7,12 +7,44 @@ let iter = Array.iter
 let fold f init t = Array.fold_left f init t
 let to_array = Array.copy
 
+let chunks ?(chunk = 8192) f t =
+  if chunk < 1 then invalid_arg "Stream_source.chunks: chunk must be >= 1";
+  let n = Array.length t in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    f t ~pos:!pos ~len;
+    pos := !pos + len
+  done
+
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Array.iter (fun (e : Edge.t) -> Printf.fprintf oc "%d %d\n" e.set e.elt) t)
+
+let is_ws = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false
+
+(* Tokenize on runs of whitespace, so tab-separated files, doubled
+   spaces, and trailing blanks all load. *)
+let split_ws line =
+  let n = String.length line in
+  let toks = ref [] and i = ref 0 in
+  while !i < n do
+    while !i < n && is_ws line.[!i] do
+      incr i
+    done;
+    if !i < n then begin
+      let j = ref !i in
+      while !j < n && not (is_ws line.[!j]) do
+        incr j
+      done;
+      toks := String.sub line !i (!j - !i) :: !toks;
+      i := !j
+    end
+  done;
+  List.rev !toks
 
 let load path =
   let ic = open_in path in
@@ -23,10 +55,13 @@ let load path =
       (try
          while true do
            let line = input_line ic in
-           if String.trim line <> "" then
-             match String.split_on_char ' ' (String.trim line) with
-             | [ s; e ] -> acc := Edge.make ~set:(int_of_string s) ~elt:(int_of_string e) :: !acc
-             | _ -> failwith (Printf.sprintf "Stream_source.load: malformed line %S" line)
+           match split_ws line with
+           | [] -> ()
+           | [ s; e ] -> (
+               match (int_of_string_opt s, int_of_string_opt e) with
+               | Some s, Some e -> acc := Edge.make ~set:s ~elt:e :: !acc
+               | _ -> failwith (Printf.sprintf "Stream_source.load: malformed line %S" line))
+           | _ -> failwith (Printf.sprintf "Stream_source.load: malformed line %S" line)
          done
        with End_of_file -> ());
       Array.of_list (List.rev !acc))

@@ -14,6 +14,13 @@ val of_system : ?seed:int -> Set_system.t -> t
 val length : t -> int
 val iter : (Edge.t -> unit) -> t -> unit
 val fold : ('a -> Edge.t -> 'a) -> 'a -> t -> 'a
+
+val chunks : ?chunk:int -> (Edge.t array -> pos:int -> len:int -> unit) -> t -> unit
+(** [chunks f t] hands the backing edge array to [f] one zero-copy
+    sub-range [\[pos, pos+len)] at a time (default chunk 8192) — the
+    ingestion primitive behind {!Pipeline}.  [f] must treat the array
+    as read-only and must not retain it. *)
+
 val to_array : t -> Edge.t array
 (** A copy, for re-shuffling or persistence. *)
 
@@ -22,7 +29,9 @@ val save : t -> string -> unit
     "set elt". *)
 
 val load : string -> t
-(** Inverse of {!save}; raises [Failure] on malformed lines. *)
+(** Inverse of {!save}, tolerant of tabs, repeated spaces, and
+    leading/trailing whitespace (fields are split on runs of
+    whitespace); raises [Failure] on malformed lines. *)
 
 val max_ids : t -> int * int
 (** [(max set id + 1, max element id + 1)] — a cheap (m, n) bound for

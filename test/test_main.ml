@@ -4,6 +4,7 @@ let () =
       ("hashing", Test_hashing.suite);
       ("sketch", Test_sketch.suite);
       ("stream", Test_stream.suite);
+      ("pipeline", Test_pipeline.suite);
       ("workload", Test_workload.suite);
       ("coverage", Test_coverage.suite);
       ("baselines", Test_baselines.suite);

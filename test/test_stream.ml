@@ -111,6 +111,58 @@ let test_stream_source_save_load () =
       let loaded = Src.load path in
       checkb "roundtrip" true (Src.to_array src = Src.to_array loaded))
 
+let test_stream_source_load_messy () =
+  (* Tabs, repeated spaces, leading/trailing whitespace, blank lines and
+     CR line-endings must all parse to the same edges. *)
+  let path = Filename.temp_file "mkc_messy" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Stdlib.Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0\t1\n  2   3  \n\n4 5\t\n6\t\t7\r\n";
+      close_out oc;
+      let loaded = Src.to_array (Src.load path) in
+      checkb "messy whitespace tolerated" true
+        (loaded
+        = [|
+            Edge.make ~set:0 ~elt:1;
+            Edge.make ~set:2 ~elt:3;
+            Edge.make ~set:4 ~elt:5;
+            Edge.make ~set:6 ~elt:7;
+          |]))
+
+let test_stream_source_load_malformed () =
+  let path = Filename.temp_file "mkc_bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Stdlib.Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0 1\n2 x\n";
+      close_out oc;
+      checkb "malformed line raises" true
+        (try
+           ignore (Src.load path);
+           false
+         with Failure _ -> true))
+
+let test_stream_source_chunks () =
+  let edges = Array.init 25 (fun i -> Edge.make ~set:i ~elt:(i * 2)) in
+  let src = Src.of_array edges in
+  let seen = ref [] and calls = ref 0 in
+  Src.chunks ~chunk:8
+    (fun a ~pos ~len ->
+      incr calls;
+      for i = pos to pos + len - 1 do
+        seen := a.(i) :: !seen
+      done)
+    src;
+  checki "ceil(25/8) chunks" 4 !calls;
+  checkb "chunks cover the stream in order" true
+    (Array.of_list (List.rev !seen) = edges);
+  Alcotest.check_raises "chunk must be positive"
+    (Invalid_argument "Stream_source.chunks: chunk must be >= 1") (fun () ->
+      Src.chunks ~chunk:0 (fun _ ~pos:_ ~len:_ -> ()) src)
+
 let test_stream_source_max_ids () =
   let src = Src.of_array [| Edge.make ~set:3 ~elt:9; Edge.make ~set:1 ~elt:0 |] in
   checkb "max ids" true (Src.max_ids src = (4, 10))
@@ -148,6 +200,11 @@ let suite =
     Alcotest.test_case "edge stream seed sensitivity" `Quick test_edge_stream_seed_changes_order;
     Alcotest.test_case "stream source iter/fold" `Quick test_stream_source_iter_fold;
     Alcotest.test_case "stream source save/load" `Quick test_stream_source_save_load;
+    Alcotest.test_case "stream source load (messy whitespace)" `Quick
+      test_stream_source_load_messy;
+    Alcotest.test_case "stream source load (malformed)" `Quick
+      test_stream_source_load_malformed;
+    Alcotest.test_case "stream source chunks" `Quick test_stream_source_chunks;
     Alcotest.test_case "stream source max_ids" `Quick test_stream_source_max_ids;
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
     Alcotest.test_case "stats ucmn / max freq" `Quick test_stats_ucmn;
