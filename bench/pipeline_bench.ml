@@ -1,13 +1,19 @@
 (* Ingestion-throughput micro-benchmark for the Sink/Pipeline layer.
 
-   Three ways to drive the same Estimate sink over a ~10^6-edge stream:
-     per-edge   Stream_source.iter + Sink.feed        (the old ingestion path)
-     batched    Stream_source.chunks + Sink.feed_batch (Pipeline.run)
-     parallel   Pipeline.feed_all_parallel over Estimate.shards
+   Four ways to drive the same Estimate sink over a ~10^6-edge stream:
+     per-edge      Stream_source.iter + Sink.feed        (the old ingestion path)
+     batched       Stream_source.chunks + Sink.feed_batch (Pipeline.run)
+     parallel      Pipeline.feed_all_parallel over Estimate.shards
+     instrumented  batched again, metrics enabled + Sink.Observed wrapper
+                   (quantifies the observability overhead; runs last so
+                   the plain modes see the registry disabled)
 
-   All three runs use identical params/seeds, so their finalized results
-   must be identical — the benchmark asserts this before reporting.
-   Results go to stdout and to BENCH_pipeline.json (machine-readable). *)
+   All runs use identical params/seeds, so their finalized results must
+   be identical — the benchmark asserts this before reporting, and also
+   asserts that the instrumented run's final space-profile point equals
+   the sink's words_breakdown exactly.  Results go to stdout and to
+   BENCH_pipeline.json (machine-readable; includes the mkc-obs/1
+   metrics snapshot of the instrumented run). *)
 
 module Ss = Mkc_stream.Set_system
 module P = Mkc_core.Params
@@ -55,11 +61,45 @@ let run () =
           Mkc_stream.Pipeline.feed_all_parallel ~domains (E.shards e_par) src);
     ]
   in
-  let results = List.map (fun e -> outcome_fingerprint (E.finalize e)) [ e_seq; e_batch; e_par ] in
+  (* Instrumented mode: same batched drive, but through an Observed
+     wrapper with the metric registry live.  Runs after the plain modes
+     so they measure the disabled (one load-and-branch) path. *)
+  let e_obs = fresh () in
+  Mkc_obs.Registry.set_enabled true;
+  let sm, ob = Mkc_stream.Sink.Observed.observe ~cadence:65536 E.sink e_obs in
+  let obs_any = Mkc_stream.Sink.pack sm ob in
+  let timings =
+    timings
+    @ [
+        time_ingest "instrumented" (fun () ->
+            Mkc_stream.Pipeline.feed_all [| obs_any |] src);
+      ]
+  in
+  let r_obs = E.finalize e_obs in
+  Mkc_stream.Sink.Observed.sample ob;
+  E.record_metrics e_obs;
+  let profile = Mkc_stream.Sink.Observed.profile ob in
+  (match Mkc_obs.Space_profile.final profile with
+  | None -> failwith "pipeline bench: instrumented run recorded no space profile!"
+  | Some final ->
+      let wb = Mkc_stream.Sink.canonical_breakdown (E.words_breakdown e_obs) in
+      if final.Mkc_obs.Space_profile.words <> E.words e_obs then
+        failwith "pipeline bench: space-profile final total <> words!";
+      if final.Mkc_obs.Space_profile.breakdown <> wb then
+        failwith "pipeline bench: space-profile final breakdown <> words_breakdown!");
+  let snapshot =
+    Mkc_obs.Snapshot.capture ~profiles:[ ("estimate", profile) ] Mkc_obs.Registry.global
+  in
+  Mkc_obs.Registry.set_enabled false;
+  let results =
+    List.map (fun e -> outcome_fingerprint (E.finalize e)) [ e_seq; e_batch; e_par ]
+    @ [ outcome_fingerprint r_obs ]
+  in
   (match results with
-  | [ a; b; c ] ->
-      if a <> b || a <> c then failwith "pipeline bench: ingestion modes disagree!"
-  | _ -> assert false);
+  | a :: rest ->
+      if List.exists (fun r -> r <> a) rest then
+        failwith "pipeline bench: ingestion modes disagree!"
+  | [] -> assert false);
   let (estimate, z_guess, _) = List.hd results in
   Format.printf "all modes agree: estimate %.0f (z-guess %d)@." estimate z_guess;
   let timings =
@@ -88,7 +128,10 @@ let run () =
            t.mode t.seconds t.edges_per_sec
            (if i = List.length timings - 1 then "" else ",")))
     timings;
-  Buffer.add_string b "  ]\n}\n";
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"metrics_snapshot\": %s\n" (Mkc_obs.Snapshot.to_string snapshot));
+  Buffer.add_string b "}\n";
   output_string oc (Buffer.contents b);
   close_out oc;
   Format.printf "wrote %s@." json_out

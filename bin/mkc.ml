@@ -39,24 +39,81 @@ let domains_arg =
           "Ingestion domains. With D > 1 the independent oracle instances are \
            sharded across D domains; results are identical to a sequential run.")
 
-let chunk_arg =
-  let pos_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some v when v >= 1 -> Ok v
-      | _ -> Error (`Msg "chunk size must be a positive integer")
-    in
-    Arg.conv (parse, Format.pp_print_int)
+let pos_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | _ -> Error (`Msg (what ^ " must be a positive integer"))
   in
+  Arg.conv (parse, Format.pp_print_int)
+
+let chunk_arg =
   Arg.(
     value
-    & opt pos_int Mkc_stream.Pipeline.default_chunk
+    & opt (pos_int ~what:"chunk size") Mkc_stream.Pipeline.default_chunk
     & info [ "chunk" ] ~docv:"EDGES" ~doc:"Ingestion chunk size in edges.")
 
+(* ---------- metrics plumbing ---------- *)
+
+type metrics_opts = {
+  show : bool;
+  json : string option;
+  prom : string option;
+  cadence : int;
+}
+
+let metrics_term =
+  let show =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print a metrics summary after the run.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write a schema-versioned JSON metrics snapshot to $(docv).")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-prometheus" ] ~docv:"FILE"
+          ~doc:"Write a Prometheus text exposition to $(docv).")
+  in
+  let cadence =
+    Arg.(
+      value
+      & opt (pos_int ~what:"cadence") Mkc_stream.Sink.Observed.default_cadence
+      & info [ "metrics-cadence" ] ~docv:"EDGES"
+          ~doc:"Space-profile sampling cadence in edges.")
+  in
+  Term.(
+    const (fun show json prom cadence -> { show; json; prom; cadence })
+    $ show $ json $ prom $ cadence)
+
+let metrics_wanted o = o.show || o.json <> None || o.prom <> None
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let emit_metrics o profiles =
+  let snap = Mkc_obs.Snapshot.capture ~profiles Mkc_obs.Registry.global in
+  Option.iter (fun file -> write_file file (Mkc_obs.Snapshot.to_string snap)) o.json;
+  Option.iter (fun file -> write_file file (Mkc_obs.Export.prometheus snap)) o.prom;
+  if o.show then print_string (Mkc_obs.Export.summary snap)
+
 let load_stream path =
-  let src = Mkc_stream.Stream_source.load path in
-  let m, n = Mkc_stream.Stream_source.max_ids src in
-  (src, m, n)
+  match Mkc_stream.Stream_source.load path with
+  | src ->
+      let m, n = Mkc_stream.Stream_source.max_ids src in
+      (src, m, n)
+  | exception Failure msg ->
+      Format.eprintf "mkc: %s@." msg;
+      exit 2
+  | exception Sys_error msg ->
+      Format.eprintf "mkc: %s@." msg;
+      exit 2
 
 (* ---------- generate ---------- *)
 
@@ -102,16 +159,41 @@ let generate_cmd =
 
 (* ---------- estimate ---------- *)
 
-let estimate path k alpha seed profile domains chunk =
+let estimate path k alpha seed profile domains chunk mopts =
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let est = Mkc_core.Estimate.create params in
+  let want = metrics_wanted mopts in
+  if want then Mkc_obs.Registry.set_enabled true;
+  let profiles = ref [] in
   let r =
-    if domains > 1 then
-      Mkc_stream.Pipeline.run_parallel ~domains ~chunk
-        ~shards:(Mkc_core.Estimate.shards est)
-        ~finalize:(fun () -> Mkc_core.Estimate.finalize est)
+    if domains > 1 then begin
+      let shards = Mkc_core.Estimate.shards est in
+      let final_samples = ref [] in
+      let shards =
+        if not want then shards
+        else
+          Array.mapi
+            (fun i s ->
+              let ob = Mkc_stream.Sink.Observed.observe_any ~cadence:mopts.cadence s in
+              profiles := (Printf.sprintf "shard%d" i, ob.Mkc_stream.Sink.Observed.oprofile) :: !profiles;
+              final_samples := ob.Mkc_stream.Sink.Observed.osample :: !final_samples;
+              ob.Mkc_stream.Sink.Observed.osink)
+            shards
+      in
+      Mkc_stream.Pipeline.run_parallel ~domains ~chunk ~shards
+        ~finalize:(fun () ->
+          List.iter (fun sample -> sample ()) !final_samples;
+          Mkc_core.Estimate.finalize est)
         src
+    end
+    else if want then begin
+      let sm, ob =
+        Mkc_stream.Sink.Observed.observe ~cadence:mopts.cadence Mkc_core.Estimate.sink est
+      in
+      profiles := [ ("estimate", Mkc_stream.Sink.Observed.profile ob) ];
+      Mkc_stream.Pipeline.run ~chunk sm ob src
+    end
     else Mkc_stream.Pipeline.run ~chunk Mkc_core.Estimate.sink est src
   in
   Format.printf "stream: %d pairs, m=%d, n=%d@." (Mkc_stream.Stream_source.length src) m n;
@@ -121,27 +203,56 @@ let estimate path k alpha seed profile domains chunk =
       Format.printf "winning subroutine: %a (guess z=%d)@." Mkc_core.Solution.pp_provenance
         o.provenance r.Mkc_core.Estimate.z_guess
   | None -> Format.printf "no subroutine produced a feasible estimate@.");
-  Format.printf "space: %d words@." (Mkc_core.Estimate.words est)
+  Format.printf "space: %d words@." (Mkc_core.Estimate.words est);
+  if want then begin
+    Mkc_core.Estimate.record_metrics est;
+    emit_metrics mopts (List.rev !profiles)
+  end
 
 let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate" ~doc:"α-approximate coverage estimation (Theorem 3.1)")
     Term.(
       const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg)
+      $ domains_arg $ chunk_arg $ metrics_term)
 
 (* ---------- report ---------- *)
 
-let report path k alpha seed profile domains chunk =
+let report path k alpha seed profile domains chunk mopts =
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let rep = Mkc_core.Report.create params in
+  let want = metrics_wanted mopts in
+  if want then Mkc_obs.Registry.set_enabled true;
+  let profiles = ref [] in
   let r =
-    if domains > 1 then
-      Mkc_stream.Pipeline.run_parallel ~domains ~chunk
-        ~shards:(Mkc_core.Report.shards rep)
-        ~finalize:(fun () -> Mkc_core.Report.finalize rep)
+    if domains > 1 then begin
+      let shards = Mkc_core.Report.shards rep in
+      let final_samples = ref [] in
+      let shards =
+        if not want then shards
+        else
+          Array.mapi
+            (fun i s ->
+              let ob = Mkc_stream.Sink.Observed.observe_any ~cadence:mopts.cadence s in
+              profiles := (Printf.sprintf "shard%d" i, ob.Mkc_stream.Sink.Observed.oprofile) :: !profiles;
+              final_samples := ob.Mkc_stream.Sink.Observed.osample :: !final_samples;
+              ob.Mkc_stream.Sink.Observed.osink)
+            shards
+      in
+      Mkc_stream.Pipeline.run_parallel ~domains ~chunk ~shards
+        ~finalize:(fun () ->
+          List.iter (fun sample -> sample ()) !final_samples;
+          Mkc_core.Report.finalize rep)
         src
+    end
+    else if want then begin
+      let sm, ob =
+        Mkc_stream.Sink.Observed.observe ~cadence:mopts.cadence Mkc_core.Report.sink rep
+      in
+      profiles := [ ("report", Mkc_stream.Sink.Observed.profile ob) ];
+      Mkc_stream.Pipeline.run ~chunk sm ob src
+    end
     else Mkc_stream.Pipeline.run ~chunk Mkc_core.Report.sink rep src
   in
   Format.printf "estimated coverage: %.0f@." r.Mkc_core.Report.estimate;
@@ -150,14 +261,18 @@ let report path k alpha seed profile domains chunk =
   | None -> ());
   Format.printf "reported %d sets:@." (List.length r.Mkc_core.Report.sets);
   List.iter (fun id -> Format.printf "  S%d@." id) r.Mkc_core.Report.sets;
-  Format.printf "space: %d words@." (Mkc_core.Report.words rep)
+  Format.printf "space: %d words@." (Mkc_core.Report.words rep);
+  if want then begin
+    Mkc_core.Report.record_metrics rep;
+    emit_metrics mopts (List.rev !profiles)
+  end
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"α-approximate k-cover reporting (Theorem 3.2)")
     Term.(
       const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg)
+      $ domains_arg $ chunk_arg $ metrics_term)
 
 (* ---------- greedy ---------- *)
 
@@ -227,9 +342,56 @@ let lowerbound_cmd =
     (Cmd.info "lowerbound" ~doc:"Play the §5 one-way set-disjointness game")
     Term.(const lowerbound $ m $ alpha_arg $ trials $ seed_arg)
 
+(* ---------- validate-snapshot ---------- *)
+
+let validate_snapshot file =
+  let s =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Format.eprintf "mkc: %s@." msg;
+      exit 2
+  in
+  match Mkc_obs.Snapshot.validate s with
+  | Ok snap ->
+      Format.printf "%s: valid %s snapshot (%d metrics, %d spans, %d profiles)@." file
+        Mkc_obs.Snapshot.schema_version
+        (List.length snap.Mkc_obs.Snapshot.metrics)
+        (List.length snap.Mkc_obs.Snapshot.spans)
+        (List.length snap.Mkc_obs.Snapshot.profiles)
+  | Error e ->
+      Format.eprintf "%s: invalid snapshot: %s@." file e;
+      exit 1
+
+let validate_snapshot_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot JSON file (from --metrics-json).")
+  in
+  Cmd.v
+    (Cmd.info "validate-snapshot"
+       ~doc:"Validate a metrics snapshot against the mkc-obs/1 schema")
+    Term.(const validate_snapshot $ file)
+
 let () =
   let info =
     Cmd.info "mkc" ~version:"1.0.0"
       ~doc:"Streaming maximum k-coverage (Indyk-Vakilian, PODS 2019)"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; estimate_cmd; report_cmd; greedy_cmd; stats_cmd; lowerbound_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            estimate_cmd;
+            report_cmd;
+            greedy_cmd;
+            stats_cmd;
+            lowerbound_cmd;
+            validate_snapshot_cmd;
+          ]))

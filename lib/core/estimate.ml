@@ -1,4 +1,4 @@
-type inst = { z : int; reduction : Universe_reduction.t; oracle : Oracle.t }
+type inst = { z : int; rep : int; reduction : Universe_reduction.t; oracle : Oracle.t }
 
 type body =
   | Trivial of { estimate : float; witness : unit -> int list }
@@ -44,6 +44,7 @@ let create (p : Params.t) =
                    let sd = Mkc_hashing.Splitmix.fork root ((z * 131) + rep) in
                    {
                      z;
+                     rep;
                      reduction =
                        Universe_reduction.create ~z ~seed:(Mkc_hashing.Splitmix.fork sd 0);
                      oracle =
@@ -134,18 +135,37 @@ let words t =
 
 let words_breakdown t =
   match t.body with
-  | Trivial _ -> [ ("trivial-witness", t.params.k) ]
+  | Trivial _ -> [ ("trivial_witness", t.params.k) ]
   | Run { insts } ->
-      let acc = Hashtbl.create 8 in
-      let bump key w =
-        Hashtbl.replace acc key (w + Option.value ~default:0 (Hashtbl.find_opt acc key))
-      in
-      Array.iter
-        (fun inst ->
-          bump "universe-reduction" (Universe_reduction.words inst.reduction);
-          List.iter (fun (k, w) -> bump k w) (Oracle.words_breakdown inst.oracle))
-        insts;
-      Hashtbl.fold (fun k w l -> (k, w) :: l) acc [] |> List.sort compare
+      Mkc_stream.Sink.canonical_breakdown
+        (Array.to_list insts
+        |> List.concat_map (fun inst ->
+               ("universe_reduction", Universe_reduction.words inst.reduction)
+               :: Oracle.words_breakdown inst.oracle))
+
+let stats t =
+  match t.body with
+  | Trivial _ -> []
+  | Run { insts } ->
+      Array.to_list insts
+      |> List.map (fun inst -> ((inst.z, inst.rep), Oracle.stats inst.oracle))
+
+let record_metrics ?(registry = Mkc_obs.Registry.global) t =
+  (* Publish per-(guess, repeat) oracle work counters.  Totals go under
+     estimate.oracle.<stat>; the per-instance split keeps the z/rep
+     labels in the metric name, so the Figure 1 fan-out is readable off
+     a flat dump. *)
+  List.iter
+    (fun ((z, rep), stats) ->
+      List.iter
+        (fun (key, v) ->
+          Mkc_obs.Registry.add (Mkc_obs.Registry.counter registry ("estimate.oracle." ^ key)) v;
+          Mkc_obs.Registry.add
+            (Mkc_obs.Registry.counter registry
+               (Printf.sprintf "estimate.z%d.rep%d.%s" z rep key))
+            v)
+        stats)
+    (stats t)
 
 let sink : (t, result) Mkc_stream.Sink.sink =
   (module struct
@@ -181,7 +201,7 @@ let shard_sink : (shard, unit) Mkc_stream.Sink.sink =
     let words s = Universe_reduction.words s.inst.reduction + Oracle.words s.inst.oracle
 
     let words_breakdown s =
-      ("universe-reduction", Universe_reduction.words s.inst.reduction)
+      ("universe_reduction", Universe_reduction.words s.inst.reduction)
       :: Oracle.words_breakdown s.inst.oracle
   end)
 

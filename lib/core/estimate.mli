@@ -46,8 +46,22 @@ val guesses : t -> int list
 val words : t -> int
 
 val words_breakdown : t -> (string * int) list
-(** Words per component, summed over all parallel oracle instances:
-    universe-reduction seeds, large-common, large-set, small-set. *)
+(** Words per component under canonical dot-namespaced keys
+    ([universe_reduction], [oracle.large_common.l0], …; sorted,
+    duplicates merged), summed over all parallel oracle instances. *)
+
+val stats : t -> ((int * int) * (string * int) list) list
+(** Per-(z-guess, repeat) oracle work counters
+    ({!Oracle.stats}) — one entry per Figure 1 instance, in ladder
+    order.  Empty on the trivial branch. *)
+
+val record_metrics : ?registry:Mkc_obs.Registry.t -> t -> unit
+(** Publish {!stats} into a metric registry (default
+    {!Mkc_obs.Registry.global}): each counter is added both to the
+    aggregate [estimate.oracle.<stat>] and to the per-instance
+    [estimate.z<z>.rep<r>.<stat>].  A no-op while
+    {!Mkc_obs.Registry.enabled} is off.  Call after {!finalize} so
+    finalize-time counters (heavy-hitter recoveries) are included. *)
 
 val sink : (t, result) Mkc_stream.Sink.sink
 (** The whole estimator as a single {!Mkc_stream.Sink}, for the

@@ -54,7 +54,7 @@ let words t =
 
 let words_breakdown t =
   match t.body with
-  | Mv mv -> [ ("mcgregor-vu", Mkc_coverage.Mcgregor_vu.words mv) ]
+  | Mv mv -> [ ("mcgregor_vu", Mkc_coverage.Mcgregor_vu.words mv) ]
   | Rep rep ->
       let module R = (val Report.sink) in
       R.words_breakdown rep

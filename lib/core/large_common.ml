@@ -2,6 +2,8 @@ type t = {
   params : Params.t;
   sampler : Mkc_sketch.Sampler.Nested.t; (* over set ids; level g ~ β = 2^g *)
   sketches : Mkc_sketch.L0_bjkst.t array; (* one per level *)
+  mutable st_sampler_evals : int;
+  mutable st_l0_updates : int;
 }
 
 let num_levels params =
@@ -18,26 +20,33 @@ let create (params : Params.t) ~seed =
     sketches =
       Array.init levels (fun g ->
           Mkc_sketch.L0_bjkst.create ~seed:(Mkc_hashing.Splitmix.fork seed (g + 1)) ());
+    st_sampler_evals = 0;
+    st_l0_updates = 0;
   }
 
 let feed t (e : Mkc_stream.Edge.t) =
+  t.st_sampler_evals <- t.st_sampler_evals + 1;
   match Mkc_sketch.Sampler.Nested.min_keep_level t.sampler e.set with
   | None -> ()
   | Some finest ->
       (* Nesting: a set sampled at level [finest] belongs to every
          coarser (higher-rate) level's collection too. *)
-      for g = finest to Array.length t.sketches - 1 do
+      let top = Array.length t.sketches - 1 in
+      t.st_l0_updates <- t.st_l0_updates + (top - finest + 1);
+      for g = finest to top do
         Mkc_sketch.L0_bjkst.add t.sketches.(g) e.elt
       done
 
 let feed_batch t edges ~pos ~len =
   let sampler = t.sampler and sketches = t.sketches in
   let top = Array.length sketches - 1 in
+  t.st_sampler_evals <- t.st_sampler_evals + len;
   for i = pos to pos + len - 1 do
     let (e : Mkc_stream.Edge.t) = Array.unsafe_get edges i in
     match Mkc_sketch.Sampler.Nested.min_keep_level sampler e.set with
     | None -> ()
     | Some finest ->
+        t.st_l0_updates <- t.st_l0_updates + (top - finest + 1);
         for g = finest to top do
           Mkc_sketch.L0_bjkst.add sketches.(g) e.elt
         done
@@ -88,6 +97,13 @@ let finalize t =
       })
     !best
 
-let words t =
-  Mkc_sketch.Sampler.Nested.words t.sampler
-  + Array.fold_left (fun acc sk -> acc + Mkc_sketch.L0_bjkst.words sk) 0 t.sketches
+let words_breakdown t =
+  [
+    ("sampler", Mkc_sketch.Sampler.Nested.words t.sampler);
+    ("l0", Array.fold_left (fun acc sk -> acc + Mkc_sketch.L0_bjkst.words sk) 0 t.sketches);
+  ]
+
+let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
+
+let stats t =
+  [ ("sampler_evals", t.st_sampler_evals); ("l0_updates", t.st_l0_updates) ]

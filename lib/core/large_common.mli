@@ -36,3 +36,12 @@ val coverage_estimates : t -> (int * float) list
     the fig3 bench. *)
 
 val words : t -> int
+
+val words_breakdown : t -> (string * int) list
+(** [("sampler", _); ("l0", _)] — the nested set-sampler's seeds vs the
+    per-level L0 sketches. *)
+
+val stats : t -> (string * int) list
+(** Work counters: ["sampler_evals"] (one hash evaluation per edge,
+    Section A.1's single shared hash) and ["l0_updates"] (one per
+    (kept edge, nested level) — Figure 3's sketch update volume). *)

@@ -16,6 +16,10 @@ type t = {
   thr1 : float;
   thr2 : float;
   repeats : repeat_state array;
+  mutable st_sampler_evals : int;
+  mutable st_f2_updates : int;
+  mutable st_l0_updates : int;
+  mutable st_hh_recoveries : int; (* set at finalize *)
 }
 
 let create (params : Params.t) ~w ~seed =
@@ -64,18 +68,32 @@ let create (params : Params.t) ~w ~seed =
      common elements in at least one sample, App. B Step 1) buy much
      less — halve them on the hot small-universe instances. *)
   let repeats = if rho >= 1.0 then max 1 (p.oracle_repeats / 2) else p.oracle_repeats in
-  { params; w; q; rho; thr1; thr2; repeats = Array.init repeats mk_repeat }
+  {
+    params;
+    w;
+    q;
+    rho;
+    thr1;
+    thr2;
+    repeats = Array.init repeats mk_repeat;
+    st_sampler_evals = 0;
+    st_f2_updates = 0;
+    st_l0_updates = 0;
+    st_hh_recoveries = 0;
+  }
 
 let in_sample rs e =
   match rs.elem_sampler with
   | None -> true
   | Some s -> Mkc_sketch.Sampler.Bernoulli.keep s e
 
-let feed_repeat rs (e : Mkc_stream.Edge.t) =
+let feed_repeat t rs (e : Mkc_stream.Edge.t) =
+  t.st_sampler_evals <- t.st_sampler_evals + 1;
   if in_sample rs e.elt then begin
     let sid = Superset_partition.superset_of rs.partition e.set in
     Mkc_sketch.F2_contributing.add rs.cntr_small sid 1;
     Mkc_sketch.F2_contributing.add rs.cntr_large sid 1;
+    t.st_f2_updates <- t.st_f2_updates + 2;
     if Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid then begin
       let sketch =
         match Hashtbl.find_opt rs.fallback sid with
@@ -88,11 +106,12 @@ let feed_repeat rs (e : Mkc_stream.Edge.t) =
             Hashtbl.replace rs.fallback sid sk;
             sk
       in
+      t.st_l0_updates <- t.st_l0_updates + 1;
       Mkc_sketch.L0_bjkst.add sketch e.elt
     end
   end
 
-let feed t e = Array.iter (fun rs -> feed_repeat rs e) t.repeats
+let feed t e = Array.iter (fun rs -> feed_repeat t rs e) t.repeats
 
 let feed_batch t edges ~pos ~len =
   (* Repeat-outer: one repeat's samplers, partition, and counters stay
@@ -102,7 +121,7 @@ let feed_batch t edges ~pos ~len =
   Array.iter
     (fun rs ->
       for i = pos to stop do
-        feed_repeat rs (Array.unsafe_get edges i)
+        feed_repeat t rs (Array.unsafe_get edges i)
       done)
     t.repeats
 
@@ -143,6 +162,7 @@ let finalize t =
   let all =
     List.concat (List.mapi (fun r rs -> candidates_of_repeat t r rs) (Array.to_list t.repeats))
   in
+  t.st_hh_recoveries <- List.length all;
   match List.sort (fun a b -> compare b.est a.est) all with
   | [] -> None
   | best :: _ ->
@@ -155,14 +175,34 @@ let finalize t =
               { superset = best.superset; repeat = best.repeat; via_l0_fallback = best.via_l0 };
         }
 
-let words t =
-  Array.fold_left
-    (fun acc rs ->
-      acc
-      + (match rs.elem_sampler with None -> 0 | Some s -> Mkc_sketch.Sampler.Bernoulli.words s)
-      + Superset_partition.words rs.partition
-      + Mkc_sketch.F2_contributing.words rs.cntr_small
-      + Mkc_sketch.F2_contributing.words rs.cntr_large
-      + Mkc_sketch.Sampler.Bernoulli.words rs.fallback_sampler
-      + Hashtbl.fold (fun _ sk acc -> acc + Mkc_sketch.L0_bjkst.words sk) rs.fallback 0)
-    0 t.repeats
+let words_breakdown t =
+  let sampler = ref 0 and partition = ref 0 and f2 = ref 0 and l0 = ref 0 in
+  Array.iter
+    (fun rs ->
+      sampler :=
+        !sampler
+        + (match rs.elem_sampler with None -> 0 | Some s -> Mkc_sketch.Sampler.Bernoulli.words s)
+        + Mkc_sketch.Sampler.Bernoulli.words rs.fallback_sampler;
+      partition := !partition + Superset_partition.words rs.partition;
+      f2 :=
+        !f2
+        + Mkc_sketch.F2_contributing.words rs.cntr_small
+        + Mkc_sketch.F2_contributing.words rs.cntr_large;
+      l0 := !l0 + Hashtbl.fold (fun _ sk acc -> acc + Mkc_sketch.L0_bjkst.words sk) rs.fallback 0)
+    t.repeats;
+  [
+    ("sampler", !sampler);
+    ("partition", !partition);
+    ("f2_contributing", !f2);
+    ("l0_fallback", !l0);
+  ]
+
+let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
+
+let stats t =
+  [
+    ("sampler_evals", t.st_sampler_evals);
+    ("f2_updates", t.st_f2_updates);
+    ("l0_updates", t.st_l0_updates);
+    ("hh_recoveries", t.st_hh_recoveries);
+  ]

@@ -44,5 +44,17 @@ val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
 val finalize : t -> Solution.outcome option
 val words : t -> int
 
+val words_breakdown : t -> (string * int) list
+(** [("sampler", _); ("partition", _); ("f2_contributing", _);
+    ("l0_fallback", _)] — summed over repeats. *)
+
+val stats : t -> (string * int) list
+(** Work counters: ["sampler_evals"] (element-sample membership tests,
+    one per repeat per edge), ["f2_updates"] (F2-Contributing point
+    updates), ["l0_updates"] (fallback L0 sketch updates) and
+    ["hh_recoveries"] (candidate supersets recovered at finalize — the
+    heavy hitters of Theorem 2.11's recovery step; populated by
+    {!finalize}). *)
+
 val thresholds : t -> float * float
 (** [(thr1, thr2)] on the sampled-universe scale (diagnostics). *)

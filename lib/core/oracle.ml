@@ -3,6 +3,7 @@ type t = {
   large_common : Large_common.t;
   large_set : Large_set.t;
   small_set : Small_set.t option; (* only when sα < 2k *)
+  mutable st_edges : int;
 }
 
 let create (params : Params.t) ~seed =
@@ -19,9 +20,11 @@ let create (params : Params.t) ~seed =
     small_set =
       (if heavy_regime then None
        else Some (Small_set.create params ~seed:(Mkc_hashing.Splitmix.fork seed 3)));
+    st_edges = 0;
   }
 
 let feed t e =
+  t.st_edges <- t.st_edges + 1;
   Large_common.feed t.large_common e;
   Large_set.feed t.large_set e;
   Option.iter (fun ss -> Small_set.feed ss e) t.small_set
@@ -29,6 +32,7 @@ let feed t e =
 let feed_batch t edges ~pos ~len =
   (* Subroutine-outer: each subroutine's sketches stay hot across the
      whole chunk instead of being revisited on every edge. *)
+  t.st_edges <- t.st_edges + len;
   Large_common.feed_batch t.large_common edges ~pos ~len;
   Large_set.feed_batch t.large_set edges ~pos ~len;
   Option.iter (fun ss -> Small_set.feed_batch ss edges ~pos ~len) t.small_set
@@ -51,13 +55,28 @@ let finalize_all t =
 let finalize t = Solution.best (finalize_all t)
 
 let words_breakdown t =
-  [
-    ("large-common", Large_common.words t.large_common);
-    ("large-set", Large_set.words t.large_set);
-    ("small-set", match t.small_set with None -> 0 | Some ss -> Small_set.words ss);
-  ]
+  let open Mkc_stream.Sink in
+  canonical_breakdown
+    (prefix_breakdown "oracle"
+       (prefix_breakdown "large_common" (Large_common.words_breakdown t.large_common)
+       @ prefix_breakdown "large_set" (Large_set.words_breakdown t.large_set)
+       @
+       match t.small_set with
+       | None -> [ ("small_set", 0) ] (* component absent in the heavy regime *)
+       | Some ss -> prefix_breakdown "small_set" (Small_set.words_breakdown ss)))
 
 let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
+
+let stats t =
+  let open Mkc_stream.Sink in
+  canonical_breakdown
+    (("edges", t.st_edges)
+     :: prefix_breakdown "large_common" (Large_common.stats t.large_common)
+    @ prefix_breakdown "large_set" (Large_set.stats t.large_set)
+    @
+    match t.small_set with
+    | None -> []
+    | Some ss -> prefix_breakdown "small_set" (Small_set.stats ss))
 
 let sink : (t, Solution.outcome option) Mkc_stream.Sink.sink =
   (module struct

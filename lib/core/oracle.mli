@@ -32,8 +32,18 @@ val finalize_all : t -> Solution.outcome option list
 val words : t -> int
 
 val words_breakdown : t -> (string * int) list
-(** Per-subroutine word counts — the E1 bench uses this to separate the
-    α-dependent Õ(m/α²) mass from the Ω̃(1) floor. *)
+(** Per-subroutine word counts under canonical dot-namespaced keys
+    ([oracle.large_common.l0], [oracle.large_set.f2_contributing], …;
+    sorted, duplicates merged) — the E1 bench uses this to separate the
+    α-dependent Õ(m/α²) mass from the Ω̃(1) floor.  In the heavy regime
+    the absent subroutine appears as [("oracle.small_set", 0)]. *)
+
+val stats : t -> (string * int) list
+(** Work counters, dot-namespaced like {!words_breakdown}: ["edges"]
+    consumed, plus each subroutine's {e stats} list
+    ([oracle] prefix omitted — keys are [large_common.sampler_evals],
+    [large_set.hh_recoveries], …).  ["large_set.hh_recoveries"] is only
+    populated by [finalize]. *)
 
 val sink : (t, Solution.outcome option) Mkc_stream.Sink.sink
 (** The oracle as a {!Mkc_stream.Sink} (one z-guess instance of the

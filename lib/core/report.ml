@@ -27,6 +27,7 @@ let finalize t =
       }
 
 let words t = Estimate.words t.engine + t.k
+let record_metrics ?registry t = Estimate.record_metrics ?registry t.engine
 
 let sink : (t, result) Mkc_stream.Sink.sink =
   (module struct
@@ -37,5 +38,5 @@ let sink : (t, result) Mkc_stream.Sink.sink =
     let feed_batch = feed_batch
     let finalize = finalize
     let words = words
-    let words_breakdown t = ("report-output", t.k) :: Estimate.words_breakdown t.engine
+    let words_breakdown t = ("report.output", t.k) :: Estimate.words_breakdown t.engine
   end)

@@ -30,6 +30,9 @@ type result = {
 val finalize : t -> result
 val words : t -> int
 
+val record_metrics : ?registry:Mkc_obs.Registry.t -> t -> unit
+(** {!Estimate.record_metrics} on the underlying engine. *)
+
 val sink : (t, result) Mkc_stream.Sink.sink
 (** The reporter as a {!Mkc_stream.Sink}. *)
 

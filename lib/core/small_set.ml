@@ -20,6 +20,8 @@ type t = {
   base_rate : float; (* finest element rate, for scaling *)
   cap : int; (* per-instance stored-pair cap *)
   repeats : repeat_state array;
+  mutable st_sampler_evals : int;
+  mutable st_pairs_stored : int; (* monotone, unlike stored_pairs *)
 }
 
 let create (params : Params.t) ~seed =
@@ -64,6 +66,8 @@ let create (params : Params.t) ~seed =
     base_rate;
     cap;
     repeats = Array.init p.oracle_repeats mk_repeat;
+    st_sampler_evals = 0;
+    st_pairs_stored = 0;
   }
 
 let in_m rs set =
@@ -77,6 +81,7 @@ let add_pair t inst set elt =
     | Some members -> members := elt :: !members
     | None -> Hashtbl.replace inst.store set (ref [ elt ]));
     inst.pairs <- inst.pairs + 1;
+    t.st_pairs_stored <- t.st_pairs_stored + 1;
     if inst.pairs > t.cap then begin
       inst.dead <- true;
       Hashtbl.reset inst.store;
@@ -85,6 +90,7 @@ let add_pair t inst set elt =
   end
 
 let feed_repeat t rs (e : Mkc_stream.Edge.t) =
+  t.st_sampler_evals <- t.st_sampler_evals + 1;
   match Mkc_sketch.Sampler.Nested.min_keep_level rs.elem_sampler e.elt with
   | None -> ()
   | Some min_lvl ->
@@ -187,13 +193,33 @@ let stored_pairs t =
 let budget t = t.budget
 let cap t = t.cap
 
-let words t =
+let words_breakdown t =
+  let samplers = ref 0 and store = ref 0 in
+  Array.iter
+    (fun rs ->
+      samplers :=
+        !samplers
+        + Mkc_sketch.Sampler.Nested.words rs.elem_sampler
+        + (match rs.set_sampler with None -> 0 | Some s -> Mkc_sketch.Sampler.Bernoulli.words s);
+      store :=
+        !store
+        + Array.fold_left
+            (fun acc inst -> acc + (2 * inst.pairs) + Hashtbl.length inst.store)
+            0 rs.instances)
+    t.repeats;
+  [ ("samplers", !samplers); ("store", !store) ]
+
+let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
+
+let dead_instances t =
   Array.fold_left
     (fun acc rs ->
-      acc
-      + Mkc_sketch.Sampler.Nested.words rs.elem_sampler
-      + (match rs.set_sampler with None -> 0 | Some s -> Mkc_sketch.Sampler.Bernoulli.words s)
-      + Array.fold_left
-          (fun acc inst -> acc + (2 * inst.pairs) + Hashtbl.length inst.store)
-          0 rs.instances)
+      Array.fold_left (fun acc inst -> if inst.dead then acc + 1 else acc) acc rs.instances)
     0 t.repeats
+
+let stats t =
+  [
+    ("sampler_evals", t.st_sampler_evals);
+    ("pairs_stored", t.st_pairs_stored);
+    ("dead_instances", dead_instances t);
+  ]

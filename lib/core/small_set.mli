@@ -31,6 +31,17 @@ val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
 val finalize : t -> Solution.outcome option
 val words : t -> int
 
+val words_breakdown : t -> (string * int) list
+(** [("samplers", _); ("store", _)] — hash seeds vs the live stored
+    sub-instances. *)
+
+val stats : t -> (string * int) list
+(** Work counters: ["sampler_evals"] (nested element-sampler hash
+    evaluations, one per repeat per edge), ["pairs_stored"] (total
+    (set, element) pairs ever stored — monotone, unlike
+    {!stored_pairs}) and ["dead_instances"] (sub-instances that
+    overflowed the Lemma 4.21 cap and were terminated). *)
+
 val stored_pairs : t -> int
 (** Total (set, element) pairs currently stored across all live
     sub-instances — the quantity bounded by Lemma 4.21 (diagnostics for

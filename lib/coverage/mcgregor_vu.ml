@@ -117,5 +117,5 @@ let sink : (t, result) Mkc_stream.Sink.sink =
     let feed_batch = feed_batch
     let finalize = finalize
     let words = words
-    let words_breakdown t = [ ("mcgregor-vu", words t) ]
+    let words_breakdown t = [ ("mcgregor_vu", words t) ]
   end)

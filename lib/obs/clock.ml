@@ -1,0 +1,17 @@
+let wall () = int_of_float (Unix.gettimeofday () *. 1e9)
+let source = ref wall
+
+(* Per-domain high-water mark: clamping is domain-local, so no domain
+   ever observes its own clock running backwards, without any
+   cross-domain synchronization on the hot path. *)
+let last : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let now_ns () =
+  let raw = !source () in
+  let hw = Domain.DLS.get last in
+  let v = if raw > !hw then raw else !hw in
+  hw := v;
+  v
+
+let set_source f = source := f
+let use_wall_clock () = source := wall

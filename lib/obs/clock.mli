@@ -1,0 +1,19 @@
+(** Monotonic nanosecond clock for spans and latency histograms.
+
+    Readings are clamped to be non-decreasing per domain, so span
+    durations are never negative even if the underlying wall clock
+    steps backwards.  The time source is injectable
+    ({!set_source}/{!use_wall_clock}) so exporters and golden tests can
+    run against a deterministic clock. *)
+
+val now_ns : unit -> int
+(** Current time in nanoseconds, monotone non-decreasing within each
+    domain.  The absolute origin is the source's (Unix epoch for the
+    default wall-clock source). *)
+
+val set_source : (unit -> int) -> unit
+(** Replace the raw time source (returns nanoseconds).  Affects every
+    domain; per-domain monotonic clamping still applies on top. *)
+
+val use_wall_clock : unit -> unit
+(** Restore the default [Unix.gettimeofday]-backed source. *)

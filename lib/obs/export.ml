@@ -1,0 +1,96 @@
+let sanitize name =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_') name
+
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  else Printf.sprintf "%g" f
+
+let prometheus (s : Snapshot.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (m : Snapshot.metric) ->
+      let n = sanitize m.Snapshot.mname in
+      match m.Snapshot.mvalue with
+      | Snapshot.Counter c ->
+          line "# TYPE %s counter" n;
+          line "%s %d" n c
+      | Snapshot.Gauge g ->
+          line "# TYPE %s gauge" n;
+          line "%s %s" n (num g)
+      | Snapshot.Histogram h ->
+          line "# TYPE %s histogram" n;
+          let cum = ref 0 in
+          List.iter
+            (fun (i, c) ->
+              cum := !cum + c;
+              line "%s_bucket{le=\"%s\"} %d" n (num (Float.pow 2.0 (float_of_int (i + 1)))) !cum)
+            h.Snapshot.hbuckets;
+          line "%s_bucket{le=\"+Inf\"} %d" n h.Snapshot.hcount;
+          line "%s_sum %s" n (num h.Snapshot.hsum);
+          line "%s_count %d" n h.Snapshot.hcount)
+    s.Snapshot.metrics;
+  Buffer.contents b
+
+let quantile_of_hist (h : Snapshot.hist) q =
+  if h.Snapshot.hcount = 0 then 0.0
+  else begin
+    let target = Float.max 1.0 (Float.round (q *. float_of_int h.Snapshot.hcount)) in
+    let seen = ref 0 and hit = ref None in
+    List.iter
+      (fun (i, c) ->
+        seen := !seen + c;
+        if !hit = None && float_of_int !seen >= target then hit := Some i)
+      h.Snapshot.hbuckets;
+    match !hit with Some i -> Float.pow 2.0 (float_of_int (i + 1)) | None -> h.Snapshot.hmax
+  end
+
+let pp_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let summary (s : Snapshot.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "== metrics (schema %s) ==" Snapshot.schema_version;
+  List.iter
+    (fun (m : Snapshot.metric) ->
+      match m.Snapshot.mvalue with
+      | Snapshot.Counter c -> line "  %-48s %d" m.Snapshot.mname c
+      | Snapshot.Gauge g -> line "  %-48s %s" m.Snapshot.mname (num g)
+      | Snapshot.Histogram h ->
+          line "  %-48s n=%d p50=%s p99=%s max=%s" m.Snapshot.mname h.Snapshot.hcount
+            (pp_ns (quantile_of_hist h 0.5))
+            (pp_ns (quantile_of_hist h 0.99))
+            (pp_ns h.Snapshot.hmax))
+    s.Snapshot.metrics;
+  if s.Snapshot.spans <> [] then begin
+    (* aggregate per span name: count and total time *)
+    let agg = Hashtbl.create 8 in
+    List.iter
+      (fun (sp : Span.span) ->
+        let c, tot = Option.value ~default:(0, 0) (Hashtbl.find_opt agg sp.Span.name) in
+        Hashtbl.replace agg sp.Span.name (c + 1, tot + sp.Span.dur_ns))
+      s.Snapshot.spans;
+    line "== spans (last %d retained per domain) ==" Span.ring_capacity;
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) agg []
+    |> List.sort compare
+    |> List.iter (fun (name, (c, tot)) ->
+           line "  %-48s %6d spans  total %s" name c (pp_ns (float_of_int tot)))
+  end;
+  List.iter
+    (fun (p : Snapshot.profile) ->
+      let peak = List.fold_left (fun a (pt : Snapshot.point) -> max a pt.Snapshot.words) 0 p.Snapshot.points in
+      match (p.Snapshot.points, List.rev p.Snapshot.points) with
+      | first :: _, last :: _ ->
+          line "== space profile %S (cadence %d edges, %d samples) ==" p.Snapshot.pname
+            p.Snapshot.cadence (List.length p.Snapshot.points);
+          line "  words: first=%d peak=%d final=%d" first.Snapshot.words peak last.Snapshot.words;
+          List.iter
+            (fun (k, w) -> line "    %-46s %d" k w)
+            last.Snapshot.breakdown
+      | _ -> ())
+    s.Snapshot.profiles;
+  Buffer.contents b

@@ -1,0 +1,11 @@
+(** Render a {!Snapshot} for people and scrapers. *)
+
+val prometheus : Snapshot.t -> string
+(** Prometheus text exposition (version 0.0.4): one [# TYPE] line per
+    metric, dots/dashes mapped to underscores, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count]. *)
+
+val summary : Snapshot.t -> string
+(** Human-readable multi-line summary: counters and gauges, histogram
+    count/p50/p99/max, per-span aggregate time, and each space
+    profile's first/peak/final words — what [mkc --metrics] prints. *)

@@ -1,0 +1,30 @@
+(** Minimal JSON: just enough to print and re-validate metric
+    snapshots without an external dependency.  Integers are kept
+    distinct from floats so counters round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering; object fields keep the given order (snapshots
+    emit them sorted, which makes golden tests byte-stable). *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset {!to_string} emits plus standard JSON
+    numbers, escapes and whitespace.  Errors carry a byte offset. *)
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+(** Accepts [Int] and integral [Float]. *)
+
+val to_float : t -> float option
+val to_string_opt : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,51 @@
+(** Versioned, machine-readable snapshot of an observability state:
+    merged metrics, recent spans, and space-over-stream profiles.
+
+    The JSON schema is {!schema_version} ("mkc-obs/1"); {!of_json}
+    re-validates every field, so consumers (CI, [bench]) fail loudly on
+    drift instead of silently mis-parsing.  Emission order is
+    deterministic (metrics sorted by name, spans by start time), so
+    snapshots taken under an injected {!Clock} source are golden-test
+    stable. *)
+
+type hist = {
+  hcount : int;
+  hsum : float;
+  hmin : float;  (** 0 when empty *)
+  hmax : float;
+  hbuckets : (int * int) list;  (** (log2 bucket index, count), ascending *)
+}
+
+type value = Counter of int | Gauge of float | Histogram of hist
+type metric = { mname : string; mvalue : value }
+type point = { at_edges : int; words : int; breakdown : (string * int) list }
+type profile = { pname : string; cadence : int; points : point list }
+type t = {
+  created_ns : int;
+  metrics : metric list;
+  spans : Span.span list;
+  profiles : profile list;
+}
+
+val schema_version : string
+
+val capture :
+  ?spans:Span.span list ->
+  ?profiles:(string * Space_profile.t) list ->
+  ?now_ns:int ->
+  Registry.t ->
+  t
+(** Merge-read the registry (plus the given spans/profiles) into a
+    snapshot.  [spans] defaults to [Span.recent ()]; [now_ns] defaults
+    to {!Clock.now_ns}. *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+
+val of_json : Json.t -> (t, string) result
+(** Parse AND validate: schema version, field presence, kinds, types.
+    The error names the offending field. *)
+
+val validate : string -> (t, string) result
+(** Parse a raw JSON string and validate it ({!Json.parse} ∘
+    {!of_json}). *)

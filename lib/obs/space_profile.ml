@@ -1,0 +1,12 @@
+type point = { at_edges : int; words : int; breakdown : (string * int) list }
+type t = { cadence : int; mutable rev_points : point list }
+
+let create ~cadence = { cadence; rev_points = [] }
+let cadence t = t.cadence
+
+let record t ~at_edges ~words ~breakdown =
+  t.rev_points <- { at_edges; words; breakdown } :: t.rev_points
+
+let points t = List.rev t.rev_points
+let final t = match t.rev_points with [] -> None | p :: _ -> Some p
+let peak_words t = List.fold_left (fun acc p -> max acc p.words) 0 t.rev_points

@@ -1,0 +1,29 @@
+(** Space-over-stream time series: periodic samples of a sink's
+    retained words (and per-component breakdown) as the stream is
+    consumed — the live view of the paper's Õ(m/α²) space claim.
+    Collected by {!Mkc_stream.Sink.Observed} on a configurable edge
+    cadence; the final sample is always taken at finalize, so the last
+    point's totals equal the sink's [words_breakdown] exactly. *)
+
+type point = {
+  at_edges : int;  (** edges consumed when the sample was taken *)
+  words : int;  (** total retained 64-bit words *)
+  breakdown : (string * int) list;  (** canonical per-component split *)
+}
+
+type t
+
+val create : cadence:int -> t
+(** [cadence] is recorded for the export; sampling itself is driven by
+    the caller. *)
+
+val cadence : t -> int
+val record : t -> at_edges:int -> words:int -> breakdown:(string * int) list -> unit
+val points : t -> point list
+(** Samples in recording order. *)
+
+val final : t -> point option
+(** The last sample, if any. *)
+
+val peak_words : t -> int
+(** Maximum sampled total (0 when empty). *)

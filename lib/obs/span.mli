@@ -1,0 +1,36 @@
+(** Span tracing: named, monotonic-clocked intervals.
+
+    Each finished span is (1) folded into the owning registry as a
+    log-bucketed latency histogram [span.<name>.ns], and (2) appended
+    to a bounded per-domain trace ring (most recent {!ring_capacity}
+    spans per domain) readable through {!recent} — enough to
+    reconstruct a per-chunk timeline of a run without unbounded
+    memory.  Everything is a no-op while {!Registry.enabled} is off. *)
+
+type span = { name : string; start_ns : int; dur_ns : int; domain : int }
+
+val ring_capacity : int
+(** Spans retained per domain (oldest overwritten first). *)
+
+type handle
+
+val start : ?registry:Registry.t -> string -> handle
+(** Begin a span now ({!Clock.now_ns}). *)
+
+val finish : handle -> unit
+(** End the span and record it.  Finishing a handle created while
+    recording was disabled is a no-op. *)
+
+val with_ : ?registry:Registry.t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (recorded even if it raises). *)
+
+val record : ?registry:Registry.t -> string -> start_ns:int -> dur_ns:int -> unit
+(** [record name ~start_ns ~dur_ns] — low-level entry for call sites
+    that already timed the interval. *)
+
+val recent : unit -> span list
+(** All retained spans across domains, oldest first (by start time). *)
+
+val clear : unit -> unit
+(** Drop all retained spans (histograms in the registry are
+    untouched). *)

@@ -1,17 +1,50 @@
 let default_chunk = 8192
 
+(* Pipeline-level instruments (global registry).  All writes are gated
+   on [Registry.enabled], so the disabled path costs one load+branch per
+   chunk.  [sink_feed_edges] counts edge×sink feed work, which is the
+   quantity preserved between the sequential and domain-parallel
+   drivers: [pipeline.chunks]/[pipeline.edges] count per-pass, so the
+   parallel driver (one pass per domain) multiplies them by the domain
+   count, while the merged [sink_feed_edges] total is identical. *)
+module Obs = struct
+  let r = Mkc_obs.Registry.global
+  let chunks = Mkc_obs.Registry.counter r "pipeline.chunks"
+  let edges = Mkc_obs.Registry.counter r "pipeline.edges"
+  let sink_feed_edges = Mkc_obs.Registry.counter r "pipeline.sink_feed_edges"
+  let domain_busy_ns = Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.domain_busy_ns"
+  let domains_used = Mkc_obs.Registry.gauge ~mode:`Max r "pipeline.domains"
+end
+
 let run_seq (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
   Stream_source.iter (M.feed sink) src;
   M.finalize sink
 
+let chunk_instrumented ~nsinks ~len f =
+  if Mkc_obs.Registry.enabled () then begin
+    let t0 = Mkc_obs.Clock.now_ns () in
+    f ();
+    let dur = Mkc_obs.Clock.now_ns () - t0 in
+    Mkc_obs.Span.record "pipeline.chunk" ~start_ns:t0 ~dur_ns:dur;
+    Mkc_obs.Registry.incr Obs.chunks;
+    Mkc_obs.Registry.add Obs.edges len;
+    Mkc_obs.Registry.add Obs.sink_feed_edges (len * nsinks)
+  end
+  else f ()
+
 let run ?(chunk = default_chunk) (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
-  Stream_source.chunks ~chunk (fun edges ~pos ~len -> M.feed_batch sink edges ~pos ~len) src;
+  Stream_source.chunks ~chunk
+    (fun edges ~pos ~len ->
+      chunk_instrumented ~nsinks:1 ~len (fun () -> M.feed_batch sink edges ~pos ~len))
+    src;
   M.finalize sink
 
 let feed_all ?(chunk = default_chunk) sinks src =
+  let nsinks = Array.length sinks in
   Stream_source.chunks ~chunk
     (fun edges ~pos ~len ->
-      Array.iter (fun s -> Sink.Any.feed_batch s edges ~pos ~len) sinks)
+      chunk_instrumented ~nsinks ~len (fun () ->
+          Array.iter (fun s -> Sink.Any.feed_batch s edges ~pos ~len) sinks))
     src
 
 let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
@@ -32,9 +65,22 @@ let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
     let workers =
       Array.init domains (fun g ->
           let mine = group g in
-          Domain.spawn (fun () -> feed_all ~chunk mine src))
+          Domain.spawn (fun () ->
+              if Mkc_obs.Registry.enabled () then begin
+                (* Busy time lands in this domain's registry shard; the
+                   `Sum-merged gauge is total busy ns, and the per-domain
+                   spans give the utilization split. *)
+                let t0 = Mkc_obs.Clock.now_ns () in
+                feed_all ~chunk mine src;
+                let dur = Mkc_obs.Clock.now_ns () - t0 in
+                Mkc_obs.Span.record "pipeline.domain" ~start_ns:t0 ~dur_ns:dur;
+                Mkc_obs.Registry.set Obs.domain_busy_ns (float_of_int dur)
+              end
+              else feed_all ~chunk mine src))
     in
-    Array.iter Domain.join workers
+    Array.iter Domain.join workers;
+    if Mkc_obs.Registry.enabled () then
+      Mkc_obs.Registry.set Obs.domains_used (float_of_int domains)
   end
 
 let run_parallel ?domains ?chunk ~shards ~finalize src =

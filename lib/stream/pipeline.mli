@@ -17,7 +17,20 @@
     one domain and sees the full stream in order, and no state is
     shared between sinks, so the final state of each sink — and hence
     any finalize result — is identical to the sequential drivers'.
-    Parallelism changes wall-clock only, never output. *)
+    Parallelism changes wall-clock only, never output.
+
+    Observability: when {!Mkc_obs.Registry.enabled} is on, the chunked
+    drivers record a [pipeline.chunk] span per chunk and bump the
+    counters [pipeline.chunks], [pipeline.edges] (stream edges, per
+    pass) and [pipeline.sink_feed_edges] (edges × sinks — the feed work
+    actually done).  {!feed_all_parallel} additionally records one
+    [pipeline.domain] span per worker and the gauges
+    [pipeline.domain_busy_ns] (`Sum over domains) and
+    [pipeline.domains].  Because each domain makes its own pass over
+    the stream, [pipeline.chunks]/[pipeline.edges] scale with the
+    domain count; [pipeline.sink_feed_edges] is the invariant whose
+    merged total matches the sequential drivers exactly.  With the
+    registry disabled every instrument is a single load-and-branch. *)
 
 val default_chunk : int
 (** 8192 edges — two pages of edge records; chosen so a chunk plus a

@@ -26,6 +26,113 @@ let batch_by_feed feed s edges ~pos ~len =
     feed s edges.(i)
   done
 
+(* Canonical form of a words_breakdown: duplicate keys merged by sum,
+   sorted by key.  Component keys are dot-namespaced by convention
+   ("oracle.large_common.l0"), so a sorted list reads as a tree. *)
+let canonical_breakdown kvs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    kvs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let prefix_breakdown prefix kvs = List.map (fun (k, v) -> (prefix ^ "." ^ k, v)) kvs
+
+module Observed = struct
+  type ('s, 'r) st = {
+    inner : ('s, 'r) sink;
+    state : 's;
+    profile : Mkc_obs.Space_profile.t;
+    mutable edges : int;
+    mutable next_at : int;
+  }
+
+  let default_cadence = 65536
+
+  let sample (type s r) (t : (s, r) st) =
+    let (module M) = t.inner in
+    Mkc_obs.Space_profile.record t.profile ~at_edges:t.edges
+      ~words:(M.words t.state)
+      ~breakdown:(canonical_breakdown (M.words_breakdown t.state))
+
+  let wrap ?(cadence = default_cadence) inner state =
+    if cadence < 1 then invalid_arg "Sink.Observed.wrap: cadence must be >= 1";
+    {
+      inner;
+      state;
+      profile = Mkc_obs.Space_profile.create ~cadence;
+      edges = 0;
+      next_at = cadence;
+    }
+
+  let profile t = t.profile
+
+  (* At most one sample per feed call; [next_at] realigns to the cadence
+     grid so oversized batches don't trigger a burst of samples. *)
+  let bump t n =
+    t.edges <- t.edges + n;
+    if t.edges >= t.next_at then begin
+      sample t;
+      let c = Mkc_obs.Space_profile.cadence t.profile in
+      t.next_at <- ((t.edges / c) + 1) * c
+    end
+
+  let feed (type s r) (t : (s, r) st) e =
+    let (module M) = t.inner in
+    M.feed t.state e;
+    bump t 1
+
+  let feed_batch (type s r) (t : (s, r) st) edges ~pos ~len =
+    let (module M) = t.inner in
+    M.feed_batch t.state edges ~pos ~len;
+    bump t len
+
+  let finalize (type s r) (t : (s, r) st) =
+    let (module M) = t.inner in
+    let r = M.finalize t.state in
+    sample t;
+    r
+
+  let words (type s r) (t : (s, r) st) =
+    let (module M) = t.inner in
+    M.words t.state
+
+  let words_breakdown (type s r) (t : (s, r) st) =
+    let (module M) = t.inner in
+    canonical_breakdown (M.words_breakdown t.state)
+
+  let sink (type s r) () : ((s, r) st, r) sink =
+    (module struct
+      type nonrec t = (s, r) st
+      type result = r
+
+      let feed = feed
+      let feed_batch = feed_batch
+      let finalize = finalize
+      let words = words
+      let words_breakdown = words_breakdown
+    end)
+
+  let observe (type s r) ?cadence (m : (s, r) sink) (state : s) :
+      ((s, r) st, r) sink * (s, r) st =
+    let t = wrap ?cadence m state in
+    (sink (), t)
+
+  type observed_any = {
+    osink : any;
+    oprofile : Mkc_obs.Space_profile.t;
+    osample : unit -> unit;
+  }
+
+  let observe_any ?cadence packed =
+    match packed with
+    | Any (m, s) ->
+        let sm, t = observe ?cadence m s in
+        { osink = Any (sm, t); oprofile = t.profile; osample = (fun () -> sample t) }
+end
+
 module Set_arrival = struct
   type 'r t = {
     feed_set : int -> int array -> unit;
@@ -76,6 +183,6 @@ module Set_arrival = struct
       let feed_batch = feed_batch
       let finalize = finalize
       let words = words
-      let words_breakdown t = [ ("set-arrival-adapter", words t) ]
+      let words_breakdown t = [ ("set_arrival", words t) ]
     end)
 end

@@ -70,6 +70,51 @@ val batch_by_feed :
 (** Default [feed_batch] for implementations with no batched fast path:
     a plain loop over [feed]. *)
 
+val canonical_breakdown : (string * int) list -> (string * int) list
+(** Canonicalize a {!S.words_breakdown}: duplicate keys merged by sum,
+    result sorted by key.  Keys are dot-namespaced by convention
+    (["oracle.large_common.l0"]), so the sorted list reads as a tree. *)
+
+val prefix_breakdown : string -> (string * int) list -> (string * int) list
+(** [prefix_breakdown p kvs] prepends [p ^ "."] to every key — how a
+    composite sink namespaces the breakdowns of its children. *)
+
+(** Instrumented wrapper around any sink: forwards every call to the
+    wrapped sink unchanged (observed ≡ bare, by construction and by
+    qcheck test) while sampling [words] / [words_breakdown] into a
+    {!Mkc_obs.Space_profile} every [cadence] edges, plus once at
+    finalize — so the profile's final point equals the sink's
+    [words_breakdown] exactly. *)
+module Observed : sig
+  type ('s, 'r) st
+  (** The wrapper's state around an [('s, 'r) sink]. *)
+
+  val default_cadence : int
+  (** 65536 edges between samples. *)
+
+  val observe :
+    ?cadence:int -> ('s, 'r) sink -> 's -> (('s, 'r) st, 'r) sink * ('s, 'r) st
+  (** Wrap a typed sink; drive the returned pair instead of the
+      original.  Raises [Invalid_argument] if [cadence < 1]. *)
+
+  val profile : ('s, 'r) st -> Mkc_obs.Space_profile.t
+
+  val sample : ('s, 'r) st -> unit
+  (** Record a sample now — for drivers that finalize through the
+      original typed handle rather than the wrapper. *)
+
+  type observed_any = {
+    osink : any;  (** drive this instead of the original *)
+    oprofile : Mkc_obs.Space_profile.t;
+    osample : unit -> unit;
+        (** record a final sample before finalizing out-of-band *)
+  }
+
+  val observe_any : ?cadence:int -> any -> observed_any
+  (** {!observe} for packed sinks (e.g. each element of
+      {!Mkc_core.Estimate.shards} before {!Pipeline.run_parallel}). *)
+end
+
 (** Run a set-arrival algorithm (e.g. {!Mkc_coverage.Sieve},
     {!Mkc_coverage.Mv_set_arrival}) as an edge sink.
 

@@ -52,16 +52,23 @@ let load path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let acc = ref [] in
+      let lineno = ref 0 in
+      let malformed line =
+        failwith
+          (Printf.sprintf "Stream_source.load: %s: malformed line %d: %S" path !lineno
+             line)
+      in
       (try
          while true do
            let line = input_line ic in
+           incr lineno;
            match split_ws line with
            | [] -> ()
            | [ s; e ] -> (
                match (int_of_string_opt s, int_of_string_opt e) with
                | Some s, Some e -> acc := Edge.make ~set:s ~elt:e :: !acc
-               | _ -> failwith (Printf.sprintf "Stream_source.load: malformed line %S" line))
-           | _ -> failwith (Printf.sprintf "Stream_source.load: malformed line %S" line)
+               | _ -> malformed line)
+           | _ -> malformed line
          done
        with End_of_file -> ());
       Array.of_list (List.rev !acc))

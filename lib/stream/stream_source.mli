@@ -31,7 +31,8 @@ val save : t -> string -> unit
 val load : string -> t
 (** Inverse of {!save}, tolerant of tabs, repeated spaces, and
     leading/trailing whitespace (fields are split on runs of
-    whitespace); raises [Failure] on malformed lines. *)
+    whitespace); raises [Failure] on malformed lines, naming the file
+    and the 1-based line number. *)
 
 val max_ids : t -> int * int
 (** [(max set id + 1, max element id + 1)] — a cheap (m, n) bound for

@@ -187,7 +187,9 @@ let test_small_set_absent_when_heavy_regime () =
      breakdown to at least confirm the branch logic runs. *)
   let o = Mkc_core.Oracle.create p ~seed:(Sm.create 22) in
   checkb "breakdown exposes branch" true
-    (List.mem_assoc "small-set" (Mkc_core.Oracle.words_breakdown o))
+    (List.exists
+       (fun (key, _) -> String.starts_with ~prefix:"oracle.small_set" key)
+       (Mkc_core.Oracle.words_breakdown o))
 
 (* ---------- more sketch edge cases ---------- *)
 
@@ -234,7 +236,12 @@ let test_words_breakdown_no_smallset_in_heavy_regime () =
   let p = { p with P.s = 1.0 } in
   (* now s·α = 8 ≥ 2k = 4: SmallSet must be absent *)
   let o = Mkc_core.Oracle.create p ~seed:(Sm.create 34) in
-  checki "small-set slot empty" 0 (List.assoc "small-set" (Mkc_core.Oracle.words_breakdown o))
+  checki "small-set slot empty" 0
+    (List.fold_left
+       (fun acc (key, w) ->
+         if String.starts_with ~prefix:"oracle.small_set" key then acc + w else acc)
+       0
+       (Mkc_core.Oracle.words_breakdown o))
 
 let test_full_range_switch_boundary () =
   let mk alpha =

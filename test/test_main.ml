@@ -15,4 +15,5 @@ let () =
       ("properties", Test_props.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("api-surface", Test_api_surface.suite);
+      ("obs", Test_obs.suite);
     ]

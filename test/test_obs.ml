@@ -1,0 +1,460 @@
+(* Tests for Mkc_obs and the Sink.Observed instrumentation layer.
+
+   The load-bearing claims:
+     1. the Metric merge algebra is a commutative monoid, so per-domain
+        shard merges equal a single sequential history;
+     2. a Registry populated from several domains reads back exactly
+        what the same writes from one domain would have produced;
+     3. wrapping a sink in Sink.Observed changes nothing about the
+        computation — same result, same words, same breakdown — and the
+        profile's final point equals words_breakdown exactly;
+     4. run_parallel and sequential ingestion agree metric-for-metric
+        on the invariant counters;
+     5. the mkc-obs/1 JSON snapshot is byte-stable under an injected
+        clock and survives a parse→validate round trip, while tampered
+        snapshots are rejected. *)
+
+module Edge = Mkc_stream.Edge
+module Ss = Mkc_stream.Set_system
+module Src = Mkc_stream.Stream_source
+module Sink = Mkc_stream.Sink
+module Pipe = Mkc_stream.Pipeline
+module P = Mkc_core.Params
+module E = Mkc_core.Estimate
+module Obs = Mkc_obs
+module H = Mkc_obs.Metric.Histogram
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let instance () =
+  let n = 512 and m = 128 and k = 4 and seed = 3 in
+  let pl = Mkc_workload.Planted.few_large ~n ~m ~k ~seed in
+  let sys = pl.Mkc_workload.Planted.system in
+  let src = Src.of_array (Ss.edge_stream ~seed:(seed + 7) sys) in
+  (src, P.make ~m ~n ~k ~alpha:4.0 ~seed ())
+
+let fingerprint (r : E.result) =
+  let witness =
+    match r.E.outcome with
+    | None -> []
+    | Some o -> List.sort compare (o.Mkc_core.Solution.witness ())
+  in
+  (r.E.estimate, r.E.z_guess, witness)
+
+(* Compare histograms on their meaningful fields (vmin/vmax are
+   unspecified at count = 0). *)
+let hist_eq (a : H.t) (b : H.t) =
+  a.H.count = b.H.count
+  && a.H.sum = b.H.sum
+  && a.H.buckets = b.H.buckets
+  && (a.H.count = 0 || (a.H.vmin = b.H.vmin && a.H.vmax = b.H.vmax))
+
+let hist_of values =
+  let h = H.create () in
+  List.iter (H.observe h) values;
+  h
+
+(* Run [f] with metrics enabled, then restore the disabled default and
+   drop any retained spans no matter how [f] exits. *)
+let with_metrics f =
+  Obs.Registry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Registry.set_enabled false;
+      Obs.Span.clear ())
+    f
+
+(* --- Metric merge algebra --- *)
+
+let test_merge_scalars () =
+  checki "counters merge by sum" 7 (Obs.Metric.merge_counter 3 4);
+  checkb "sum gauge" true (Obs.Metric.merge_gauge `Sum 1.5 2.5 = 4.0);
+  checkb "max gauge" true (Obs.Metric.merge_gauge `Max 1.5 2.5 = 2.5);
+  checkb "max gauge commutes" true (Obs.Metric.merge_gauge `Max 2.5 1.5 = 2.5)
+
+let test_histogram_buckets () =
+  checki "v < 1 lands in bucket 0" 0 (H.bucket_of 0.25);
+  checki "1 is bucket 0" 0 (H.bucket_of 1.0);
+  checki "3 is bucket 1" 1 (H.bucket_of 3.0);
+  checki "4 is bucket 2" 2 (H.bucket_of 4.0);
+  let h = hist_of [ 1.0; 3.0; 3.5; 1024.0 ] in
+  checkb "nonzero buckets" true
+    (H.nonzero_buckets h = [ (0, 1); (1, 2); (10, 1) ]);
+  checkb "quantile is a bucket upper bound" true (H.quantile h 0.5 = 4.0);
+  checkb "empty quantile is 0" true (H.quantile (H.create ()) 0.5 = 0.0)
+
+let test_histogram_monoid () =
+  let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 4.0; 100.0 ] and zs = [ 7.0 ] in
+  let a () = hist_of xs and b () = hist_of ys and c () = hist_of zs in
+  let zero () = H.create () in
+  checkb "left identity" true (hist_eq (H.merge (zero ()) (a ())) (a ()));
+  checkb "right identity" true (hist_eq (H.merge (a ()) (zero ())) (a ()));
+  checkb "commutative" true
+    (hist_eq (H.merge (a ()) (b ())) (H.merge (b ()) (a ())));
+  checkb "associative" true
+    (hist_eq
+       (H.merge (H.merge (a ()) (b ())) (c ()))
+       (H.merge (a ()) (H.merge (b ()) (c ()))));
+  checkb "merge equals one sequential history" true
+    (hist_eq (H.merge (a ()) (b ())) (hist_of (xs @ ys)));
+  let dst = a () in
+  H.merge_into ~dst (b ());
+  checkb "merge_into agrees with merge" true (hist_eq dst (hist_of (xs @ ys)))
+
+(* --- Registry: sharded writes merge to the sequential answer --- *)
+
+let test_registry_disabled_noop () =
+  let r = Obs.Registry.create () in
+  checkb "switch starts off" true (not (Obs.Registry.enabled ()));
+  let c = Obs.Registry.counter r "c" in
+  Obs.Registry.add c 5;
+  Obs.Registry.incr c;
+  checkb "writes while disabled are dropped" true
+    (Obs.Registry.read r "c" = Some (Obs.Registry.Counter 0));
+  checkb "unregistered name reads None" true (Obs.Registry.read r "nope" = None)
+
+let test_registry_domain_merge () =
+  with_metrics (fun () ->
+      (* The same write sequence, once from three spawned domains and
+         once from this domain alone, must read back identically for
+         counters and histograms (order-insensitive merges). *)
+      let ops = [ (1, 2.0); (2, 16.0); (3, 5.0) ] in
+      let par = Obs.Registry.create () in
+      List.map
+        (fun (inc, obs) ->
+          Domain.spawn (fun () ->
+              Obs.Registry.add (Obs.Registry.counter par "c") inc;
+              Obs.Registry.observe (Obs.Registry.histogram par "h") obs))
+        ops
+      |> List.iter Domain.join;
+      let seq = Obs.Registry.create () in
+      List.iter
+        (fun (inc, obs) ->
+          Obs.Registry.add (Obs.Registry.counter seq "c") inc;
+          Obs.Registry.observe (Obs.Registry.histogram seq "h") obs)
+        ops;
+      checkb "sharded dump = sequential dump" true
+        (Obs.Registry.dump par = Obs.Registry.dump seq);
+      (* Gauges merge by their registered mode across domains. *)
+      let g = Obs.Registry.create () in
+      List.map
+        (fun v ->
+          Domain.spawn (fun () ->
+              Obs.Registry.set (Obs.Registry.gauge ~mode:`Sum g "busy") v;
+              Obs.Registry.set (Obs.Registry.gauge ~mode:`Max g "peak") v))
+        [ 1.0; 2.0; 3.0 ]
+      |> List.iter Domain.join;
+      checkb "sum gauge adds across domains" true
+        (Obs.Registry.read g "busy" = Some (Obs.Registry.Gauge 6.0));
+      checkb "max gauge high-water marks" true
+        (Obs.Registry.read g "peak" = Some (Obs.Registry.Gauge 3.0));
+      let r = Obs.Registry.create () in
+      ignore (Obs.Registry.counter r "x");
+      Alcotest.check_raises "re-registering under a different kind"
+        (Invalid_argument "Registry: \"x\" re-registered as a different kind")
+        (fun () -> ignore (Obs.Registry.gauge r "x")))
+
+let test_registry_reset () =
+  with_metrics (fun () ->
+      let r = Obs.Registry.create () in
+      Obs.Registry.add (Obs.Registry.counter r "c") 9;
+      Obs.Registry.reset r;
+      checkb "reset zeroes but keeps registration" true
+        (Obs.Registry.read r "c" = Some (Obs.Registry.Counter 0)))
+
+(* --- Spans and the injectable clock --- *)
+
+let test_clock_monotone () =
+  let t = ref 100 in
+  Obs.Clock.set_source (fun () -> !t);
+  Fun.protect ~finally:Obs.Clock.use_wall_clock (fun () ->
+      checki "injected source" 100 (Obs.Clock.now_ns ());
+      t := 50;
+      checkb "clamped against going backwards" true (Obs.Clock.now_ns () >= 100);
+      t := 200;
+      checki "advances again" 200 (Obs.Clock.now_ns ()))
+
+let test_span_ring () =
+  with_metrics (fun () ->
+      let r = Obs.Registry.create () in
+      Obs.Span.clear ();
+      Obs.Span.record ~registry:r "work" ~start_ns:10 ~dur_ns:5;
+      Obs.Span.record ~registry:r "work" ~start_ns:20 ~dur_ns:7;
+      (match Obs.Span.recent () with
+      | [ a; b ] ->
+          checks "span name" "work" a.Obs.Span.name;
+          checkb "oldest first" true (a.Obs.Span.start_ns < b.Obs.Span.start_ns)
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+      (match Obs.Registry.read r "span.work.ns" with
+      | Some (Obs.Registry.Histogram h) -> checki "latency histogram count" 2 h.H.count
+      | _ -> Alcotest.fail "span histogram not registered");
+      Obs.Span.clear ();
+      checkb "clear empties the ring" true (Obs.Span.recent () = []));
+  (* Disabled: record is a no-op for both the ring and the registry. *)
+  Obs.Span.record "quiet" ~start_ns:1 ~dur_ns:1;
+  checkb "no spans while disabled" true (Obs.Span.recent () = [])
+
+(* --- Canonical breakdowns --- *)
+
+let test_canonical_breakdown () =
+  checkb "sorts and merges duplicate keys" true
+    (Sink.canonical_breakdown [ ("b", 1); ("a", 2); ("b", 3) ]
+    = [ ("a", 2); ("b", 4) ]);
+  checkb "prefix is dot-joined" true
+    (Sink.prefix_breakdown "oracle" [ ("l0", 1); ("sampler", 2) ]
+    = [ ("oracle.l0", 1); ("oracle.sampler", 2) ])
+
+let test_estimate_breakdown_keys () =
+  let src, params = instance () in
+  let est = E.create params in
+  ignore (Pipe.run_seq E.sink est src);
+  let wb = E.words_breakdown est in
+  let keys = List.map fst wb in
+  checkb "keys are sorted" true (keys = List.sort compare keys);
+  checkb "keys are unique" true
+    (List.length keys = List.length (List.sort_uniq compare keys));
+  checkb "universe reduction is accounted" true
+    (List.mem_assoc "universe_reduction" wb);
+  checkb "large-common l0 under its dot namespace" true
+    (List.mem_assoc "oracle.large_common.l0" wb);
+  checki "breakdown sums to words" (E.words est)
+    (List.fold_left (fun acc (_, w) -> acc + w) 0 wb)
+
+(* --- Sink.Observed: wrapping changes nothing --- *)
+
+let prop_observed_equals_bare =
+  let gen = QCheck.Gen.(pair (int_range 0 1000) (int_range 1 100)) in
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, cadence) -> Printf.sprintf "seed %d, cadence %d" seed cadence)
+      gen
+  in
+  QCheck.Test.make ~name:"Observed sink ≡ bare sink (random streams)" ~count:20 arb
+    (fun (seed, cadence) ->
+      let sys = Mkc_workload.Random_inst.uniform ~n:64 ~m:24 ~set_size:12 ~seed in
+      let src = Src.of_system ~seed:(seed + 1) sys in
+      let params = P.make ~m:24 ~n:64 ~k:3 ~alpha:4.0 ~seed:5 () in
+      let bare = E.create params in
+      let r0 = Pipe.run ~chunk:64 E.sink bare src in
+      let obs = E.create params in
+      let sm, ob = Sink.Observed.observe ~cadence E.sink obs in
+      let r1 = Pipe.run ~chunk:64 sm ob src in
+      let final_ok =
+        match Obs.Space_profile.final (Sink.Observed.profile ob) with
+        | None -> false
+        | Some p ->
+            p.Obs.Space_profile.words = E.words obs
+            && p.Obs.Space_profile.breakdown
+               = Sink.canonical_breakdown (E.words_breakdown obs)
+      in
+      fingerprint r0 = fingerprint r1
+      && E.words bare = E.words obs
+      && E.words_breakdown bare = E.words_breakdown obs
+      && final_ok)
+
+let test_observed_cadence_grid () =
+  (* A sink whose words grow per edge; drive it batchwise and check the
+     sample schedule: at most one sample per feed call, realigned to the
+     cadence grid, plus the finalize sample. *)
+  let module Count = struct
+    type t = int ref
+    type result = int
+
+    let feed t (_ : Edge.t) = incr t
+    let feed_batch t _ ~pos:_ ~len = t := !t + len
+    let finalize t = !t
+    let words t = !t
+    let words_breakdown t = [ ("count", !t) ]
+  end in
+  let m : (int ref, int) Sink.sink = (module Count) in
+  let sm, ob = Sink.Observed.observe ~cadence:10 m (ref 0) in
+  let edges = Array.init 25 (fun i -> Edge.make ~set:0 ~elt:i) in
+  let r = Pipe.run ~chunk:7 sm ob (Src.of_array edges) in
+  checki "wrapper forwards finalize" 25 r;
+  let ats =
+    List.map
+      (fun p -> p.Obs.Space_profile.at_edges)
+      (Obs.Space_profile.points (Sink.Observed.profile ob))
+  in
+  (* chunks land at 7,14,21,25 edges; cadence 10 samples at 14 (first
+     crossing of 10, grid realigns to 20) and 21, then finalize at 25 *)
+  checkb "cadence-grid samples plus finalize" true (ats = [ 14; 21; 25 ]);
+  checki "peak words" 25
+    (Obs.Space_profile.peak_words (Sink.Observed.profile ob));
+  Alcotest.check_raises "cadence must be positive"
+    (Invalid_argument "Sink.Observed.wrap: cadence must be >= 1") (fun () ->
+      ignore (Sink.Observed.observe ~cadence:0 m (ref 0)))
+
+(* --- Parallel vs sequential ingestion: same metrics --- *)
+
+let test_parallel_metrics_equal_seq () =
+  with_metrics (fun () ->
+      let read_feed_edges () =
+        match Obs.Registry.read Obs.Registry.global "pipeline.sink_feed_edges" with
+        | Some (Obs.Registry.Counter n) -> n
+        | _ -> 0
+      in
+      let src, params = instance () in
+      let est1 = E.create params in
+      let b0 = read_feed_edges () in
+      Pipe.feed_all (E.shards est1) src;
+      let seq_delta = read_feed_edges () - b0 in
+      let est2 = E.create params in
+      let b1 = read_feed_edges () in
+      Pipe.feed_all_parallel ~domains:3 (E.shards est2) src;
+      let par_delta = read_feed_edges () - b1 in
+      checki "sink_feed_edges invariant across drivers" seq_delta par_delta;
+      checkb "drivers agree on the result" true
+        (fingerprint (E.finalize est1) = fingerprint (E.finalize est2));
+      let r1 = Obs.Registry.create () and r2 = Obs.Registry.create () in
+      E.record_metrics ~registry:r1 est1;
+      E.record_metrics ~registry:r2 est2;
+      checkb "work counters identical metric-for-metric" true
+        (Obs.Registry.dump r1 = Obs.Registry.dump r2);
+      checkb "per-instance counters present" true
+        (List.exists
+           (fun (name, _) -> String.starts_with ~prefix:"estimate.z" name)
+           (Obs.Registry.dump r1)))
+
+(* --- Snapshot: golden JSON, round trip, tamper rejection --- *)
+
+let golden =
+  "{\"schema\":\"mkc-obs/1\",\"created_ns\":42,\
+   \"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":5},\
+   {\"name\":\"g\",\"kind\":\"gauge\",\"value\":2.5},\
+   {\"name\":\"h\",\"kind\":\"histogram\",\"count\":1,\"sum\":3.0,\"min\":3.0,\
+   \"max\":3.0,\"buckets\":[[1,1]]}],\
+   \"spans\":[{\"name\":\"s\",\"start_ns\":10,\"dur_ns\":5,\"domain\":0}],\
+   \"profiles\":[{\"name\":\"p\",\"cadence\":2,\
+   \"points\":[{\"at_edges\":2,\"words\":3,\"breakdown\":[[\"a\",1],[\"b\",2]]}]}]}"
+
+let golden_snapshot () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.add (Obs.Registry.counter r "c") 5;
+  Obs.Registry.set (Obs.Registry.gauge r "g") 2.5;
+  Obs.Registry.observe (Obs.Registry.histogram r "h") 3.0;
+  let sp = Obs.Space_profile.create ~cadence:2 in
+  Obs.Space_profile.record sp ~at_edges:2 ~words:3 ~breakdown:[ ("a", 1); ("b", 2) ];
+  Obs.Snapshot.capture
+    ~spans:[ { Obs.Span.name = "s"; start_ns = 10; dur_ns = 5; domain = 0 } ]
+    ~profiles:[ ("p", sp) ] ~now_ns:42 r
+
+let test_snapshot_golden () =
+  with_metrics (fun () ->
+      checks "byte-stable emission" golden
+        (Obs.Snapshot.to_string (golden_snapshot ())))
+
+let test_snapshot_round_trip () =
+  with_metrics (fun () ->
+      let s = Obs.Snapshot.to_string (golden_snapshot ()) in
+      match Obs.Snapshot.validate s with
+      | Error e -> Alcotest.failf "golden snapshot rejected: %s" e
+      | Ok snap ->
+          checki "created_ns" 42 snap.Obs.Snapshot.created_ns;
+          checki "metrics" 3 (List.length snap.Obs.Snapshot.metrics);
+          checki "spans" 1 (List.length snap.Obs.Snapshot.spans);
+          checki "profiles" 1 (List.length snap.Obs.Snapshot.profiles);
+          checks "re-emission is a fixpoint" s (Obs.Snapshot.to_string snap))
+
+(* First-occurrence substring replacement (avoids a Str dependency). *)
+let replace_once ~sub ~by s =
+  let ls = String.length s and lb = String.length sub in
+  let rec find i =
+    if i + lb > ls then invalid_arg "replace_once: substring not found"
+    else if String.sub s i lb = sub then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ by ^ String.sub s (i + lb) (ls - i - lb)
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec find i =
+    i + lb <= ls && (String.sub s i lb = sub || find (i + 1))
+  in
+  find 0
+
+let test_snapshot_rejects_tampering () =
+  let reject what s =
+    match Obs.Snapshot.validate s with
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  reject "a foreign schema" (replace_once ~sub:"mkc-obs/1" ~by:"mkc-obs/2" golden);
+  (* histogram bucket counts no longer sum to count *)
+  reject "a bucket-sum mismatch"
+    (replace_once ~sub:"\"buckets\":[[1,1]]" ~by:"\"buckets\":[[1,2]]" golden);
+  (* profile point breakdown no longer sums to words *)
+  reject "a breakdown-sum mismatch"
+    (replace_once ~sub:"[\"b\",2]" ~by:"[\"b\",7]" golden);
+  reject "truncated JSON" (String.sub golden 0 (String.length golden - 1))
+
+let test_json_parse () =
+  let v =
+    Obs.Json.Object
+      [
+        ("a", Obs.Json.Int 3);
+        ("b", Obs.Json.Array [ Obs.Json.Float 2.5; Obs.Json.String "x\"y" ]);
+        ("c", Obs.Json.Bool true);
+        ("d", Obs.Json.Null);
+      ]
+  in
+  (match Obs.Json.parse (Obs.Json.to_string v) with
+  | Ok v' -> checkb "parse inverts to_string" true (v = v')
+  | Error e -> Alcotest.failf "round trip failed: %s" e);
+  (match Obs.Json.parse "{\"a\": 1," with
+  | Ok _ -> Alcotest.fail "accepted malformed JSON"
+  | Error e ->
+      checkb "error carries a byte offset" true
+        (String.length e >= 7 && String.sub e 0 7 = "at byte"));
+  checkb "integral float accessor" true
+    (Obs.Json.to_int (Obs.Json.Float 3.0) = Some 3);
+  checkb "non-integral float is not an int" true
+    (Obs.Json.to_int (Obs.Json.Float 3.5) = None)
+
+(* --- Stream_source.load: malformed input names the line --- *)
+
+let test_load_error_line_number () =
+  let path = Filename.temp_file "mkc_obs_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0 1\nbogus line\n";
+      close_out oc;
+      match Src.load path with
+      | (_ : Src.t) -> Alcotest.fail "malformed file loaded"
+      | exception Failure msg ->
+          checkb "names the 1-based line" true (contains ~sub:"malformed line 2" msg))
+
+let suite =
+  [
+    Alcotest.test_case "metric: scalar merges" `Quick test_merge_scalars;
+    Alcotest.test_case "metric: histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "metric: histogram monoid laws" `Quick test_histogram_monoid;
+    Alcotest.test_case "registry: disabled writes are no-ops" `Quick
+      test_registry_disabled_noop;
+    Alcotest.test_case "registry: domain shards merge to sequential" `Quick
+      test_registry_domain_merge;
+    Alcotest.test_case "registry: reset" `Quick test_registry_reset;
+    Alcotest.test_case "clock: injected source, monotone clamp" `Quick
+      test_clock_monotone;
+    Alcotest.test_case "span: ring + latency histogram" `Quick test_span_ring;
+    Alcotest.test_case "sink: canonical breakdown" `Quick test_canonical_breakdown;
+    Alcotest.test_case "estimate: dot-namespaced breakdown keys" `Quick
+      test_estimate_breakdown_keys;
+    Alcotest.test_case "observed: cadence grid sampling" `Quick
+      test_observed_cadence_grid;
+    Alcotest.test_case "pipeline: parallel metrics ≡ sequential" `Quick
+      test_parallel_metrics_equal_seq;
+    Alcotest.test_case "snapshot: golden JSON" `Quick test_snapshot_golden;
+    Alcotest.test_case "snapshot: validate round trip" `Quick test_snapshot_round_trip;
+    Alcotest.test_case "snapshot: rejects tampering" `Quick
+      test_snapshot_rejects_tampering;
+    Alcotest.test_case "json: parse/print round trip" `Quick test_json_parse;
+    Alcotest.test_case "stream_source: malformed line number" `Quick
+      test_load_error_line_number;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_observed_equals_bare ]
