@@ -21,6 +21,8 @@ let registry =
     ("e10", Experiments.e10);
     ("micro", Micro.run);
     ("pipeline", Pipeline_bench.run);
+    ("pipeline-smoke", Pipeline_bench.run_smoke);
+    ("profile", Profile_hotpath.run);
   ]
 
 let () =

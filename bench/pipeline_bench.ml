@@ -1,8 +1,9 @@
 (* Ingestion-throughput micro-benchmark for the Sink/Pipeline layer.
 
-   Four ways to drive the same Estimate sink over a ~10^6-edge stream:
+   Four ways to drive the same Estimate sink over the same edge stream:
      per-edge      Stream_source.iter + Sink.feed        (the old ingestion path)
-     batched       Stream_source.chunks + Sink.feed_batch (Pipeline.run)
+     batched       Pipeline.feed_all — chunked ingestion through the
+                   chunk-deduplicated plan path (Chunk_plan + feed_planned)
      parallel      Pipeline.feed_all_parallel over Estimate.shards
      instrumented  batched again, metrics enabled + Sink.Observed wrapper
                    (quantifies the observability overhead; runs last so
@@ -11,15 +12,18 @@
    All runs use identical params/seeds, so their finalized results must
    be identical — the benchmark asserts this before reporting, and also
    asserts that the instrumented run's final space-profile point equals
-   the sink's words_breakdown exactly.  Results go to stdout and to
-   BENCH_pipeline.json (machine-readable; includes the mkc-obs/1
-   metrics snapshot of the instrumented run). *)
+   the sink's words_breakdown exactly.  Results go to stdout and to a
+   JSON file (machine-readable; includes the mkc-obs/1 metrics snapshot
+   of the instrumented run and the chunk-dedup efficiency ratio
+   sampler_evals/edges).
+
+   Two registry entries share this runner:
+     pipeline        n=65536, m=4096 — the acceptance-criteria workload
+     pipeline-smoke  n=4096,  m=512  — a few seconds; CI divergence gate *)
 
 module Ss = Mkc_stream.Set_system
 module P = Mkc_core.Params
 module E = Mkc_core.Estimate
-
-let json_out = "BENCH_pipeline.json"
 
 type timing = { mode : string; seconds : float; edges_per_sec : float }
 
@@ -37,10 +41,20 @@ let outcome_fingerprint (r : E.result) =
   in
   (r.E.estimate, r.E.z_guess, witness)
 
-let run () =
-  Exp_util.header "pipeline: per-edge vs batched vs domain-parallel ingestion";
-  let n = 65536 and m = 4096 and k = 32 and alpha = 8.0 and seed = 11 in
-  let sys = Mkc_workload.Random_inst.uniform ~n ~m ~set_size:256 ~seed in
+(* Oracle-level sampler evaluations actually performed (memo misses),
+   summed over every (z, repeat) instance.  The chunk-dedup engine's
+   headline number: per-edge ingestion would pay one evaluation per
+   (instance, edge). *)
+let total_sampler_evals e =
+  List.fold_left
+    (fun acc (_inst, stats) ->
+      acc + (try List.assoc "sampler_evals" stats with Not_found -> 0))
+    0 (E.stats e)
+
+let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
+  Exp_util.header
+    (Printf.sprintf "%s: per-edge vs batched vs domain-parallel ingestion" label);
+  let sys = Mkc_workload.Random_inst.uniform ~n ~m ~set_size ~seed in
   let src = Mkc_stream.Stream_source.of_system ~seed:(seed + 1) sys in
   let edges = Mkc_stream.Stream_source.length src in
   let domains = max 2 (min 4 (Domain.recommended_domain_count ())) in
@@ -54,9 +68,7 @@ let run () =
       time_ingest "per-edge" (fun () ->
           Mkc_stream.Stream_source.iter (E.feed e_seq) src);
       time_ingest "batched" (fun () ->
-          Mkc_stream.Stream_source.chunks
-            (fun a ~pos ~len -> E.feed_batch e_batch a ~pos ~len)
-            src);
+          Mkc_stream.Pipeline.feed_all [| Mkc_stream.Sink.pack E.sink e_batch |] src);
       time_ingest "parallel" (fun () ->
           Mkc_stream.Pipeline.feed_all_parallel ~domains (E.shards e_par) src);
     ]
@@ -100,8 +112,15 @@ let run () =
       if List.exists (fun r -> r <> a) rest then
         failwith "pipeline bench: ingestion modes disagree!"
   | [] -> assert false);
-  let (estimate, z_guess, _) = List.hd results in
+  let estimate, z_guess, _ = List.hd results in
   Format.printf "all modes agree: estimate %.0f (z-guess %d)@." estimate z_guess;
+  (* Dedup efficiency: batched path's actual sampler evaluations vs the
+     per-edge path's (one per instance per edge). *)
+  let evals_batched = total_sampler_evals e_batch in
+  let evals_seq = total_sampler_evals e_seq in
+  let eval_ratio = float_of_int evals_batched /. float_of_int (max 1 edges) in
+  Format.printf "sampler evals: %d batched vs %d per-edge (%.1f%% of %d edges)@."
+    evals_batched evals_seq (100.0 *. eval_ratio) edges;
   let timings =
     List.map
       (fun (mode, seconds) ->
@@ -119,6 +138,10 @@ let run () =
     (Printf.sprintf
        "  \"edges\": %d,\n  \"n\": %d,\n  \"m\": %d,\n  \"k\": %d,\n  \"alpha\": %g,\n  \"domains\": %d,\n  \"estimate\": %.0f,\n"
        edges n m k alpha domains estimate);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sampler_evals\": %d,\n  \"sampler_evals_per_edge_path\": %d,\n  \"sampler_evals_ratio\": %.6f,\n"
+       evals_batched evals_seq eval_ratio);
   Buffer.add_string b "  \"modes\": [\n";
   List.iteri
     (fun i t ->
@@ -135,3 +158,14 @@ let run () =
   output_string oc (Buffer.contents b);
   close_out oc;
   Format.printf "wrote %s@." json_out
+
+let run () =
+  run_with ~label:"pipeline" ~json_out:"BENCH_pipeline.json" ~n:65536 ~m:4096 ~k:32
+    ~set_size:256 ~alpha:8.0 ~seed:11 ()
+
+(* CI-sized smoke run: same four modes, same agreement assertions, a few
+   seconds of wall clock.  Exists so CI can gate on cross-mode
+   divergence without paying for the full workload. *)
+let run_smoke () =
+  run_with ~label:"pipeline-smoke" ~json_out:"BENCH_pipeline_smoke.json" ~n:4096
+    ~m:512 ~k:16 ~set_size:64 ~alpha:8.0 ~seed:11 ()

@@ -1,0 +1,132 @@
+(* Hot-path profiler: per-subroutine cost breakdown of the oracle
+   ingestion pipeline on the BENCH_pipeline workload.  Times each
+   component in isolation (same params, same instance mix as
+   Estimate.create) and reports seconds plus minor-heap allocation per
+   edge, so hashing vs update vs GC costs are attributable. *)
+
+module P = Mkc_core.Params
+
+let pr fmt = Format.printf fmt
+
+let time_alloc name ~edges f =
+  let a0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  let alloc = Gc.minor_words () -. a0 in
+  pr "  %-28s %7.3fs  %8.1f ns/edge  %6.1f words/edge@." name dt
+    (dt *. 1e9 /. float_of_int edges)
+    (alloc /. float_of_int edges);
+  dt
+
+let run () =
+  pr "=== hot-path profile ===@.";
+  let n = 65536 and m = 4096 and k = 32 and alpha = 8.0 and seed = 11 in
+  let sys = Mkc_workload.Random_inst.uniform ~n ~m ~set_size:256 ~seed in
+  let src = Mkc_stream.Stream_source.of_system ~seed:(seed + 1) sys in
+  let all = Mkc_stream.Stream_source.to_array src in
+  let nedges = min 131072 (Array.length all) in
+  let edges = Array.sub all 0 nedges in
+  let params = P.make ~m ~n ~k ~alpha ~seed () in
+  pr "%d edges, indep=%d@." nedges params.P.indep;
+  let root = Mkc_hashing.Splitmix.create params.P.base_seed in
+  let zs =
+    Mkc_core.Estimate.guesses (Mkc_core.Estimate.create params)
+    |> List.concat_map (fun z -> [ (z, 0); (z, 1) ])
+  in
+  pr "%d instances@." (List.length zs);
+  (* universe reduction *)
+  let reductions =
+    List.map
+      (fun (z, rep) ->
+        let sd = Mkc_hashing.Splitmix.fork root ((z * 131) + rep) in
+        Mkc_core.Universe_reduction.create ~z ~seed:(Mkc_hashing.Splitmix.fork sd 0))
+      zs
+  in
+  let scratch = Array.make nedges (Mkc_stream.Edge.make ~set:0 ~elt:0) in
+  let _ =
+    time_alloc "reduction (16 inst)" ~edges:nedges (fun () ->
+        List.iter
+          (fun r ->
+            for i = 0 to nedges - 1 do
+              scratch.(i) <- Mkc_core.Universe_reduction.apply_edge r edges.(i)
+            done)
+          reductions)
+  in
+  (* per-subroutine, with per-instance reduced streams *)
+  let comps =
+    List.map
+      (fun ((z, rep), red) ->
+        let sd = Mkc_hashing.Splitmix.fork root ((z * 131) + rep) in
+        let osd = Mkc_hashing.Splitmix.fork sd 1 in
+        let p = P.with_universe params z in
+        let sa = P.s_alpha p in
+        let heavy = sa >= 2.0 *. float_of_int p.P.k in
+        let w =
+          if heavy then p.P.k
+          else max 1 (min p.P.k (int_of_float (Float.round p.P.alpha)))
+        in
+        let reduced =
+          Array.map (fun e -> Mkc_core.Universe_reduction.apply_edge red e) edges
+        in
+        ( Mkc_core.Large_common.create p ~seed:(Mkc_hashing.Splitmix.fork osd 1),
+          Mkc_core.Large_set.create p ~w ~seed:(Mkc_hashing.Splitmix.fork osd 2),
+          Mkc_core.Small_set.create p ~seed:(Mkc_hashing.Splitmix.fork osd 3),
+          reduced ))
+      (List.combine zs reductions)
+  in
+  let _ =
+    time_alloc "large_common (16 inst)" ~edges:nedges (fun () ->
+        List.iter
+          (fun (lc, _, _, reduced) ->
+            Mkc_core.Large_common.feed_batch lc reduced ~pos:0 ~len:nedges)
+          comps)
+  in
+  let _ =
+    time_alloc "large_set (16 inst)" ~edges:nedges (fun () ->
+        List.iter
+          (fun (_, ls, _, reduced) ->
+            Mkc_core.Large_set.feed_batch ls reduced ~pos:0 ~len:nedges)
+          comps)
+  in
+  let _ =
+    time_alloc "small_set (16 inst)" ~edges:nedges (fun () ->
+        List.iter
+          (fun (_, _, ss, reduced) ->
+            Mkc_core.Small_set.feed_batch ss reduced ~pos:0 ~len:nedges)
+          comps)
+  in
+  (* micro: primitive throughputs over 1e6 ops *)
+  let ops = 1_000_000 in
+  let xs = Array.init ops (fun i -> (i * 2654435761) land 0xFFFFFF) in
+  let ph = Mkc_hashing.Poly_hash.create ~indep:8 ~range:1024 ~seed:(Mkc_hashing.Splitmix.create 1) in
+  let acc = ref 0 in
+  let _ =
+    time_alloc "poly_hash d=8 (1e6)" ~edges:ops (fun () ->
+        for i = 0 to ops - 1 do
+          acc := !acc + Mkc_hashing.Poly_hash.hash ph xs.(i)
+        done)
+  in
+  let tab = Mkc_hashing.Tabulation.create ~seed:(Mkc_hashing.Splitmix.create 2) in
+  let _ =
+    time_alloc "tabulation hash64 (1e6)" ~edges:ops (fun () ->
+        for i = 0 to ops - 1 do
+          acc := !acc + Int64.to_int (Mkc_hashing.Tabulation.hash64 tab xs.(i))
+        done)
+  in
+  let l0 = Mkc_sketch.L0_bjkst.create ~seed:(Mkc_hashing.Splitmix.create 3) () in
+  let _ =
+    time_alloc "l0 add (1e6)" ~edges:ops (fun () ->
+        for i = 0 to ops - 1 do
+          Mkc_sketch.L0_bjkst.add l0 xs.(i)
+        done)
+  in
+  let cs = Mkc_sketch.Count_sketch.create ~width:64 ~seed:(Mkc_hashing.Splitmix.create 4) () in
+  let _ =
+    time_alloc "count_sketch add (1e6)" ~edges:ops (fun () ->
+        for i = 0 to ops - 1 do
+          Mkc_sketch.Count_sketch.add cs xs.(i) 1
+        done)
+  in
+  ignore !acc;
+  pr "@."

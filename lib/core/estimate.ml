@@ -7,7 +7,8 @@ type body =
 type t = {
   params : Params.t;
   body : body;
-  mutable scratch : Mkc_stream.Edge.t array; (* reduced-edge buffer for feed_batch *)
+  mutable red : int array; (* distinct-element reduction buffer, reused per chunk *)
+  own_plan : Mkc_stream.Chunk_plan.t; (* for feed_batch callers with no shared plan *)
 }
 
 type result = { estimate : float; outcome : Solution.outcome option; z_guess : int }
@@ -22,13 +23,15 @@ let guess_ladder (p : Params.t) =
 
 let trivial_witness (p : Params.t) () =
   (* k distinct pseudo-random set ids; by set sampling, a random
-     k-subset carries a ≥ k/m ≥ 1/α coverage fraction in expectation. *)
+     k-subset carries a ≥ k/m ≥ 1/α coverage fraction in expectation.
+     Sorted: Hashtbl.fold order is implementation-defined, and the
+     witness must be deterministic across OCaml versions/runs. *)
   let rng = Mkc_hashing.Splitmix.create (p.base_seed lxor 0x7777) in
   let seen = Hashtbl.create p.k in
   while Hashtbl.length seen < p.k do
     Hashtbl.replace seen (Mkc_hashing.Splitmix.below rng p.m) ()
   done;
-  Hashtbl.fold (fun id () acc -> id :: acc) seen []
+  List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) seen [])
 
 let create (p : Params.t) =
   let body =
@@ -56,7 +59,7 @@ let create (p : Params.t) =
       Run { insts }
     end
   in
-  { params = p; body; scratch = [||] }
+  { params = p; body; red = [||]; own_plan = Mkc_stream.Chunk_plan.create () }
 
 let feed t e =
   match t.body with
@@ -66,31 +69,33 @@ let feed t e =
         (fun inst -> Oracle.feed inst.oracle (Universe_reduction.apply_edge inst.reduction e))
         insts
 
-let reduce_chunk reduction scratch edges ~pos ~len =
-  for i = 0 to len - 1 do
-    scratch.(i) <- Universe_reduction.apply_edge reduction (Array.unsafe_get edges (pos + i))
-  done
+let grow_red scratch n =
+  if Array.length scratch >= n then scratch else Array.make (max n (2 * Array.length scratch)) 0
 
-let grow scratch len =
-  if Array.length scratch >= len then scratch
-  else Array.make len (Mkc_stream.Edge.make ~set:0 ~elt:0)
+let feed_planned t plan edges ~pos ~len =
+  match t.body with
+  | Trivial _ -> ()
+  | Run { insts } ->
+      (* Instance-outer over the shared plan: each instance reduces only
+         the chunk's DISTINCT elements (one coefficient-major hash pass
+         per instance) into [red], then its oracle decides per distinct
+         id and replays the chunk.  Instances are mutually independent,
+         so the final state is exactly the edge-by-edge one. *)
+      let ne = Mkc_stream.Chunk_plan.num_elts plan in
+      t.red <- grow_red t.red ne;
+      let red = t.red and elts = Mkc_stream.Chunk_plan.elts plan in
+      Array.iter
+        (fun inst ->
+          Universe_reduction.apply_batch inst.reduction elts ~pos:0 ~len:ne red;
+          Oracle.feed_planned inst.oracle plan ~red edges ~pos ~len)
+        insts
 
 let feed_batch t edges ~pos ~len =
   match t.body with
   | Trivial _ -> ()
-  | Run { insts } ->
-      (* Instance-outer: each oracle instance reduces and consumes the
-         whole chunk before the next starts, so one instance's sketches
-         stay hot and the per-edge instance dispatch is paid once per
-         chunk.  Instances are mutually independent, so the final state
-         is exactly the edge-by-edge one. *)
-      t.scratch <- grow t.scratch len;
-      let scratch = t.scratch in
-      Array.iter
-        (fun inst ->
-          reduce_chunk inst.reduction scratch edges ~pos ~len;
-          Oracle.feed_batch inst.oracle scratch ~pos:0 ~len)
-        insts
+  | Run _ ->
+      Mkc_stream.Chunk_plan.build t.own_plan edges ~pos ~len;
+      feed_planned t t.own_plan edges ~pos ~len
 
 let finalize t =
   match t.body with
@@ -174,6 +179,7 @@ let sink : (t, result) Mkc_stream.Sink.sink =
 
     let feed = feed
     let feed_batch = feed_batch
+    let feed_planned = feed_planned
     let finalize = finalize
     let words = words
     let words_breakdown = words_breakdown
@@ -181,8 +187,13 @@ let sink : (t, result) Mkc_stream.Sink.sink =
 
 (* One z-guess × repeat instance as an independently driveable sink —
    the unit the parallel pipeline schedules.  Each shard owns a private
-   reduced-edge scratch buffer so shards never share mutable state. *)
-type shard = { inst : inst; mutable shard_scratch : Mkc_stream.Edge.t array }
+   reduction buffer and plan scratch so shards never share mutable
+   state (plans may not cross domains). *)
+type shard = {
+  inst : inst;
+  mutable shard_red : int array;
+  shard_plan : Mkc_stream.Chunk_plan.t;
+}
 
 let shard_sink : (shard, unit) Mkc_stream.Sink.sink =
   (module struct
@@ -192,10 +203,17 @@ let shard_sink : (shard, unit) Mkc_stream.Sink.sink =
     let feed s e =
       Oracle.feed s.inst.oracle (Universe_reduction.apply_edge s.inst.reduction e)
 
+    let feed_planned s plan edges ~pos ~len =
+      let ne = Mkc_stream.Chunk_plan.num_elts plan in
+      s.shard_red <- grow_red s.shard_red ne;
+      Universe_reduction.apply_batch s.inst.reduction
+        (Mkc_stream.Chunk_plan.elts plan)
+        ~pos:0 ~len:ne s.shard_red;
+      Oracle.feed_planned s.inst.oracle plan ~red:s.shard_red edges ~pos ~len
+
     let feed_batch s edges ~pos ~len =
-      s.shard_scratch <- grow s.shard_scratch len;
-      reduce_chunk s.inst.reduction s.shard_scratch edges ~pos ~len;
-      Oracle.feed_batch s.inst.oracle s.shard_scratch ~pos:0 ~len
+      Mkc_stream.Chunk_plan.build s.shard_plan edges ~pos ~len;
+      feed_planned s s.shard_plan edges ~pos ~len
 
     let finalize _ = ()
     let words s = Universe_reduction.words s.inst.reduction + Oracle.words s.inst.oracle
@@ -210,5 +228,7 @@ let shards t =
   | Trivial _ -> [||] (* the trivial branch ignores the stream *)
   | Run { insts } ->
       Array.map
-        (fun inst -> Mkc_stream.Sink.pack shard_sink { inst; shard_scratch = [||] })
+        (fun inst ->
+          Mkc_stream.Sink.pack shard_sink
+            { inst; shard_red = [||]; shard_plan = Mkc_stream.Chunk_plan.create () })
         insts

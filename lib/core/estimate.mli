@@ -23,9 +23,17 @@ val create : Params.t -> t
 val feed : t -> Mkc_stream.Edge.t -> unit
 
 val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
-(** Chunked ingestion, equivalent to edge-by-edge {!feed}: the z-guess ×
-    repeat instances are driven instance-outer over each chunk, so the
-    per-edge fan-out dispatch is paid once per chunk. *)
+(** Chunked ingestion, equivalent to edge-by-edge {!feed}: builds a
+    private {!Mkc_stream.Chunk_plan} for the slice and delegates to
+    {!feed_planned}. *)
+
+val feed_planned :
+  t -> Mkc_stream.Chunk_plan.t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** Chunk-deduplicated ingestion (bit-for-bit ≡ {!feed}): instances are
+    driven instance-outer over the shared plan; each instance hashes the
+    chunk's distinct elements once (coefficient-major universe
+    reduction), makes every sampler decision once per distinct set or
+    element id, and replays the chunk in original edge order. *)
 
 type result = {
   estimate : float;

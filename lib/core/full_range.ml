@@ -34,6 +34,11 @@ let feed_batch t edges ~pos ~len =
   | Mv mv -> Mkc_coverage.Mcgregor_vu.feed_batch mv edges ~pos ~len
   | Rep rep -> Report.feed_batch rep edges ~pos ~len
 
+let feed_planned t plan edges ~pos ~len =
+  match t.body with
+  | Mv mv -> Mkc_coverage.Mcgregor_vu.feed_batch mv edges ~pos ~len (* no dedup path *)
+  | Rep rep -> Report.feed_planned rep plan edges ~pos ~len
+
 let finalize t =
   match t.body with
   | Mv mv ->
@@ -71,6 +76,7 @@ let sink : (t, result) Mkc_stream.Sink.sink =
 
     let feed = feed
     let feed_batch = feed_batch
+    let feed_planned = feed_planned
     let finalize = finalize
     let words = words
     let words_breakdown = words_breakdown

@@ -2,6 +2,8 @@ type t = {
   params : Params.t;
   sampler : Mkc_sketch.Sampler.Nested.t; (* over set ids; level g ~ β = 2^g *)
   sketches : Mkc_sketch.L0_bjkst.t array; (* one per level *)
+  memo : Mkc_sketch.Sampler.Memo.t; (* set id -> keep-level code *)
+  mutable codes : int array; (* per-distinct-set scratch for feed_planned *)
   mutable st_sampler_evals : int;
   mutable st_l0_updates : int;
 }
@@ -20,38 +22,70 @@ let create (params : Params.t) ~seed =
     sketches =
       Array.init levels (fun g ->
           Mkc_sketch.L0_bjkst.create ~seed:(Mkc_hashing.Splitmix.fork seed (g + 1)) ());
+    (* Enough slots for one per set on the instance sizes we target, so
+       steady-state misses vanish; capped so memo space stays O(1)
+       words per instance relative to the Õ(m/α²) budget. *)
+    memo = Mkc_sketch.Sampler.Memo.create ~slots:(min (max 1 params.Params.m) 4096);
+    codes = [||];
     st_sampler_evals = 0;
     st_l0_updates = 0;
   }
 
-let feed t (e : Mkc_stream.Edge.t) =
-  t.st_sampler_evals <- t.st_sampler_evals + 1;
-  match Mkc_sketch.Sampler.Nested.min_keep_level t.sampler e.set with
-  | None -> ()
-  | Some finest ->
-      (* Nesting: a set sampled at level [finest] belongs to every
-         coarser (higher-rate) level's collection too. *)
-      let top = Array.length t.sketches - 1 in
-      t.st_l0_updates <- t.st_l0_updates + (top - finest + 1);
-      for g = finest to top do
-        Mkc_sketch.L0_bjkst.add t.sketches.(g) e.elt
-      done
+(* The set-sampling decision for a set id, through the memo: a hit
+   returns the cached keep-level code, a miss evaluates the hash (the
+   only place [st_sampler_evals] is counted) and caches it.  Values only
+   ever enter the memo from a fresh evaluation, so the decision is
+   always exactly the hash's — the memo changes how often the polynomial
+   is evaluated, never what it says. *)
+let keep_code t id =
+  let c = Mkc_sketch.Sampler.Memo.find t.memo id in
+  if c <> Mkc_sketch.Sampler.Memo.absent then c
+  else begin
+    t.st_sampler_evals <- t.st_sampler_evals + 1;
+    let c = Mkc_sketch.Sampler.Nested.min_keep_level_code t.sampler id in
+    Mkc_sketch.Sampler.Memo.store t.memo id c;
+    c
+  end
 
-let feed_batch t edges ~pos ~len =
-  let sampler = t.sampler and sketches = t.sketches in
-  let top = Array.length sketches - 1 in
-  t.st_sampler_evals <- t.st_sampler_evals + len;
-  for i = pos to pos + len - 1 do
-    let (e : Mkc_stream.Edge.t) = Array.unsafe_get edges i in
-    match Mkc_sketch.Sampler.Nested.min_keep_level sampler e.set with
-    | None -> ()
-    | Some finest ->
-        t.st_l0_updates <- t.st_l0_updates + (top - finest + 1);
-        for g = finest to top do
-          Mkc_sketch.L0_bjkst.add sketches.(g) e.elt
-        done
+let add_levels t finest elt =
+  (* Nesting: a set sampled at level [finest] belongs to every coarser
+     (higher-rate) level's collection too. *)
+  let top = Array.length t.sketches - 1 in
+  t.st_l0_updates <- t.st_l0_updates + (top - finest + 1);
+  for g = finest to top do
+    Mkc_sketch.L0_bjkst.add (Array.unsafe_get t.sketches g) elt
   done
 
+let feed t (e : Mkc_stream.Edge.t) =
+  let finest = keep_code t e.set in
+  if finest >= 0 then add_levels t finest e.elt
+
+let feed_batch t edges ~pos ~len =
+  for i = pos to pos + len - 1 do
+    let (e : Mkc_stream.Edge.t) = Array.unsafe_get edges i in
+    let finest = keep_code t e.set in
+    if finest >= 0 then add_levels t finest e.elt
+  done
+
+let feed_planned t plan ~red _edges ~pos:_ ~len =
+  (* Decide once per distinct set id, then replay the chunk in original
+     edge order — L0 updates land in exactly the per-edge sequence, so
+     sketch states (prune points included) are bit-for-bit identical. *)
+  let ns = Mkc_stream.Chunk_plan.num_sets plan in
+  if Array.length t.codes < ns then
+    t.codes <- Array.make (max ns (2 * Array.length t.codes)) 0;
+  let codes = t.codes and sets = Mkc_stream.Chunk_plan.sets plan in
+  for j = 0 to ns - 1 do
+    Array.unsafe_set codes j (keep_code t (Array.unsafe_get sets j))
+  done;
+  let set_idx = Mkc_stream.Chunk_plan.set_index plan in
+  let elt_idx = Mkc_stream.Chunk_plan.elt_index plan in
+  for i = 0 to len - 1 do
+    let finest = Array.unsafe_get codes (Array.unsafe_get set_idx i) in
+    if finest >= 0 then add_levels t finest (Array.unsafe_get red (Array.unsafe_get elt_idx i))
+  done
+
+let sampler_evals t = t.st_sampler_evals
 let beta_of_level g = 1 lsl g
 
 let coverage_estimates t =
@@ -100,6 +134,7 @@ let finalize t =
 let words_breakdown t =
   [
     ("sampler", Mkc_sketch.Sampler.Nested.words t.sampler);
+    ("memo", Mkc_sketch.Sampler.Memo.words t.memo);
     ("l0", Array.fold_left (fun acc sk -> acc + Mkc_sketch.L0_bjkst.words sk) 0 t.sketches);
   ]
 

@@ -25,6 +25,26 @@ val feed : t -> Mkc_stream.Edge.t -> unit
 val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
 (** Chunked ingestion, equivalent to edge-by-edge {!feed}. *)
 
+val feed_planned :
+  t ->
+  Mkc_stream.Chunk_plan.t ->
+  red:int array ->
+  Mkc_stream.Edge.t array ->
+  pos:int ->
+  len:int ->
+  unit
+(** Chunk-deduplicated ingestion: the set-sampling decision is made once
+    per distinct set id of the plan (through the memo), then the chunk
+    is replayed in original edge order with O(1) lookups — L0 states are
+    bit-for-bit the per-edge ones.  [red.(j)] must hold the (reduced)
+    element value of the plan's j-th distinct element; the edge slice
+    itself is not consulted. *)
+
+val sampler_evals : t -> int
+(** Actual set-sampling hash evaluations so far — memo misses only (the
+    decision count the chunk engine is built to shrink; also the
+    [sampler_evals] stat). *)
+
 val finalize : t -> Solution.outcome option
 (** [None] means "infeasible": no level passed the
     [σ β_g |U| / (4α)] threshold — then w.h.p. no β ≤ α has common-
@@ -38,10 +58,11 @@ val coverage_estimates : t -> (int * float) list
 val words : t -> int
 
 val words_breakdown : t -> (string * int) list
-(** [("sampler", _); ("l0", _)] — the nested set-sampler's seeds vs the
-    per-level L0 sketches. *)
+(** [("sampler", _); ("memo", _); ("l0", _)] — the nested set-sampler's
+    seeds, the bounded decision memo, and the per-level L0 sketches. *)
 
 val stats : t -> (string * int) list
-(** Work counters: ["sampler_evals"] (one hash evaluation per edge,
-    Section A.1's single shared hash) and ["l0_updates"] (one per
-    (kept edge, nested level) — Figure 3's sketch update volume). *)
+(** Work counters: ["sampler_evals"] (set-sampling hash {e evaluations}
+    — memo misses, not probes: O(distinct set ids), not O(edges)) and
+    ["l0_updates"] (one per (kept edge, nested level) — Figure 3's
+    sketch update volume, identical across ingestion modes). *)

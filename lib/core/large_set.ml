@@ -16,7 +16,17 @@ type t = {
   thr1 : float;
   thr2 : float;
   repeats : repeat_state array;
-  mutable st_sampler_evals : int;
+  (* feed_planned scratch, reused across chunks and repeats (repeats are
+     driven serially): per-distinct-element / per-distinct-set decision
+     tables. *)
+  mutable sc_ins : bool array; (* distinct elt -> in element sample *)
+  mutable sc_sids : int array; (* distinct set -> superset id *)
+  mutable sc_small : int array; (* distinct set -> Cntr_small keep code *)
+  mutable sc_large : int array; (* distinct set -> Cntr_large keep code *)
+  mutable sc_keepf : bool array; (* distinct set -> fallback-sampled *)
+  mutable sc_cnt : int array; (* distinct set -> in-sample edges this chunk *)
+  mutable st_elem_sampler_evals : int;
+  mutable st_fallback_sampler_evals : int;
   mutable st_f2_updates : int;
   mutable st_l0_updates : int;
   mutable st_hh_recoveries : int; (* set at finalize *)
@@ -76,38 +86,50 @@ let create (params : Params.t) ~w ~seed =
     thr1;
     thr2;
     repeats = Array.init repeats mk_repeat;
-    st_sampler_evals = 0;
+    sc_ins = [||];
+    sc_sids = [||];
+    sc_small = [||];
+    sc_large = [||];
+    sc_keepf = [||];
+    sc_cnt = [||];
+    st_elem_sampler_evals = 0;
+    st_fallback_sampler_evals = 0;
     st_f2_updates = 0;
     st_l0_updates = 0;
     st_hh_recoveries = 0;
   }
 
-let in_sample rs e =
+let in_sample t rs e =
   match rs.elem_sampler with
   | None -> true
-  | Some s -> Mkc_sketch.Sampler.Bernoulli.keep s e
+  | Some s ->
+      t.st_elem_sampler_evals <- t.st_elem_sampler_evals + 1;
+      Mkc_sketch.Sampler.Bernoulli.keep s e
+
+(* The fallback L0 sketch of a sampled superset, created on first
+   touch.  Creation order (hence the table's internal layout) must
+   follow stream order in every ingestion mode, so candidate iteration
+   at finalize is identical across them. *)
+let fallback_sketch rs sid =
+  match Hashtbl.find_opt rs.fallback sid with
+  | Some sk -> sk
+  | None ->
+      let sk =
+        Mkc_sketch.L0_bjkst.create ~seed:(Mkc_hashing.Splitmix.fork rs.fallback_seed sid) ()
+      in
+      Hashtbl.replace rs.fallback sid sk;
+      sk
 
 let feed_repeat t rs (e : Mkc_stream.Edge.t) =
-  t.st_sampler_evals <- t.st_sampler_evals + 1;
-  if in_sample rs e.elt then begin
+  if in_sample t rs e.elt then begin
     let sid = Superset_partition.superset_of rs.partition e.set in
     Mkc_sketch.F2_contributing.add rs.cntr_small sid 1;
     Mkc_sketch.F2_contributing.add rs.cntr_large sid 1;
     t.st_f2_updates <- t.st_f2_updates + 2;
+    t.st_fallback_sampler_evals <- t.st_fallback_sampler_evals + 1;
     if Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid then begin
-      let sketch =
-        match Hashtbl.find_opt rs.fallback sid with
-        | Some sk -> sk
-        | None ->
-            let sk =
-              Mkc_sketch.L0_bjkst.create
-                ~seed:(Mkc_hashing.Splitmix.fork rs.fallback_seed sid) ()
-            in
-            Hashtbl.replace rs.fallback sid sk;
-            sk
-      in
       t.st_l0_updates <- t.st_l0_updates + 1;
-      Mkc_sketch.L0_bjkst.add sketch e.elt
+      Mkc_sketch.L0_bjkst.add (fallback_sketch rs sid) e.elt
     end
   end
 
@@ -122,6 +144,80 @@ let feed_batch t edges ~pos ~len =
     (fun rs ->
       for i = pos to stop do
         feed_repeat t rs (Array.unsafe_get edges i)
+      done)
+    t.repeats
+
+let ensure_int a n = if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) 0
+
+let ensure_bool a n =
+  if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) false
+
+let feed_planned t plan ~red _edges ~pos:_ ~len =
+  (* Chunk-deduplicated path.  Per repeat: every hash decision — element
+     sample membership, superset assignment, both F2C subsampling codes,
+     fallback superset sampling — is computed once per distinct element
+     or set id of the chunk (coefficient-major batched hashing), then
+     the chunk is replayed in original edge order through O(1) table
+     lookups.  The order-sensitive halves (F2C candidate tracking with
+     its prune, fallback L0 adds) replay per edge, so their states are
+     bit-for-bit the per-edge ones; the CountSketch halves are linear
+     and commutative, so each distinct set's in-sample multiplicity is
+     applied as one aggregated delta. *)
+  let ns = Mkc_stream.Chunk_plan.num_sets plan in
+  let ne = Mkc_stream.Chunk_plan.num_elts plan in
+  t.sc_ins <- ensure_bool t.sc_ins ne;
+  t.sc_sids <- ensure_int t.sc_sids ns;
+  t.sc_small <- ensure_int t.sc_small ns;
+  t.sc_large <- ensure_int t.sc_large ns;
+  t.sc_keepf <- ensure_bool t.sc_keepf ns;
+  t.sc_cnt <- ensure_int t.sc_cnt ns;
+  let ins = t.sc_ins and sids = t.sc_sids in
+  let csmall = t.sc_small and clarge = t.sc_large in
+  let keepf = t.sc_keepf and cnt = t.sc_cnt in
+  let sets = Mkc_stream.Chunk_plan.sets plan in
+  let set_idx = Mkc_stream.Chunk_plan.set_index plan in
+  let elt_idx = Mkc_stream.Chunk_plan.elt_index plan in
+  Array.iter
+    (fun rs ->
+      (match rs.elem_sampler with
+      | None -> Array.fill ins 0 ne true
+      | Some s ->
+          t.st_elem_sampler_evals <- t.st_elem_sampler_evals + ne;
+          Mkc_sketch.Sampler.Bernoulli.keep_batch s red ~pos:0 ~len:ne ins);
+      Superset_partition.superset_of_batch rs.partition sets ~pos:0 ~len:ns sids;
+      Mkc_sketch.F2_contributing.decide_batch rs.cntr_small sids ~pos:0 ~len:ns csmall;
+      Mkc_sketch.F2_contributing.decide_batch rs.cntr_large sids ~pos:0 ~len:ns clarge;
+      t.st_fallback_sampler_evals <- t.st_fallback_sampler_evals + ns;
+      Mkc_sketch.Sampler.Bernoulli.keep_batch rs.fallback_sampler sids ~pos:0 ~len:ns keepf;
+      Array.fill cnt 0 ns 0;
+      let in_sample_edges = ref 0 in
+      for i = 0 to len - 1 do
+        if Array.unsafe_get ins (Array.unsafe_get elt_idx i) then begin
+          let sj = Array.unsafe_get set_idx i in
+          let sid = Array.unsafe_get sids sj in
+          incr in_sample_edges;
+          Array.unsafe_set cnt sj (Array.unsafe_get cnt sj + 1);
+          Mkc_sketch.F2_contributing.add_tracked_decided rs.cntr_small
+            ~code:(Array.unsafe_get csmall sj) sid 1;
+          Mkc_sketch.F2_contributing.add_tracked_decided rs.cntr_large
+            ~code:(Array.unsafe_get clarge sj) sid 1;
+          if Array.unsafe_get keepf sj then begin
+            t.st_l0_updates <- t.st_l0_updates + 1;
+            Mkc_sketch.L0_bjkst.add (fallback_sketch rs sid)
+              (Array.unsafe_get red (Array.unsafe_get elt_idx i))
+          end
+        end
+      done;
+      t.st_f2_updates <- t.st_f2_updates + (2 * !in_sample_edges);
+      for j = 0 to ns - 1 do
+        let c = Array.unsafe_get cnt j in
+        if c > 0 then begin
+          let sid = Array.unsafe_get sids j in
+          Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_small
+            ~code:(Array.unsafe_get csmall j) sid c;
+          Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_large
+            ~code:(Array.unsafe_get clarge j) sid c
+        end
       done)
     t.repeats
 
@@ -201,7 +297,8 @@ let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
 
 let stats t =
   [
-    ("sampler_evals", t.st_sampler_evals);
+    ("elem_sampler_evals", t.st_elem_sampler_evals);
+    ("fallback_sampler_evals", t.st_fallback_sampler_evals);
     ("f2_updates", t.st_f2_updates);
     ("l0_updates", t.st_l0_updates);
     ("hh_recoveries", t.st_hh_recoveries);

@@ -41,6 +41,24 @@ val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
 (** Chunked ingestion, equivalent to edge-by-edge {!feed} (repeats are
     driven repeat-outer for cache locality). *)
 
+val feed_planned :
+  t ->
+  Mkc_stream.Chunk_plan.t ->
+  red:int array ->
+  Mkc_stream.Edge.t array ->
+  pos:int ->
+  len:int ->
+  unit
+(** Chunk-deduplicated ingestion: per repeat, every hash decision
+    (element-sample membership, superset assignment, both F2C
+    subsampling codes, fallback superset sampling) is evaluated once per
+    distinct id of the plan via coefficient-major batched hashing, then
+    the chunk replays in original edge order — order-sensitive state
+    (F2C candidate tracking, fallback L0) per edge, linear CountSketch
+    halves as one aggregated delta per distinct set.  Bit-for-bit
+    equivalent to {!feed}.  [red.(j)] must hold the (reduced) element
+    value of the plan's j-th distinct element. *)
+
 val finalize : t -> Solution.outcome option
 val words : t -> int
 
@@ -49,12 +67,15 @@ val words_breakdown : t -> (string * int) list
     ("l0_fallback", _)] — summed over repeats. *)
 
 val stats : t -> (string * int) list
-(** Work counters: ["sampler_evals"] (element-sample membership tests,
-    one per repeat per edge), ["f2_updates"] (F2-Contributing point
-    updates), ["l0_updates"] (fallback L0 sketch updates) and
-    ["hh_recoveries"] (candidate supersets recovered at finalize — the
-    heavy hitters of Theorem 2.11's recovery step; populated by
-    {!finalize}). *)
+(** Work counters: ["elem_sampler_evals"] (element-sample membership
+    hash evaluations — per edge in per-edge mode, per distinct element
+    per chunk in planned mode), ["fallback_sampler_evals"] (fallback
+    superset-sampling evaluations — per in-sample edge vs per distinct
+    set), ["f2_updates"] (logical F2-Contributing point updates,
+    identical across modes), ["l0_updates"] (fallback L0 sketch updates,
+    identical across modes) and ["hh_recoveries"] (candidate supersets
+    recovered at finalize — the heavy hitters of Theorem 2.11's recovery
+    step; populated by {!finalize}). *)
 
 val thresholds : t -> float * float
 (** [(thr1, thr2)] on the sampled-universe scale (diagnostics). *)

@@ -37,6 +37,16 @@ let feed_batch t edges ~pos ~len =
   Large_set.feed_batch t.large_set edges ~pos ~len;
   Option.iter (fun ss -> Small_set.feed_batch ss edges ~pos ~len) t.small_set
 
+let feed_planned t plan ~red edges ~pos ~len =
+  (* Chunk-deduplicated ingestion: the shared plan (distinct ids +
+     per-edge indices) and the caller's reduced-element table [red] are
+     fanned out to every subroutine, each of which decides per distinct
+     id and replays per edge. *)
+  t.st_edges <- t.st_edges + len;
+  Large_common.feed_planned t.large_common plan ~red edges ~pos ~len;
+  Large_set.feed_planned t.large_set plan ~red edges ~pos ~len;
+  Option.iter (fun ss -> Small_set.feed_planned ss plan ~red edges ~pos ~len) t.small_set
+
 let clamp (p : Params.t) outcome =
   (* No k-cover can exceed the universe size, so cap subroutine
      estimates at |U| — inverse-sampling scale-ups may overshoot. *)
@@ -71,7 +81,12 @@ let stats t =
   let open Mkc_stream.Sink in
   canonical_breakdown
     (("edges", t.st_edges)
-     :: prefix_breakdown "large_common" (Large_common.stats t.large_common)
+    (* Top-level [sampler_evals] is the headline decision count of the
+       chunk engine: actual set-sampling hash evaluations (LargeCommon
+       memo misses) — O(distinct set ids), not O(edges).  The per-
+       subroutine breakdowns keep their own *_sampler_evals keys. *)
+    :: ("sampler_evals", Large_common.sampler_evals t.large_common)
+    :: prefix_breakdown "large_common" (Large_common.stats t.large_common)
     @ prefix_breakdown "large_set" (Large_set.stats t.large_set)
     @
     match t.small_set with
@@ -85,6 +100,12 @@ let sink : (t, Solution.outcome option) Mkc_stream.Sink.sink =
 
     let feed = feed
     let feed_batch = feed_batch
+
+    (* Standalone oracle sink: the stream is unreduced, so the identity
+       element table (the plan's own distinct raw values) plays [red]. *)
+    let feed_planned t plan edges ~pos ~len =
+      feed_planned t plan ~red:(Mkc_stream.Chunk_plan.elts plan) edges ~pos ~len
+
     let finalize = finalize
     let words = words
     let words_breakdown = words_breakdown

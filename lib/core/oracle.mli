@@ -22,6 +22,21 @@ val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
 (** Chunked ingestion, equivalent to edge-by-edge {!feed}: each
     subroutine consumes the whole chunk before the next starts. *)
 
+val feed_planned :
+  t ->
+  Mkc_stream.Chunk_plan.t ->
+  red:int array ->
+  Mkc_stream.Edge.t array ->
+  pos:int ->
+  len:int ->
+  unit
+(** Chunk-deduplicated ingestion (bit-for-bit ≡ {!feed}): each
+    subroutine makes its hash decisions once per distinct set/element id
+    of the plan and replays the chunk in edge order.  [red.(j)] is the
+    (universe-reduced) element value of the plan's j-th distinct raw
+    element — {!Estimate} fills it with one batched hash pass per
+    instance; standalone oracle sinks pass the identity table. *)
+
 val finalize : t -> Solution.outcome option
 (** [None] ⇔ every subroutine reported infeasible. *)
 
@@ -40,10 +55,12 @@ val words_breakdown : t -> (string * int) list
 
 val stats : t -> (string * int) list
 (** Work counters, dot-namespaced like {!words_breakdown}: ["edges"]
-    consumed, plus each subroutine's {e stats} list
-    ([oracle] prefix omitted — keys are [large_common.sampler_evals],
-    [large_set.hh_recoveries], …).  ["large_set.hh_recoveries"] is only
-    populated by [finalize]. *)
+    consumed; ["sampler_evals"] — the headline decision count, actual
+    set-sampling hash evaluations (LargeCommon memo misses, O(distinct
+    set ids) under chunked ingestion, not O(edges)); plus each
+    subroutine's {e stats} list ([oracle] prefix omitted — keys are
+    [large_common.sampler_evals], [large_set.hh_recoveries], …).
+    ["large_set.hh_recoveries"] is only populated by [finalize]. *)
 
 val sink : (t, Solution.outcome option) Mkc_stream.Sink.sink
 (** The oracle as a {!Mkc_stream.Sink} (one z-guess instance of the

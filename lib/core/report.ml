@@ -9,6 +9,10 @@ type result = {
 let create (p : Params.t) = { k = p.k; engine = Estimate.create p }
 let feed t e = Estimate.feed t.engine e
 let feed_batch t edges ~pos ~len = Estimate.feed_batch t.engine edges ~pos ~len
+
+let feed_planned t plan edges ~pos ~len =
+  Estimate.feed_planned t.engine plan edges ~pos ~len
+
 let shards t = Estimate.shards t.engine
 
 let truncate k sets =
@@ -36,6 +40,7 @@ let sink : (t, result) Mkc_stream.Sink.sink =
 
     let feed = feed
     let feed_batch = feed_batch
+    let feed_planned = feed_planned
     let finalize = finalize
     let words = words
     let words_breakdown t = ("report.output", t.k) :: Estimate.words_breakdown t.engine

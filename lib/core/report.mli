@@ -21,6 +21,10 @@ val feed : t -> Mkc_stream.Edge.t -> unit
 val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
 (** Chunked ingestion, equivalent to edge-by-edge {!feed}. *)
 
+val feed_planned :
+  t -> Mkc_stream.Chunk_plan.t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
+(** {!Estimate.feed_planned} on the underlying engine. *)
+
 type result = {
   estimate : float;  (** estimated coverage of the reported cover *)
   sets : int list;  (** at most k set ids *)

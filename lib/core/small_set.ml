@@ -20,7 +20,11 @@ type t = {
   base_rate : float; (* finest element rate, for scaling *)
   cap : int; (* per-instance stored-pair cap *)
   repeats : repeat_state array;
-  mutable st_sampler_evals : int;
+  (* feed_planned decision scratch, reused across chunks and repeats *)
+  mutable sc_codes : int array; (* distinct elt -> nested keep-level code *)
+  mutable sc_inm : bool array; (* distinct set -> in set sample M *)
+  mutable st_elem_sampler_evals : int;
+  mutable st_set_sampler_evals : int;
   mutable st_pairs_stored : int; (* monotone, unlike stored_pairs *)
 }
 
@@ -66,14 +70,19 @@ let create (params : Params.t) ~seed =
     base_rate;
     cap;
     repeats = Array.init p.oracle_repeats mk_repeat;
-    st_sampler_evals = 0;
+    sc_codes = [||];
+    sc_inm = [||];
+    st_elem_sampler_evals = 0;
+    st_set_sampler_evals = 0;
     st_pairs_stored = 0;
   }
 
-let in_m rs set =
+let in_m t rs set =
   match rs.set_sampler with
   | None -> true
-  | Some s -> Mkc_sketch.Sampler.Bernoulli.keep s set
+  | Some s ->
+      t.st_set_sampler_evals <- t.st_set_sampler_evals + 1;
+      Mkc_sketch.Sampler.Bernoulli.keep s set
 
 let add_pair t inst set elt =
   if not inst.dead then begin
@@ -90,18 +99,16 @@ let add_pair t inst set elt =
   end
 
 let feed_repeat t rs (e : Mkc_stream.Edge.t) =
-  t.st_sampler_evals <- t.st_sampler_evals + 1;
-  match Mkc_sketch.Sampler.Nested.min_keep_level rs.elem_sampler e.elt with
-  | None -> ()
-  | Some min_lvl ->
-      if in_m rs e.set then begin
-        (* Element survives at levels >= min_lvl, i.e. guesses
-           g <= (guesses - 1) - min_lvl. *)
-        let top_guess = t.guesses - 1 - min_lvl in
-        for g = 0 to top_guess do
-          add_pair t rs.instances.(g) e.set e.elt
-        done
-      end
+  t.st_elem_sampler_evals <- t.st_elem_sampler_evals + 1;
+  let min_lvl = Mkc_sketch.Sampler.Nested.min_keep_level_code rs.elem_sampler e.elt in
+  if min_lvl >= 0 && in_m t rs e.set then begin
+    (* Element survives at levels >= min_lvl, i.e. guesses
+       g <= (guesses - 1) - min_lvl. *)
+    let top_guess = t.guesses - 1 - min_lvl in
+    for g = 0 to top_guess do
+      add_pair t rs.instances.(g) e.set e.elt
+    done
+  end
 
 let feed t e = Array.iter (fun rs -> feed_repeat t rs e) t.repeats
 
@@ -112,6 +119,46 @@ let feed_batch t edges ~pos ~len =
     (fun rs ->
       for i = pos to stop do
         feed_repeat t rs (Array.unsafe_get edges i)
+      done)
+    t.repeats
+
+let feed_planned t plan ~red _edges ~pos:_ ~len =
+  (* Chunk-deduplicated path: nested element decisions once per distinct
+     (reduced) element, set-sample membership once per distinct set,
+     then an in-order replay — add_pair sequences (hence cap/termination
+     points) are exactly the per-edge ones. *)
+  let ns = Mkc_stream.Chunk_plan.num_sets plan in
+  let ne = Mkc_stream.Chunk_plan.num_elts plan in
+  if Array.length t.sc_codes < ne then
+    t.sc_codes <- Array.make (max ne (2 * Array.length t.sc_codes)) 0;
+  if Array.length t.sc_inm < ns then
+    t.sc_inm <- Array.make (max ns (2 * Array.length t.sc_inm)) false;
+  let codes = t.sc_codes and inm = t.sc_inm in
+  let sets = Mkc_stream.Chunk_plan.sets plan in
+  let set_idx = Mkc_stream.Chunk_plan.set_index plan in
+  let elt_idx = Mkc_stream.Chunk_plan.elt_index plan in
+  Array.iter
+    (fun rs ->
+      t.st_elem_sampler_evals <- t.st_elem_sampler_evals + ne;
+      Mkc_sketch.Sampler.Nested.min_keep_level_batch rs.elem_sampler red ~pos:0 ~len:ne codes;
+      (match rs.set_sampler with
+      | None -> Array.fill inm 0 ns true
+      | Some s ->
+          t.st_set_sampler_evals <- t.st_set_sampler_evals + ns;
+          Mkc_sketch.Sampler.Bernoulli.keep_batch s sets ~pos:0 ~len:ns inm);
+      for i = 0 to len - 1 do
+        let ej = Array.unsafe_get elt_idx i in
+        let min_lvl = Array.unsafe_get codes ej in
+        if min_lvl >= 0 then begin
+          let sj = Array.unsafe_get set_idx i in
+          if Array.unsafe_get inm sj then begin
+            let set = Array.unsafe_get sets sj and elt = Array.unsafe_get red ej in
+            let top_guess = t.guesses - 1 - min_lvl in
+            for g = 0 to top_guess do
+              add_pair t rs.instances.(g) set elt
+            done
+          end
+        end
       done)
     t.repeats
 
@@ -219,7 +266,8 @@ let dead_instances t =
 
 let stats t =
   [
-    ("sampler_evals", t.st_sampler_evals);
+    ("elem_sampler_evals", t.st_elem_sampler_evals);
+    ("set_sampler_evals", t.st_set_sampler_evals);
     ("pairs_stored", t.st_pairs_stored);
     ("dead_instances", dead_instances t);
   ]

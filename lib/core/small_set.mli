@@ -28,6 +28,21 @@ val feed : t -> Mkc_stream.Edge.t -> unit
 val feed_batch : t -> Mkc_stream.Edge.t array -> pos:int -> len:int -> unit
 (** Chunked ingestion, equivalent to edge-by-edge {!feed}. *)
 
+val feed_planned :
+  t ->
+  Mkc_stream.Chunk_plan.t ->
+  red:int array ->
+  Mkc_stream.Edge.t array ->
+  pos:int ->
+  len:int ->
+  unit
+(** Chunk-deduplicated ingestion: nested element-sampling decisions once
+    per distinct element, set-sample membership once per distinct set,
+    then an in-order replay of the chunk — stored-pair sequences (hence
+    cap/termination points) are bit-for-bit the per-edge ones.
+    [red.(j)] must hold the (reduced) element value of the plan's j-th
+    distinct element. *)
+
 val finalize : t -> Solution.outcome option
 val words : t -> int
 
@@ -36,11 +51,13 @@ val words_breakdown : t -> (string * int) list
     sub-instances. *)
 
 val stats : t -> (string * int) list
-(** Work counters: ["sampler_evals"] (nested element-sampler hash
-    evaluations, one per repeat per edge), ["pairs_stored"] (total
-    (set, element) pairs ever stored — monotone, unlike
-    {!stored_pairs}) and ["dead_instances"] (sub-instances that
-    overflowed the Lemma 4.21 cap and were terminated). *)
+(** Work counters: ["elem_sampler_evals"] (nested element-sampler hash
+    evaluations — per edge in per-edge mode, per distinct element per
+    chunk in planned mode), ["set_sampler_evals"] (set-sample membership
+    evaluations), ["pairs_stored"] (total (set, element) pairs ever
+    stored — monotone, unlike {!stored_pairs}; identical across modes)
+    and ["dead_instances"] (sub-instances that overflowed the Lemma 4.21
+    cap and were terminated). *)
 
 val stored_pairs : t -> int
 (** Total (set, element) pairs currently stored across all live

@@ -7,6 +7,9 @@ let create ~z ~seed =
 let z t = t.z
 let apply t e = Mkc_hashing.Poly_hash.hash t.hash e
 
+let apply_batch t elts ~pos ~len out =
+  Mkc_hashing.Poly_hash.hash_batch t.hash elts ~pos ~len out
+
 let apply_edge t (e : Mkc_stream.Edge.t) = { e with elt = apply t e.elt }
 
 let image_size t elts =

@@ -15,6 +15,12 @@ val z : t -> int
 val apply : t -> int -> int
 (** Pseudo-element of an element, in [\[0, z)]. *)
 
+val apply_batch : t -> int array -> pos:int -> len:int -> int array -> unit
+(** [out.(j) = apply t elts.(pos + j)] for [j < len] — one
+    coefficient-major {!Mkc_hashing.Poly_hash.hash_batch} pass, so a
+    chunk's distinct elements are each hashed once per instance
+    (bit-for-bit the per-call values). *)
+
 val apply_edge : t -> Mkc_stream.Edge.t -> Mkc_stream.Edge.t
 val image_size : t -> int array -> int
 (** [|h(S)|] for an explicit element set — test support for Lemma 3.5. *)

@@ -115,6 +115,7 @@ let sink : (t, result) Mkc_stream.Sink.sink =
 
     let feed = feed
     let feed_batch = feed_batch
+    let feed_planned = Mkc_stream.Sink.batch_ignoring_plan feed_batch
     let finalize = finalize
     let words = words
     let words_breakdown t = [ ("mcgregor_vu", words t) ]

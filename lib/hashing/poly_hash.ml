@@ -1,4 +1,4 @@
-type t = { coeffs : int array; range : int }
+type t = { coeffs : int array; range : int; mutable xnorm : int array }
 
 let create ~indep ~range ~seed =
   if indep < 1 then invalid_arg "Poly_hash.create: indep must be >= 1";
@@ -6,19 +6,52 @@ let create ~indep ~range ~seed =
   let coeffs =
     Array.init indep (fun _ -> Prime_field.normalize (Splitmix.next_int seed))
   in
-  { coeffs; range }
+  { coeffs; range; xnorm = [||] }
 
 let field_value t x =
   let x = Prime_field.normalize x in
-  (* Horner evaluation: c_{d-1} x^{d-1} + ... + c_0. *)
-  let acc = ref 0 in
-  for i = Array.length t.coeffs - 1 downto 0 do
-    acc := Prime_field.add (Prime_field.mul !acc x) t.coeffs.(i)
-  done;
-  !acc
+  let c = t.coeffs in
+  (* Horner evaluation: c_{d-1} x^{d-1} + ... + c_0.  Tail-recursive
+     accumulator — no ref cell, so nothing boxes on the hot path. *)
+  let rec go acc i =
+    if i < 0 then acc
+    else go (Prime_field.add (Prime_field.mul acc x) (Array.unsafe_get c i)) (i - 1)
+  in
+  go 0 (Array.length c - 1)
 
 let hash t x = field_value t x mod t.range
 let keep t x = hash t x = 0
+
+(* Coefficient-major batched Horner: one pass over the coefficient
+   vector with the whole input block as the inner loop, so the d field
+   elements are loaded d times total instead of d times per input.  The
+   per-element arithmetic (normalize, then fold c_i in Horner order,
+   then mod range) is identical operation-for-operation to [hash], so
+   outputs are bit-for-bit those of [hash] on each input. *)
+let hash_batch t xs ~pos ~len out =
+  if len < 0 || pos < 0 || pos + len > Array.length xs then
+    invalid_arg "Poly_hash.hash_batch: bad slice";
+  if Array.length out < len then invalid_arg "Poly_hash.hash_batch: out too short";
+  if Array.length t.xnorm < len then
+    t.xnorm <- Array.make (max len (2 * Array.length t.xnorm)) 0;
+  let xn = t.xnorm in
+  for j = 0 to len - 1 do
+    Array.unsafe_set xn j (Prime_field.normalize (Array.unsafe_get xs (pos + j)));
+    Array.unsafe_set out j 0
+  done;
+  let c = t.coeffs in
+  for i = Array.length c - 1 downto 0 do
+    let ci = Array.unsafe_get c i in
+    for j = 0 to len - 1 do
+      Array.unsafe_set out j
+        (Prime_field.add (Prime_field.mul (Array.unsafe_get out j) (Array.unsafe_get xn j)) ci)
+    done
+  done;
+  let r = t.range in
+  for j = 0 to len - 1 do
+    Array.unsafe_set out j (Array.unsafe_get out j mod r)
+  done
+
 let range t = t.range
 let indep t = Array.length t.coeffs
 let words t = Array.length t.coeffs + 1

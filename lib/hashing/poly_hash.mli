@@ -31,6 +31,16 @@ val keep : t -> int -> bool
 (** [keep t x] is [hash t x = 0]: true with probability [1 / range].
     This is the paper's "if h(S) = 1" subsampling test. *)
 
+val hash_batch : t -> int array -> pos:int -> len:int -> int array -> unit
+(** [hash_batch t xs ~pos ~len out] writes [hash t xs.(pos + j)] into
+    [out.(j)] for [j < len] — coefficient-major Horner: the coefficient
+    vector is streamed once with the whole block as the inner loop, so
+    hashing a block of [len] distinct values costs [d] coefficient loads
+    total rather than [d·len].  Outputs are bit-for-bit equal to
+    per-call {!hash} (same arithmetic per element, different loop
+    nesting).  Scratch is internal and reused; only [out.(0..len-1)] is
+    written. *)
+
 val range : t -> int
 (** The output range [r]. *)
 

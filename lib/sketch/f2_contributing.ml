@@ -30,30 +30,43 @@ let create ?(depth = 5) ?(oversample = 2.0) ~gamma ~r ~indep ~seed () =
           F2_heavy_hitter.create ~depth ~phi ~seed:(Mkc_hashing.Splitmix.fork seed (i + 1)) ());
   }
 
-let add t i delta =
-  match Sampler.Nested.min_keep_level t.sampler i with
-  | None -> ()
-  | Some min_nested ->
-      (* nested level j ↔ F2C level (num_levels - 1 - j); the item
-         survives at nested levels >= min_nested, i.e. F2C levels
-         <= num_levels - 1 - min_nested. *)
-      let top = t.num_levels - 1 - min_nested in
-      for lvl = 0 to top do
-        F2_heavy_hitter.add t.hhs.(lvl) i delta
-      done
+(* nested level j ↔ F2C level (num_levels - 1 - j); an item surviving
+   at nested levels >= code survives at F2C levels
+   <= num_levels - 1 - code.  [decide] exposes the sampling decision
+   (the keep-level code, -1 = dropped everywhere) so chunk-deduplicated
+   callers can evaluate it once per distinct coordinate and replay it
+   across that coordinate's updates. *)
+let decide t i = Sampler.Nested.min_keep_level_code t.sampler i
+
+let decide_batch t ids ~pos ~len out =
+  Sampler.Nested.min_keep_level_batch t.sampler ids ~pos ~len out
+
+let add_tracked_decided t ~code i delta =
+  if code >= 0 then
+    for lvl = 0 to t.num_levels - 1 - code do
+      F2_heavy_hitter.add_tracked (Array.unsafe_get t.hhs lvl) i delta
+    done
+
+let add_cs_decided t ~code i delta =
+  if code >= 0 then
+    for lvl = 0 to t.num_levels - 1 - code do
+      F2_heavy_hitter.add_cs (Array.unsafe_get t.hhs lvl) i delta
+    done
+
+let add_decided t ~code i delta =
+  if code >= 0 then
+    for lvl = 0 to t.num_levels - 1 - code do
+      F2_heavy_hitter.add (Array.unsafe_get t.hhs lvl) i delta
+    done
+
+let add t i delta = add_decided t ~code:(decide t i) i delta
 
 let add_batch t ids ~pos ~len ~delta =
   (* Batched path: sampler and level array hoisted; each item still
      decides all its levels with one hash evaluation. *)
-  let sampler = t.sampler and hhs = t.hhs and levels = t.num_levels in
   for i = pos to pos + len - 1 do
     let x = Array.unsafe_get ids i in
-    match Sampler.Nested.min_keep_level sampler x with
-    | None -> ()
-    | Some min_nested ->
-        for lvl = 0 to levels - 1 - min_nested do
-          F2_heavy_hitter.add hhs.(lvl) x delta
-        done
+    add_decided t ~code:(decide t x) x delta
   done
 
 let dedup hits =

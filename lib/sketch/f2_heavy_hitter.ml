@@ -33,12 +33,25 @@ let prune t =
   Hashtbl.reset t.counts;
   List.iteri (fun i (id, c) -> if i < t.cap then Hashtbl.replace t.counts id (ref c)) sorted
 
-let add t i delta =
-  Count_sketch.add t.cs i delta;
+(* The two halves of an update, separable because they touch disjoint
+   state.  The CountSketch half is linear and commutative — updates to
+   the same id may be aggregated or reordered freely.  The tracked-count
+   half is NOT: [prune] keeps the top-[cap] of the candidate table, and
+   which ids are tracked when it fires depends on insertion order — so
+   callers that aggregate the CS half per chunk must still replay this
+   half in original stream order to stay bit-for-bit with per-item
+   [add]. *)
+let add_cs t i delta = Count_sketch.add t.cs i delta
+
+let add_tracked t i delta =
   (match Hashtbl.find_opt t.counts i with
   | Some c -> c := !c + delta
   | None -> Hashtbl.replace t.counts i (ref delta));
   if Hashtbl.length t.counts > 2 * t.cap then prune t
+
+let add t i delta =
+  add_cs t i delta;
+  add_tracked t i delta
 
 let add_batch t ids ~pos ~len ~delta =
   (* The CountSketch half is commutative, so it takes the row-outer

@@ -34,7 +34,19 @@ val create :
 
 val add : t -> int -> int -> unit
 (** [add t i delta]. The heavy-hitter applications in this paper are
-    insertion-only ([delta ≥ 1]). *)
+    insertion-only ([delta ≥ 1]).  Equivalent to [add_cs] followed by
+    [add_tracked]. *)
+
+val add_cs : t -> int -> int -> unit
+(** The CountSketch half of an update alone.  Linear and commutative:
+    updates to the same id may be aggregated ([add_cs t i (c·d)] ≡ c
+    calls of [add_cs t i d]) and reordered across ids. *)
+
+val add_tracked : t -> int -> int -> unit
+(** The candidate-tracking half of an update alone (exact counters +
+    SpaceSaving-style prune).  Order-sensitive: the prune keeps the
+    current top candidates, so callers splitting updates must replay
+    this half in original stream order. *)
 
 val add_batch : t -> int array -> pos:int -> len:int -> delta:int -> unit
 (** [add_batch t ids ~pos ~len ~delta] ≡ per-item [add] over the chunk;

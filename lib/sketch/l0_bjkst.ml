@@ -10,19 +10,35 @@ let create ?(cap = 96) ~seed () =
   if cap < 4 then invalid_arg "L0_bjkst.create: cap must be >= 4";
   { cap; tab = Mkc_hashing.Tabulation.create ~seed; buf = Hashtbl.create 64; z = 0 }
 
+(* 32-bit de Bruijn count-trailing-zeros.  [x land (-x)] isolates the
+   lowest set bit; multiplying by the de Bruijn constant slides a unique
+   5-bit window into bits 27..31 (the [land 0xFFFF_FFFF] emulates the
+   32-bit wraparound the classic trick relies on — OCaml ints are wider,
+   so the high product bits must be masked off, not wrapped). *)
+let db32 = 0x077C_B531
+
+let db32_tbl =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let tz32 x = Array.unsafe_get db32_tbl ((((x land (-x)) * db32) land 0xFFFF_FFFF) lsr 27)
+
 let trailing_zeros v =
-  if Int64.equal v 0L then 64
+  (* Split the Int64 hash into two native-int halves once (mask and
+     shift), then count within a half with the table — no per-bit loop,
+     no Int64 arithmetic beyond the split. *)
+  let lo = Int64.to_int v land 0xFFFF_FFFF in
+  if lo <> 0 then tz32 lo
   else
-    let rec go i v = if Int64.logand v 1L = 1L then i else go (i + 1) (Int64.shift_right_logical v 1) in
-    go 0 v
+    let hi = Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFF_FFFF in
+    if hi <> 0 then 32 + tz32 hi else 64
 
 let prune t =
   while Hashtbl.length t.buf > t.cap do
     t.z <- t.z + 1;
-    let doomed =
-      Hashtbl.fold (fun fp lvl acc -> if lvl < t.z then fp :: acc else acc) t.buf []
-    in
-    List.iter (Hashtbl.remove t.buf) doomed
+    let z = t.z in
+    (* In place: no doomed-fingerprint list is materialized. *)
+    Hashtbl.filter_map_inplace (fun _ lvl -> if lvl < z then None else Some lvl) t.buf
   done
 
 let add t x =

@@ -22,6 +22,11 @@ val add_batch : t -> int array -> pos:int -> len:int -> unit
 (** [add_batch t xs ~pos ~len] ≡ [add] over [xs.(pos .. pos+len-1)],
     with the per-call dispatch hoisted out of the loop. *)
 
+val trailing_zeros : int64 -> int
+(** Count of trailing zero bits (64 for zero) — branch-free de Bruijn
+    lookup over native-int halves, no per-bit loop.  Exposed for the
+    test suite's comparison against the bit-by-bit reference. *)
+
 val estimate : t -> float
 val level : t -> int
 (** Current sampling level [z] (diagnostic). *)

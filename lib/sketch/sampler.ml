@@ -1,11 +1,21 @@
 module Bernoulli = struct
-  type t = { hash : Mkc_hashing.Poly_hash.t }
+  type t = { hash : Mkc_hashing.Poly_hash.t; mutable hbuf : int array }
 
   let create ~rate ~indep ~seed =
     let range = Mkc_hashing.Hash_family.sample_rate_range ~rate in
-    { hash = Mkc_hashing.Poly_hash.create ~indep ~range ~seed }
+    { hash = Mkc_hashing.Poly_hash.create ~indep ~range ~seed; hbuf = [||] }
 
   let keep t x = Mkc_hashing.Poly_hash.keep t.hash x
+
+  let keep_batch t xs ~pos ~len out =
+    if Array.length out < len then invalid_arg "Bernoulli.keep_batch: out too short";
+    if Array.length t.hbuf < len then
+      t.hbuf <- Array.make (max len (2 * Array.length t.hbuf)) 0;
+    Mkc_hashing.Poly_hash.hash_batch t.hash xs ~pos ~len t.hbuf;
+    for j = 0 to len - 1 do
+      Array.unsafe_set out j (Array.unsafe_get t.hbuf j = 0)
+    done
+
   let rate t = 1.0 /. float_of_int (Mkc_hashing.Poly_hash.range t.hash)
   let words t = Mkc_hashing.Poly_hash.words t.hash
 end
@@ -36,17 +46,61 @@ module Nested = struct
 
   let keep t ~level x = Mkc_hashing.Poly_hash.hash t.hash x mod range_at t level = 0
 
-  let min_keep_level t x =
-    let h = Mkc_hashing.Poly_hash.hash t.hash x in
+  let code_of_hash t h =
     let rec go level =
-      if level >= t.levels then None
-      else if h mod max 1 (t.base_range lsr level) = 0 then Some level
+      if level >= t.levels then -1
+      else if h mod max 1 (t.base_range lsr level) = 0 then level
       else go (level + 1)
     in
     go 0
+
+  let min_keep_level_code t x = code_of_hash t (Mkc_hashing.Poly_hash.hash t.hash x)
+
+  let min_keep_level t x =
+    match min_keep_level_code t x with -1 -> None | level -> Some level
+
+  let min_keep_level_batch t xs ~pos ~len out =
+    (* hash_batch fills [out] with the raw hashes, then each is folded
+       to its keep-level code in place — no extra scratch. *)
+    Mkc_hashing.Poly_hash.hash_batch t.hash xs ~pos ~len out;
+    for j = 0 to len - 1 do
+      Array.unsafe_set out j (code_of_hash t (Array.unsafe_get out j))
+    done
+
   let rate t ~level = 1.0 /. float_of_int (range_at t level)
   let levels t = t.levels
   let words t = Mkc_hashing.Poly_hash.words t.hash + 2
+end
+
+(* Direct-mapped memo for per-id sampling decisions.  Slot = id land
+   mask; a colliding id simply overwrites (the cache is a pure
+   accelerator: a miss recomputes the hash, a hit returns exactly what
+   the hash would — values are only ever [store]d from a fresh
+   evaluation, so decisions are unchanged by construction). *)
+module Memo = struct
+  type t = { mask : int; keys : int array; vals : int array }
+
+  let absent = min_int
+
+  let create ~slots =
+    if slots < 1 then invalid_arg "Memo.create: slots must be >= 1";
+    let n = ref 1 in
+    while !n < slots do
+      n := !n * 2
+    done;
+    { mask = !n - 1; keys = Array.make !n absent; vals = Array.make !n 0 }
+
+  let find t key =
+    let s = key land t.mask in
+    if Array.unsafe_get t.keys s = key then Array.unsafe_get t.vals s else absent
+
+  let store t key v =
+    let s = key land t.mask in
+    Array.unsafe_set t.keys s key;
+    Array.unsafe_set t.vals s v
+
+  let slots t = t.mask + 1
+  let words t = (2 * (t.mask + 1)) + 1
 end
 
 module Reservoir = struct

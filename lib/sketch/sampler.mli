@@ -20,6 +20,12 @@ module Bernoulli : sig
 
   val keep : t -> int -> bool
 
+  val keep_batch : t -> int array -> pos:int -> len:int -> bool array -> unit
+  (** [keep_batch t xs ~pos ~len out]: [out.(j) = keep t xs.(pos + j)]
+      for [j < len], via one coefficient-major
+      {!Mkc_hashing.Poly_hash.hash_batch} pass — bit-for-bit the
+      per-call decisions. *)
+
   val rate : t -> float
   (** The realized rate [1 / range] (the requested rate rounded to a
       reciprocal of an integer). *)
@@ -50,10 +56,48 @@ module Nested : sig
       By nesting, the item survives at exactly the levels
       [>= min_keep_level]. *)
 
+  val min_keep_level_code : t -> int -> int
+  (** Allocation-free {!min_keep_level}: the level, or [-1] for [None].
+      The hot-path form — [int option] returns box without flambda. *)
+
+  val min_keep_level_batch : t -> int array -> pos:int -> len:int -> int array -> unit
+  (** [out.(j) = min_keep_level_code t xs.(pos + j)] for [j < len],
+      hashing the block coefficient-major
+      ({!Mkc_hashing.Poly_hash.hash_batch}). *)
+
   val rate : t -> level:int -> float
   (** The realized rate of a level (exactly [2^-j] for some j). *)
 
   val levels : t -> int
+  val words : t -> int
+end
+
+(** Bounded direct-mapped cache for per-id sampling decisions (int keys,
+    int values).  Slot = [id land (slots - 1)]; a colliding id evicts by
+    overwrite.  Purely an accelerator: on a miss the caller recomputes
+    the hash and [store]s the result, so a memoized decision is always
+    exactly the hash's — the cache can change how often the hash is
+    {e evaluated}, never what it {e says}.  Space is a fixed
+    [2·slots + 1] words, accounted by the owning sketch under a
+    [*.memo] key. *)
+module Memo : sig
+  type t
+
+  val absent : int
+  (** Sentinel returned by {!find} on a miss ([min_int]; never a legal
+      stored value — keep-level codes are [>= -1]). *)
+
+  val create : slots:int -> t
+  (** [slots] is rounded up to a power of two. *)
+
+  val find : t -> int -> int
+  (** The cached value for this key, or {!absent}. Keys must be
+      non-negative. *)
+
+  val store : t -> int -> int -> unit
+
+  val slots : t -> int
+
   val words : t -> int
 end
 

@@ -1,0 +1,114 @@
+(* Per-chunk distinct-id grouping: the shared first pass of the
+   chunk-deduplicated hash engine.
+
+   [build] scans a chunk once and produces, in reusable scratch (no
+   per-chunk allocation once the buffers have grown to a steady state):
+
+   - the distinct set ids of the chunk, in first-appearance order, with
+     per-set edge counts;
+   - the distinct raw element values of the chunk, in first-appearance
+     order;
+   - for every edge of the chunk, the index of its set (resp. element)
+     in those distinct tables.
+
+   Downstream consumers evaluate each per-set or per-element hash
+   decision once per distinct id and then replay the chunk edge by edge
+   through O(1) array lookups, so the final sketch states are exactly
+   the per-edge ones — only the evaluation schedule changes.
+
+   Id -> slot mapping uses hash tables (cleared, not reallocated,
+   between chunks) so arbitrary non-negative ids are safe; the cost is
+   two table probes per edge, paid once per chunk and shared by every
+   oracle instance that consumes the plan. *)
+
+type t = {
+  mutable len : int;
+  (* per-edge, chunk-relative: index into the distinct tables *)
+  mutable set_idx : int array;
+  mutable elt_idx : int array;
+  (* distinct sets, first-appearance order *)
+  mutable nsets : int;
+  mutable sets : int array;
+  mutable set_count : int array;
+  (* distinct raw element values, first-appearance order *)
+  mutable nelts : int;
+  mutable elts : int array;
+  sslot : (int, int) Hashtbl.t;
+  eslot : (int, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    len = 0;
+    set_idx = [||];
+    elt_idx = [||];
+    nsets = 0;
+    sets = [||];
+    set_count = [||];
+    nelts = 0;
+    elts = [||];
+    sslot = Hashtbl.create 1024;
+    eslot = Hashtbl.create 4096;
+  }
+
+let ensure a n = if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) 0
+
+let build t edges ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > Array.length edges then
+    invalid_arg "Chunk_plan.build: bad slice";
+  t.len <- len;
+  t.set_idx <- ensure t.set_idx len;
+  t.elt_idx <- ensure t.elt_idx len;
+  t.sets <- ensure t.sets len;
+  t.set_count <- ensure t.set_count len;
+  t.elts <- ensure t.elts len;
+  t.nsets <- 0;
+  t.nelts <- 0;
+  Hashtbl.clear t.sslot;
+  Hashtbl.clear t.eslot;
+  for i = 0 to len - 1 do
+    let (e : Edge.t) = Array.unsafe_get edges (pos + i) in
+    let sj =
+      match Hashtbl.find_opt t.sslot e.set with
+      | Some j ->
+          t.set_count.(j) <- t.set_count.(j) + 1;
+          j
+      | None ->
+          let j = t.nsets in
+          Hashtbl.replace t.sslot e.set j;
+          t.sets.(j) <- e.set;
+          t.set_count.(j) <- 1;
+          t.nsets <- j + 1;
+          j
+    in
+    let ej =
+      match Hashtbl.find_opt t.eslot e.elt with
+      | Some j -> j
+      | None ->
+          let j = t.nelts in
+          Hashtbl.replace t.eslot e.elt j;
+          t.elts.(j) <- e.elt;
+          t.nelts <- j + 1;
+          j
+    in
+    t.set_idx.(i) <- sj;
+    t.elt_idx.(i) <- ej
+  done
+
+let len t = t.len
+let num_sets t = t.nsets
+let num_elts t = t.nelts
+
+(* Direct array access for hot loops; the first [num_sets] (resp.
+   [num_elts], [len]) entries are valid for the current chunk. *)
+let sets t = t.sets
+let set_counts t = t.set_count
+let elts t = t.elts
+let set_index t = t.set_idx
+let elt_index t = t.elt_idx
+
+let words t =
+  Array.length t.set_idx + Array.length t.elt_idx + Array.length t.sets
+  + Array.length t.set_count + Array.length t.elts
+  + (2 * Hashtbl.length t.sslot)
+  + (2 * Hashtbl.length t.eslot)

@@ -10,53 +10,70 @@
     - {!feed_all_parallel} / {!run_parallel} — batched AND sharded:
       mutually independent sinks (e.g. {!Mkc_core.Estimate.shards}'s
       z-guess × repeat oracle instances) are distributed round-robin
-      over OCaml 5 domains, each domain driving its sinks through the
-      whole (shared, read-only) stream.
+      over OCaml 5 domains; the coordinator builds one shared read-only
+      {!Chunk_plan} per (widened) chunk and the domains replay their
+      sink groups against it concurrently.
 
     Determinism of the parallel driver: every sink is owned by exactly
-    one domain and sees the full stream in order, and no state is
-    shared between sinks, so the final state of each sink — and hence
-    any finalize result — is identical to the sequential drivers'.
+    one group and sees the full stream in order (workers are joined
+    before the next chunk starts), and no mutable state is shared
+    between sinks, so the final state of each sink — and hence any
+    finalize result — is identical to the sequential drivers'.
     Parallelism changes wall-clock only, never output.
 
     Observability: when {!Mkc_obs.Registry.enabled} is on, the chunked
     drivers record a [pipeline.chunk] span per chunk and bump the
-    counters [pipeline.chunks], [pipeline.edges] (stream edges, per
-    pass) and [pipeline.sink_feed_edges] (edges × sinks — the feed work
-    actually done).  {!feed_all_parallel} additionally records one
-    [pipeline.domain] span per worker and the gauges
-    [pipeline.domain_busy_ns] (`Sum over domains) and
-    [pipeline.domains].  Because each domain makes its own pass over
-    the stream, [pipeline.chunks]/[pipeline.edges] scale with the
-    domain count; [pipeline.sink_feed_edges] is the invariant whose
-    merged total matches the sequential drivers exactly.  With the
+    counters [pipeline.chunks], [pipeline.edges] (stream edges) and
+    [pipeline.sink_feed_edges] (edges × sinks — the feed work actually
+    done).  Every driver makes exactly one chunking pass, so the merged
+    totals match across drivers (the parallel one just has fewer, wider
+    chunks).  {!feed_all_parallel} additionally records one
+    [pipeline.domain] span per worker per chunk and the gauges
+    [pipeline.domain_busy_ns] (total worker busy ns) and
+    [pipeline.domains].  With the
     registry disabled every instrument is a single load-and-branch. *)
 
 val default_chunk : int
-(** 8192 edges — two pages of edge records; chosen so a chunk plus a
-    hot sketch fits in L2. *)
+(** 65536 edges.  Chunks are the deduplication window of the hash
+    engine: each distinct set id / element value in a chunk has its
+    sampler and reduction hashes evaluated once and fanned out to all
+    its edges, so larger chunks amortize more — 64k edges of a stream
+    over m=4k sets turn ~16 per-edge hash evaluations into one.  The
+    chunk buffer itself is a view into the stream (no copy); only the
+    plan scratch (~6 words/edge) scales with the chunk. *)
 
 val run_seq : ('s, 'r) Sink.sink -> 's -> Stream_source.t -> 'r
 (** Feed edge-by-edge, then finalize.  The reference driver batched
     modes are tested against. *)
 
 val run : ?chunk:int -> ('s, 'r) Sink.sink -> 's -> Stream_source.t -> 'r
-(** Feed in chunks via [feed_batch], then finalize. *)
+(** Feed in chunks via [feed_planned] (one {!Chunk_plan} built per
+    chunk, reused across chunks), then finalize. *)
 
 val feed_all : ?chunk:int -> Sink.any array -> Stream_source.t -> unit
 (** Drive several sinks through one pass, chunk by chunk (all sinks see
-    chunk [i] before any sees chunk [i+1]).  Finalization is the
-    caller's: packed sinks share state with the typed handles used to
-    build them. *)
+    chunk [i] before any sees chunk [i+1]).  One {!Chunk_plan} is built
+    per chunk and shared by every sink, so the grouping pass is paid
+    once per chunk, not once per sink.  Finalization is the caller's:
+    packed sinks share state with the typed handles used to build
+    them. *)
 
 val feed_all_parallel :
   ?domains:int -> ?chunk:int -> Sink.any array -> Stream_source.t -> unit
 (** Like {!feed_all}, but the sinks are sharded round-robin across
     [domains] OCaml domains (default
     [Domain.recommended_domain_count ()], capped by the number of
-    sinks).  Requires the sinks to be pairwise independent — no shared
-    mutable state — which holds for all shard arrays exposed by this
-    library.  With [domains <= 1] this is exactly {!feed_all}. *)
+    sinks).  The coordinator chunks the stream once at [chunk × domains]
+    edges, builds a single {!Chunk_plan} per chunk, and the domains
+    replay their sink groups against the shared read-only plan
+    concurrently (workers join before the next chunk).  Relative to
+    {!feed_all} this pays the same one grouping pass over the stream
+    but makes every per-distinct-id hash decision once per
+    [domains]×-wider window — strictly less hash work, so the driver
+    wins even when the domains time-share a single core.  Requires the
+    sinks to be pairwise independent — no shared mutable state — which
+    holds for all shard arrays exposed by this library.  With
+    [domains <= 1] this is exactly {!feed_all}. *)
 
 val run_parallel :
   ?domains:int ->

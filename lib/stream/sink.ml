@@ -4,6 +4,7 @@ module type S = sig
 
   val feed : t -> Edge.t -> unit
   val feed_batch : t -> Edge.t array -> pos:int -> len:int -> unit
+  val feed_planned : t -> Chunk_plan.t -> Edge.t array -> pos:int -> len:int -> unit
   val finalize : t -> result
   val words : t -> int
   val words_breakdown : t -> (string * int) list
@@ -17,6 +18,10 @@ let pack m s = Any (m, s)
 module Any = struct
   let feed (Any ((module M), s)) e = M.feed s e
   let feed_batch (Any ((module M), s)) edges ~pos ~len = M.feed_batch s edges ~pos ~len
+
+  let feed_planned (Any ((module M), s)) plan edges ~pos ~len =
+    M.feed_planned s plan edges ~pos ~len
+
   let words (Any ((module M), s)) = M.words s
   let words_breakdown (Any ((module M), s)) = M.words_breakdown s
 end
@@ -25,6 +30,8 @@ let batch_by_feed feed s edges ~pos ~len =
   for i = pos to pos + len - 1 do
     feed s edges.(i)
   done
+
+let batch_ignoring_plan feed_batch s _plan edges ~pos ~len = feed_batch s edges ~pos ~len
 
 (* Canonical form of a words_breakdown: duplicate keys merged by sum,
    sorted by key.  Component keys are dot-namespaced by convention
@@ -89,6 +96,11 @@ module Observed = struct
     M.feed_batch t.state edges ~pos ~len;
     bump t len
 
+  let feed_planned (type s r) (t : (s, r) st) plan edges ~pos ~len =
+    let (module M) = t.inner in
+    M.feed_planned t.state plan edges ~pos ~len;
+    bump t len
+
   let finalize (type s r) (t : (s, r) st) =
     let (module M) = t.inner in
     let r = M.finalize t.state in
@@ -110,6 +122,7 @@ module Observed = struct
 
       let feed = feed
       let feed_batch = feed_batch
+      let feed_planned = feed_planned
       let finalize = finalize
       let words = words
       let words_breakdown = words_breakdown
@@ -181,6 +194,7 @@ module Set_arrival = struct
 
       let feed = feed
       let feed_batch = feed_batch
+      let feed_planned = batch_ignoring_plan feed_batch
       let finalize = finalize
       let words = words
       let words_breakdown t = [ ("set_arrival", words t) ]

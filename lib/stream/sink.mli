@@ -35,6 +35,14 @@ module type S = sig
       the work (instance-outer loops, hoisted dispatch, batched sketch
       updates) but never reorder updates to any single structure. *)
 
+  val feed_planned : t -> Chunk_plan.t -> Edge.t array -> pos:int -> len:int -> unit
+  (** [feed_batch] with a pre-built {!Chunk_plan} for the same slice.
+      The pipeline builds one plan per chunk and shares it across every
+      sink it drives, so the distinct-id grouping pass is paid once per
+      chunk rather than once per sink.  Must be equivalent to
+      [feed_batch] (and hence to per-edge [feed]); sinks with no
+      deduplicated path ignore the plan ({!batch_ignoring_plan}). *)
+
   val finalize : t -> result
   (** Collapse the sink.  Sinks are single-shot: feeding after
       [finalize] is unspecified. *)
@@ -61,6 +69,10 @@ val pack : ('s, 'r) sink -> 's -> any
 module Any : sig
   val feed : any -> Edge.t -> unit
   val feed_batch : any -> Edge.t array -> pos:int -> len:int -> unit
+
+  val feed_planned :
+    any -> Chunk_plan.t -> Edge.t array -> pos:int -> len:int -> unit
+
   val words : any -> int
   val words_breakdown : any -> (string * int) list
 end
@@ -69,6 +81,17 @@ val batch_by_feed :
   ('s -> Edge.t -> unit) -> 's -> Edge.t array -> pos:int -> len:int -> unit
 (** Default [feed_batch] for implementations with no batched fast path:
     a plain loop over [feed]. *)
+
+val batch_ignoring_plan :
+  ('s -> Edge.t array -> pos:int -> len:int -> unit) ->
+  's ->
+  Chunk_plan.t ->
+  Edge.t array ->
+  pos:int ->
+  len:int ->
+  unit
+(** Default {!S.feed_planned} for sinks with no deduplicated path:
+    drop the plan and call the given [feed_batch]. *)
 
 val canonical_breakdown : (string * int) list -> (string * int) list
 (** Canonicalize a {!S.words_breakdown}: duplicate keys merged by sum,

@@ -1,0 +1,232 @@
+(* Tests for the chunk-deduplicated hash engine.
+
+   The engine's contract is an evaluation-schedule change, never a
+   hash-function change: the planned (chunk-deduplicated) ingestion path
+   must produce bit-for-bit the state of per-edge ingestion while
+   evaluating each (set, element) sampler hash once per distinct id per
+   chunk instead of once per edge.  Checked here:
+
+   1. property: planned path ≡ per-edge path on random streams — same
+      estimate/witness/words AND the same per-instance work counters,
+      except the [*sampler_evals] families, which are exactly what the
+      engine is allowed (required) to shrink;
+   2. the keep-level memo is transparent: under collisions and
+      overwrites its answer always equals the direct hash evaluation,
+      and its fixed space shows up under a [memo] breakdown key;
+   3. branch-free [L0_bjkst.trailing_zeros] vs a bit-by-bit reference;
+   4. the trivial branch's witness is deterministic and sorted. *)
+
+module Edge = Mkc_stream.Edge
+module Src = Mkc_stream.Stream_source
+module Sink = Mkc_stream.Sink
+module Pipe = Mkc_stream.Pipeline
+module P = Mkc_core.Params
+module E = Mkc_core.Estimate
+module Sampler = Mkc_sketch.Sampler
+module Sm = Mkc_hashing.Splitmix
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let fingerprint (r : E.result) =
+  let witness =
+    match r.E.outcome with
+    | None -> []
+    | Some o -> List.sort compare (o.Mkc_core.Solution.witness ())
+  in
+  (r.E.estimate, r.E.z_guess, witness)
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+(* Work counters with the [*sampler_evals] families dropped: those count
+   hash evaluations (the engine's whole point is doing fewer of them);
+   everything else — edges, l0/f2 updates, stored pairs, recoveries — is
+   an observable-work invariant the planned path must preserve. *)
+let invariant_stats est =
+  List.map
+    (fun (inst, stats) ->
+      (inst, List.filter (fun (k, _) -> not (has_suffix ~suffix:"sampler_evals" k)) stats))
+    (E.stats est)
+
+(* --- 1. planned ≡ per-edge, counters included --- *)
+
+let prop_planned_equals_per_edge =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 300) (pair (int_range 0 31) (int_range 0 63)))
+        (int_range 1 128))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (edges, chunk) ->
+        Printf.sprintf "%d edges, chunk %d" (List.length edges) chunk)
+      gen
+  in
+  QCheck.Test.make
+    ~name:"chunk-dedup planned path ≡ per-edge path (results and work counters)"
+    ~count:30 arb
+    (fun (pairs, chunk) ->
+      let edges =
+        Array.of_list (List.map (fun (s, e) -> Edge.make ~set:s ~elt:e) pairs)
+      in
+      let src = Src.of_array edges in
+      let params = P.make ~m:32 ~n:64 ~k:3 ~alpha:4.0 ~seed:13 () in
+      let e0 = E.create params in
+      let r0 = Pipe.run_seq E.sink e0 src in
+      let e1 = E.create params in
+      let r1 = Pipe.run ~chunk E.sink e1 src in
+      fingerprint r0 = fingerprint r1
+      && E.words e0 = E.words e1
+      && E.words_breakdown e0 = E.words_breakdown e1
+      && invariant_stats e0 = invariant_stats e1)
+
+(* The planned path exists to shrink sampler work: chunk grouping plus
+   memoization keep set-sampling evaluations at O(distinct ids), far
+   under the edge count — and since the memo makes misses a pure
+   function of the distinct-id sequence, per-edge and planned drives
+   must report the same (small) evaluation count. *)
+let test_planned_fewer_sampler_evals () =
+  let m = 32 and n = 64 in
+  (* 4096 edges over 32 sets: at most m distinct set ids exist, so
+     set-sampling evaluations must be bounded by m per instance however
+     the stream is driven — and in both drives they must agree, because
+     the memo makes misses a function of the distinct-id sequence. *)
+  let edges =
+    Array.init 4096 (fun i -> Edge.make ~set:(i * 7 mod m) ~elt:(i * 31 mod n))
+  in
+  let params = P.make ~m ~n ~k:3 ~alpha:4.0 ~seed:13 () in
+  let e0 = E.create params in
+  let _ = Pipe.run_seq E.sink e0 (Src.of_array edges) in
+  let e1 = E.create params in
+  let _ = Pipe.run ~chunk:512 E.sink e1 (Src.of_array edges) in
+  let total est =
+    List.fold_left
+      (fun acc (_, stats) ->
+        acc + (try List.assoc "sampler_evals" stats with Not_found -> 0))
+      0 (E.stats est)
+  in
+  let instances = List.length (E.stats e0) in
+  checki "planned evals = per-edge evals (memo misses)" (total e0) (total e1);
+  checkb "evals bounded by m per instance" true (total e1 <= m * instances);
+  checkb "evals far below edge count" true
+    (total e1 < Array.length edges * instances / 10)
+
+(* --- 2. the memo is transparent --- *)
+
+let test_memo_transparent () =
+  let sampler =
+    Sampler.Nested.create ~base_rate:0.25 ~levels:5 ~indep:4 ~seed:(Sm.create 41)
+  in
+  (* 8 slots against ids drawn from [0, 64): heavy collisions, constant
+     overwrites — the worst case for a direct-mapped cache.  Emulate
+     Large_common's keep_code and check every answer against the direct
+     evaluation. *)
+  let memo = Sampler.Memo.create ~slots:8 in
+  checki "slots round to a power of two" 8 (Sampler.Memo.slots memo);
+  checki "fixed words: 2*slots + 1" 17 (Sampler.Memo.words memo);
+  let rng = Sm.create 97 in
+  for _ = 1 to 10_000 do
+    let id = Sm.below rng 64 in
+    let c = Sampler.Memo.find memo id in
+    let code =
+      if c <> Sampler.Memo.absent then c
+      else begin
+        let c = Sampler.Nested.min_keep_level_code sampler id in
+        Sampler.Memo.store memo id c;
+        c
+      end
+    in
+    checki
+      (Printf.sprintf "memoized decision for id %d" id)
+      (Sampler.Nested.min_keep_level_code sampler id)
+      code
+  done
+
+let test_memo_words_in_breakdown () =
+  let params = P.make ~m:32 ~n:64 ~k:3 ~alpha:4.0 ~seed:13 () in
+  let est = E.create params in
+  let edges = Array.init 256 (fun i -> Edge.make ~set:(i mod 32) ~elt:(i mod 64)) in
+  let _ = Pipe.run E.sink est (Src.of_array edges) in
+  let memo_words =
+    List.fold_left
+      (fun acc (key, w) -> if has_suffix ~suffix:"memo" key then acc + w else acc)
+      0 (E.words_breakdown est)
+  in
+  checkb "memo words accounted under a *.memo key" true (memo_words > 0);
+  (* and the breakdown still sums to the total *)
+  checki "breakdown sums to words" (E.words est)
+    (List.fold_left (fun acc (_, w) -> acc + w) 0 (E.words_breakdown est))
+
+(* --- 3. trailing_zeros vs bit-by-bit reference --- *)
+
+let tz_reference v =
+  if Int64.equal v 0L then 64
+  else begin
+    let c = ref 0 in
+    let x = ref v in
+    while Int64.equal (Int64.logand !x 1L) 0L do
+      incr c;
+      x := Int64.shift_right_logical !x 1
+    done;
+    !c
+  end
+
+let test_trailing_zeros () =
+  let tz = Mkc_sketch.L0_bjkst.trailing_zeros in
+  checki "zero" 64 (tz 0L);
+  checki "one" 0 (tz 1L);
+  checki "min_int64 (only bit 63)" 63 (tz Int64.min_int);
+  checki "all ones" 0 (tz (-1L));
+  for i = 0 to 63 do
+    checki
+      (Printf.sprintf "power of two: bit %d" i)
+      i
+      (tz (Int64.shift_left 1L i))
+  done;
+  let rng = Sm.create 7 in
+  for _ = 1 to 5000 do
+    let v = Sm.next rng in
+    checki (Printf.sprintf "random %Ld" v) (tz_reference v) (tz v)
+  done;
+  (* values dense in low trailing-zero counts: shifted randoms *)
+  for shift = 0 to 63 do
+    let v = Int64.shift_left (Sm.next rng) shift in
+    checki (Printf.sprintf "shifted %Ld" v) (tz_reference v) (tz v)
+  done
+
+(* --- 4. trivial branch: deterministic sorted witness --- *)
+
+let test_trivial_witness_deterministic () =
+  (* kα = 16 ≥ m = 8 puts Estimate on the trivial branch. *)
+  let params = P.make ~m:8 ~n:64 ~k:4 ~alpha:4.0 ~seed:5 () in
+  let edges = Array.init 128 (fun i -> Edge.make ~set:(i mod 8) ~elt:(i mod 64)) in
+  let run () =
+    let est = E.create params in
+    let r = Pipe.run E.sink est (Src.of_array edges) in
+    match r.E.outcome with
+    | None -> Alcotest.fail "trivial branch produced no outcome"
+    | Some o -> o.Mkc_core.Solution.witness ()
+  in
+  let w1 = run () and w2 = run () in
+  checkb "two identical runs, identical witness" true (w1 = w2);
+  checkb "witness is sorted" true (List.sort compare w1 = w1);
+  checkb "witness is nonempty, at most k" true
+    (List.length w1 > 0 && List.length w1 <= 4);
+  checkb "witness ids are distinct" true
+    (List.length (List.sort_uniq compare w1) = List.length w1)
+
+let suite =
+  [
+    Alcotest.test_case "planned path: sampler evals collapse" `Quick
+      test_planned_fewer_sampler_evals;
+    Alcotest.test_case "memo: transparent under collisions" `Quick test_memo_transparent;
+    Alcotest.test_case "memo: words accounted in breakdown" `Quick
+      test_memo_words_in_breakdown;
+    Alcotest.test_case "l0_bjkst: branch-free trailing_zeros" `Quick test_trailing_zeros;
+    Alcotest.test_case "trivial witness: deterministic and sorted" `Quick
+      test_trivial_witness_deterministic;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_planned_equals_per_edge ]

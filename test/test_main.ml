@@ -5,6 +5,7 @@ let () =
       ("sketch", Test_sketch.suite);
       ("stream", Test_stream.suite);
       ("pipeline", Test_pipeline.suite);
+      ("chunk-engine", Test_chunk_engine.suite);
       ("workload", Test_workload.suite);
       ("coverage", Test_coverage.suite);
       ("baselines", Test_baselines.suite);

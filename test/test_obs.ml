@@ -264,6 +264,7 @@ let test_observed_cadence_grid () =
 
     let feed t (_ : Edge.t) = incr t
     let feed_batch t _ ~pos:_ ~len = t := !t + len
+    let feed_planned t _ edges ~pos ~len = feed_batch t edges ~pos ~len
     let finalize t = !t
     let words t = !t
     let words_breakdown t = [ ("count", !t) ]
