@@ -27,6 +27,16 @@ let registry =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--budget-strict" then begin
+          Pipeline_bench.budget_strict := true;
+          false
+        end
+        else true)
+      args
+  in
   let t0 = Unix.gettimeofday () in
   (match args with
   | [] -> List.iter (fun (_, f) -> f ()) registry

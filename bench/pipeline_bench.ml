@@ -13,9 +13,14 @@
    be identical — the benchmark asserts this before reporting, and also
    asserts that the instrumented run's final space-profile point equals
    the sink's words_breakdown exactly.  Results go to stdout and to a
-   JSON file (machine-readable; includes the mkc-obs/1 metrics snapshot
-   of the instrumented run and the chunk-dedup efficiency ratio
-   sampler_evals/edges).
+   JSON file (machine-readable; includes the mkc-obs/2 metrics snapshot
+   of the instrumented run, the winner-attribution counts, the
+   space-budget headroom, the estimate-vs-greedy relative error, and
+   the chunk-dedup efficiency ratio sampler_evals/edges).
+
+   The instrumented run also carries the Space.Budget watchdog;
+   [budget_strict := true] (the CLI's --budget-strict) makes an
+   overshoot fatal, which is how CI gates on space regressions.
 
    Two registry entries share this runner:
      pipeline        n=65536, m=4096 — the acceptance-criteria workload
@@ -26,6 +31,8 @@ module P = Mkc_core.Params
 module E = Mkc_core.Estimate
 
 type timing = { mode : string; seconds : float; edges_per_sec : float }
+
+let budget_strict = ref false
 
 let time_ingest name f =
   let t0 = Unix.gettimeofday () in
@@ -78,7 +85,10 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
      so they measure the disabled (one load-and-branch) path. *)
   let e_obs = fresh () in
   Mkc_obs.Registry.set_enabled true;
-  let sm, ob = Mkc_stream.Sink.Observed.observe ~cadence:65536 E.sink e_obs in
+  let budget =
+    Mkc_sketch.Space.Budget.create ~strict:!budget_strict (E.word_budget params)
+  in
+  let sm, ob = Mkc_stream.Sink.Observed.observe ~cadence:65536 ~budget E.sink e_obs in
   let obs_any = Mkc_stream.Sink.pack sm ob in
   let timings =
     timings
@@ -99,8 +109,28 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
         failwith "pipeline bench: space-profile final total <> words!";
       if final.Mkc_obs.Space_profile.breakdown <> wb then
         failwith "pipeline bench: space-profile final breakdown <> words_breakdown!");
+  (* Ground truth for this workload is the offline greedy baseline; the
+     estimate/greedy gap is the end-to-end quality number (the paper's
+     guarantee is a 1/Õ(α) fraction of OPT ≥ greedy/(1 - 1/e)). *)
+  let greedy = (Mkc_coverage.Greedy.run sys ~k).Mkc_coverage.Greedy.coverage in
+  Mkc_obs.Quality.record_relative_error "estimate.quality.vs_greedy" ~truth:greedy
+    ~estimate:(int_of_float r_obs.E.estimate);
+  let module B = Mkc_sketch.Space.Budget in
+  Mkc_obs.Quality.record_budget ~budget_words:(B.budget budget)
+    ~peak_words:(B.peak budget) ~overshoots:(B.overshoots budget) ();
+  let space =
+    {
+      Mkc_obs.Snapshot.budget_words = B.budget budget;
+      peak_words = B.peak budget;
+      headroom = B.headroom budget;
+      overshoots = B.overshoots budget;
+      samples = B.samples budget;
+    }
+  in
+  let winners = E.winners e_obs in
   let snapshot =
-    Mkc_obs.Snapshot.capture ~profiles:[ ("estimate", profile) ] Mkc_obs.Registry.global
+    Mkc_obs.Snapshot.capture ~profiles:[ ("estimate", profile) ] ~space
+      Mkc_obs.Registry.global
   in
   Mkc_obs.Registry.set_enabled false;
   let results =
@@ -114,6 +144,16 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
   | [] -> assert false);
   let estimate, z_guess, _ = List.hd results in
   Format.printf "all modes agree: estimate %.0f (z-guess %d)@." estimate z_guess;
+  let rel_err =
+    if greedy = 0 then 0.0
+    else abs_float (estimate -. float_of_int greedy) /. float_of_int greedy
+  in
+  Format.printf "greedy baseline: %d (relative error %.3f)@." greedy rel_err;
+  Format.printf "winners:%s@."
+    (String.concat ""
+       (List.map (fun (who, c) -> Printf.sprintf " %s=%d" who c) winners));
+  Format.printf "space budget: %d words, peak %d, headroom %.2f@." (B.budget budget)
+    (B.peak budget) (B.headroom budget);
   (* Dedup efficiency: batched path's actual sampler evaluations vs the
      per-edge path's (one per instance per edge). *)
   let evals_batched = total_sampler_evals e_batch in
@@ -152,6 +192,22 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"greedy\": %d,\n  \"estimate_vs_greedy_rel_error\": %.6f,\n"
+       greedy rel_err);
+  Buffer.add_string b "  \"winners\": {";
+  List.iteri
+    (fun i (who, c) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s %S: %d" (if i = 0 then "" else ",") who c))
+    winners;
+  Buffer.add_string b " },\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"space\": { \"budget_words\": %d, \"peak_words\": %d, \"headroom\": %.6f, \
+        \"overshoots\": %d, \"samples\": %d },\n"
+       (B.budget budget) (B.peak budget) (B.headroom budget) (B.overshoots budget)
+       (B.samples budget));
   Buffer.add_string b
     (Printf.sprintf "  \"metrics_snapshot\": %s\n" (Mkc_obs.Snapshot.to_string snapshot));
   Buffer.add_string b "}\n";

@@ -53,16 +53,18 @@ let chunk_arg =
     & opt (pos_int ~what:"chunk size") Mkc_stream.Pipeline.default_chunk
     & info [ "chunk" ] ~docv:"EDGES" ~doc:"Ingestion chunk size in edges.")
 
-(* ---------- metrics plumbing ---------- *)
+(* ---------- observability plumbing ---------- *)
 
-type metrics_opts = {
+type obs_opts = {
   show : bool;
   json : string option;
   prom : string option;
   cadence : int;
+  trace : string option;
+  progress : float option;
 }
 
-let metrics_term =
+let obs_term =
   let show =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Print a metrics summary after the run.")
   in
@@ -87,9 +89,42 @@ let metrics_term =
       & info [ "metrics-cadence" ] ~docv:"EDGES"
           ~doc:"Space-profile sampling cadence in edges.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event / Perfetto JSON timeline to $(docv) (open in \
+             ui.perfetto.dev or chrome://tracing).")
+  in
+  let progress =
+    let pos_float =
+      let parse s =
+        match float_of_string_opt s with
+        | Some v when v > 0.0 -> Ok v
+        | _ -> Error (`Msg "progress interval must be a positive number of seconds")
+      in
+      Arg.conv (parse, Format.pp_print_float)
+    in
+    Arg.(
+      value
+      & opt (some pos_float) None
+      & info [ "progress" ] ~docv:"SEC"
+          ~doc:"Print an ingestion heartbeat to stderr every $(docv) seconds.")
+  in
   Term.(
-    const (fun show json prom cadence -> { show; json; prom; cadence })
-    $ show $ json $ prom $ cadence)
+    const (fun show json prom cadence trace progress ->
+        { show; json; prom; cadence; trace; progress })
+    $ show $ json $ prom $ cadence $ trace $ progress)
+
+let budget_strict_arg =
+  Arg.(
+    value & flag
+    & info [ "budget-strict" ]
+        ~doc:
+          "Enable the space-budget watchdog in strict mode: abort (exit 3) as soon as a \
+           sampled word count exceeds the theoretical budget from the parameters.")
 
 let metrics_wanted o = o.show || o.json <> None || o.prom <> None
 
@@ -97,11 +132,79 @@ let write_file path s =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
-let emit_metrics o profiles =
-  let snap = Mkc_obs.Snapshot.capture ~profiles Mkc_obs.Registry.global in
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Format.eprintf "mkc: %s@." msg;
+    exit 2
+
+let emit_metrics ?space o profiles =
+  let snap = Mkc_obs.Snapshot.capture ~profiles ?space Mkc_obs.Registry.global in
   Option.iter (fun file -> write_file file (Mkc_obs.Snapshot.to_string snap)) o.json;
   Option.iter (fun file -> write_file file (Mkc_obs.Export.prometheus snap)) o.prom;
   if o.show then print_string (Mkc_obs.Export.summary snap)
+
+let emit_trace o =
+  match o.trace with
+  | None -> ()
+  | Some file ->
+      let events = Mkc_obs.Trace.events () in
+      write_file file (Mkc_obs.Trace.to_string ~events ());
+      Format.printf "wrote trace: %s (%d events)@." file (List.length events)
+
+let space_of_budget b =
+  let open Mkc_sketch.Space.Budget in
+  {
+    Mkc_obs.Snapshot.budget_words = budget b;
+    peak_words = peak b;
+    headroom = headroom b;
+    overshoots = overshoots b;
+    samples = samples b;
+  }
+
+let record_budget_gauges b =
+  let open Mkc_sketch.Space.Budget in
+  Mkc_obs.Quality.record_budget ~budget_words:(budget b) ~peak_words:(peak b)
+    ~overshoots:(overshoots b) ()
+
+let print_budget b =
+  let open Mkc_sketch.Space.Budget in
+  Format.printf "space budget: %d words, peak %d, headroom %.2f%s@." (budget b) (peak b)
+    (headroom b)
+    (if overshoots b > 0 then Printf.sprintf " (%d overshoots)" (overshoots b) else "")
+
+(* Wall-clock-throttled stderr heartbeat for [--progress]; the Tap
+   itself fires on every feed call, so all policy lives here. *)
+let progress_reporter ~total interval_s =
+  let interval_ns = int_of_float (interval_s *. 1e9) in
+  let start = Mkc_obs.Clock.now_ns () in
+  let last = ref start in
+  fun ~edges ->
+    let now = Mkc_obs.Clock.now_ns () in
+    if now - !last >= interval_ns then begin
+      last := now;
+      let dt = float_of_int (now - start) /. 1e9 in
+      Format.eprintf "mkc: %d/%d edges (%.0f%%), %.1fs, %.0f edges/s@." edges total
+        (100.0 *. float_of_int edges /. float_of_int (max 1 total))
+        dt
+        (if dt > 0.0 then float_of_int edges /. dt else 0.0)
+    end
+
+let budget_exceeded_exit o exn =
+  match exn with
+  | Mkc_sketch.Space.Budget.Exceeded { budget; words } ->
+      Format.eprintf
+        "mkc: space budget exceeded: %d words used against a budget of %d (--budget-strict)@."
+        words budget;
+      (* Still flush the trace: the timeline up to the abort is exactly
+         what one wants when diagnosing an overshoot. *)
+      emit_trace o;
+      exit 3
+  | e -> raise e
 
 let load_stream path =
   match Mkc_stream.Stream_source.load path with
@@ -159,23 +262,41 @@ let generate_cmd =
 
 (* ---------- estimate ---------- *)
 
-let estimate path k alpha seed profile domains chunk mopts =
+let estimate path k alpha seed profile domains chunk oopts budget_strict =
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let est = Mkc_core.Estimate.create params in
-  let want = metrics_wanted mopts in
+  let want = metrics_wanted oopts in
+  let tracing = oopts.trace <> None in
   if want then Mkc_obs.Registry.set_enabled true;
+  if tracing then Mkc_obs.Trace.set_enabled true;
+  let budget =
+    if budget_strict || want then
+      Some
+        (Mkc_sketch.Space.Budget.create ~strict:budget_strict
+           (Mkc_core.Estimate.word_budget params))
+    else None
+  in
+  let total = Mkc_stream.Stream_source.length src in
+  let notify = Option.map (fun sec -> progress_reporter ~total sec) oopts.progress in
   let profiles = ref [] in
-  let r =
+  let run () =
     if domains > 1 then begin
+      Option.iter
+        (fun _ ->
+          Format.eprintf "mkc: --progress is only reported with --domains 1; ignoring@.")
+        notify;
       let shards = Mkc_core.Estimate.shards est in
       let final_samples = ref [] in
       let shards =
         if not want then shards
         else
+          (* Budgets are single-domain mutable state: never share one
+             across per-shard wrappers.  The watchdog instead checks the
+             total word count once at finalize. *)
           Array.mapi
             (fun i s ->
-              let ob = Mkc_stream.Sink.Observed.observe_any ~cadence:mopts.cadence s in
+              let ob = Mkc_stream.Sink.Observed.observe_any ~cadence:oopts.cadence s in
               profiles := (Printf.sprintf "shard%d" i, ob.Mkc_stream.Sink.Observed.oprofile) :: !profiles;
               final_samples := ob.Mkc_stream.Sink.Observed.osample :: !final_samples;
               ob.Mkc_stream.Sink.Observed.osink)
@@ -184,18 +305,32 @@ let estimate path k alpha seed profile domains chunk mopts =
       Mkc_stream.Pipeline.run_parallel ~domains ~chunk ~shards
         ~finalize:(fun () ->
           List.iter (fun sample -> sample ()) !final_samples;
+          (match budget with
+          | Some b -> Mkc_sketch.Space.Budget.observe b (Mkc_core.Estimate.words est)
+          | None -> ());
           Mkc_core.Estimate.finalize est)
         src
     end
-    else if want then begin
+    else if want || tracing || budget <> None then begin
       let sm, ob =
-        Mkc_stream.Sink.Observed.observe ~cadence:mopts.cadence Mkc_core.Estimate.sink est
+        Mkc_stream.Sink.Observed.observe ~cadence:oopts.cadence ?budget
+          Mkc_core.Estimate.sink est
       in
-      profiles := [ ("estimate", Mkc_stream.Sink.Observed.profile ob) ];
-      Mkc_stream.Pipeline.run ~chunk sm ob src
+      if want then profiles := [ ("estimate", Mkc_stream.Sink.Observed.profile ob) ];
+      match notify with
+      | Some notify ->
+          let tm, tp = Mkc_stream.Sink.Tap.tap sm ob ~notify in
+          Mkc_stream.Pipeline.run ~chunk tm tp src
+      | None -> Mkc_stream.Pipeline.run ~chunk sm ob src
     end
-    else Mkc_stream.Pipeline.run ~chunk Mkc_core.Estimate.sink est src
+    else
+      match notify with
+      | Some notify ->
+          let tm, tp = Mkc_stream.Sink.Tap.tap Mkc_core.Estimate.sink est ~notify in
+          Mkc_stream.Pipeline.run ~chunk tm tp src
+      | None -> Mkc_stream.Pipeline.run ~chunk Mkc_core.Estimate.sink est src
   in
+  let r = try run () with e -> budget_exceeded_exit oopts e in
   Format.printf "stream: %d pairs, m=%d, n=%d@." (Mkc_stream.Stream_source.length src) m n;
   Format.printf "estimated optimal %d-cover coverage: %.0f@." k r.Mkc_core.Estimate.estimate;
   (match r.Mkc_core.Estimate.outcome with
@@ -204,29 +339,40 @@ let estimate path k alpha seed profile domains chunk mopts =
         o.provenance r.Mkc_core.Estimate.z_guess
   | None -> Format.printf "no subroutine produced a feasible estimate@.");
   Format.printf "space: %d words@." (Mkc_core.Estimate.words est);
+  Option.iter print_budget budget;
   if want then begin
     Mkc_core.Estimate.record_metrics est;
-    emit_metrics mopts (List.rev !profiles)
-  end
+    Option.iter record_budget_gauges budget;
+    emit_metrics ?space:(Option.map space_of_budget budget) oopts (List.rev !profiles)
+  end;
+  emit_trace oopts
 
 let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate" ~doc:"α-approximate coverage estimation (Theorem 3.1)")
     Term.(
       const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg $ metrics_term)
+      $ domains_arg $ chunk_arg $ obs_term $ budget_strict_arg)
 
 (* ---------- report ---------- *)
 
-let report path k alpha seed profile domains chunk mopts =
+let report path k alpha seed profile domains chunk oopts =
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let rep = Mkc_core.Report.create params in
-  let want = metrics_wanted mopts in
+  let want = metrics_wanted oopts in
+  let tracing = oopts.trace <> None in
   if want then Mkc_obs.Registry.set_enabled true;
+  if tracing then Mkc_obs.Trace.set_enabled true;
+  let total = Mkc_stream.Stream_source.length src in
+  let notify = Option.map (fun sec -> progress_reporter ~total sec) oopts.progress in
   let profiles = ref [] in
   let r =
     if domains > 1 then begin
+      Option.iter
+        (fun _ ->
+          Format.eprintf "mkc: --progress is only reported with --domains 1; ignoring@.")
+        notify;
       let shards = Mkc_core.Report.shards rep in
       let final_samples = ref [] in
       let shards =
@@ -234,7 +380,7 @@ let report path k alpha seed profile domains chunk mopts =
         else
           Array.mapi
             (fun i s ->
-              let ob = Mkc_stream.Sink.Observed.observe_any ~cadence:mopts.cadence s in
+              let ob = Mkc_stream.Sink.Observed.observe_any ~cadence:oopts.cadence s in
               profiles := (Printf.sprintf "shard%d" i, ob.Mkc_stream.Sink.Observed.oprofile) :: !profiles;
               final_samples := ob.Mkc_stream.Sink.Observed.osample :: !final_samples;
               ob.Mkc_stream.Sink.Observed.osink)
@@ -246,14 +392,23 @@ let report path k alpha seed profile domains chunk mopts =
           Mkc_core.Report.finalize rep)
         src
     end
-    else if want then begin
+    else if want || tracing then begin
       let sm, ob =
-        Mkc_stream.Sink.Observed.observe ~cadence:mopts.cadence Mkc_core.Report.sink rep
+        Mkc_stream.Sink.Observed.observe ~cadence:oopts.cadence Mkc_core.Report.sink rep
       in
-      profiles := [ ("report", Mkc_stream.Sink.Observed.profile ob) ];
-      Mkc_stream.Pipeline.run ~chunk sm ob src
+      if want then profiles := [ ("report", Mkc_stream.Sink.Observed.profile ob) ];
+      match notify with
+      | Some notify ->
+          let tm, tp = Mkc_stream.Sink.Tap.tap sm ob ~notify in
+          Mkc_stream.Pipeline.run ~chunk tm tp src
+      | None -> Mkc_stream.Pipeline.run ~chunk sm ob src
     end
-    else Mkc_stream.Pipeline.run ~chunk Mkc_core.Report.sink rep src
+    else
+      match notify with
+      | Some notify ->
+          let tm, tp = Mkc_stream.Sink.Tap.tap Mkc_core.Report.sink rep ~notify in
+          Mkc_stream.Pipeline.run ~chunk tm tp src
+      | None -> Mkc_stream.Pipeline.run ~chunk Mkc_core.Report.sink rep src
   in
   Format.printf "estimated coverage: %.0f@." r.Mkc_core.Report.estimate;
   (match r.Mkc_core.Report.provenance with
@@ -264,15 +419,16 @@ let report path k alpha seed profile domains chunk mopts =
   Format.printf "space: %d words@." (Mkc_core.Report.words rep);
   if want then begin
     Mkc_core.Report.record_metrics rep;
-    emit_metrics mopts (List.rev !profiles)
-  end
+    emit_metrics oopts (List.rev !profiles)
+  end;
+  emit_trace oopts
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"α-approximate k-cover reporting (Theorem 3.2)")
     Term.(
       const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg $ metrics_term)
+      $ domains_arg $ chunk_arg $ obs_term)
 
 (* ---------- greedy ---------- *)
 
@@ -345,23 +501,16 @@ let lowerbound_cmd =
 (* ---------- validate-snapshot ---------- *)
 
 let validate_snapshot file =
-  let s =
-    try
-      let ic = open_in_bin file in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with Sys_error msg ->
-      Format.eprintf "mkc: %s@." msg;
-      exit 2
-  in
-  match Mkc_obs.Snapshot.validate s with
+  match Mkc_obs.Snapshot.validate (read_file file) with
   | Ok snap ->
-      Format.printf "%s: valid %s snapshot (%d metrics, %d spans, %d profiles)@." file
-        Mkc_obs.Snapshot.schema_version
+      Format.printf "%s: valid %s snapshot (%d metrics, %d spans, %d profiles%s)@." file
+        snap.Mkc_obs.Snapshot.schema
         (List.length snap.Mkc_obs.Snapshot.metrics)
         (List.length snap.Mkc_obs.Snapshot.spans)
         (List.length snap.Mkc_obs.Snapshot.profiles)
+        (match snap.Mkc_obs.Snapshot.space with
+        | Some sp -> Printf.sprintf ", space headroom %.2f" sp.Mkc_obs.Snapshot.headroom
+        | None -> "")
   | Error e ->
       Format.eprintf "%s: invalid snapshot: %s@." file e;
       exit 1
@@ -375,8 +524,29 @@ let validate_snapshot_cmd =
   in
   Cmd.v
     (Cmd.info "validate-snapshot"
-       ~doc:"Validate a metrics snapshot against the mkc-obs/1 schema")
+       ~doc:"Validate a metrics snapshot against the mkc-obs/2 schema (mkc-obs/1 accepted)")
     Term.(const validate_snapshot $ file)
+
+(* ---------- validate-trace ---------- *)
+
+let validate_trace file =
+  match Mkc_obs.Trace.validate (read_file file) with
+  | Ok n -> Format.printf "%s: valid trace_event JSON (%d events)@." file n
+  | Error e ->
+      Format.eprintf "%s: invalid trace: %s@." file e;
+      exit 1
+
+let validate_trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace JSON file (from --trace).")
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:"Validate a Chrome trace_event / Perfetto JSON timeline (from --trace)")
+    Term.(const validate_trace $ file)
 
 let () =
   let info =
@@ -394,4 +564,5 @@ let () =
             stats_cmd;
             lowerbound_cmd;
             validate_snapshot_cmd;
+            validate_trace_cmd;
           ]))

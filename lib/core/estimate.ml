@@ -1,14 +1,25 @@
-type inst = { z : int; rep : int; reduction : Universe_reduction.t; oracle : Oracle.t }
+type inst = {
+  z : int;
+  rep : int;
+  span_name : string; (* "estimate.z<z>.rep<rep>", precomputed off the hot path *)
+  reduction : Universe_reduction.t;
+  oracle : Oracle.t;
+}
 
 type body =
   | Trivial of { estimate : float; witness : unit -> int list }
   | Run of { insts : inst array }
+
+(* Per-instance finalize verdict: (z, rep, winning-subroutine key or
+   "none", passed the z-acceptance test). *)
+type final = { fz : int; frep : int; fwinner : string; faccepted : bool }
 
 type t = {
   params : Params.t;
   body : body;
   mutable red : int array; (* distinct-element reduction buffer, reused per chunk *)
   own_plan : Mkc_stream.Chunk_plan.t; (* for feed_batch callers with no shared plan *)
+  mutable finals : final list; (* populated by [finalize], newest wins *)
 }
 
 type result = { estimate : float; outcome : Solution.outcome option; z_guess : int }
@@ -48,6 +59,7 @@ let create (p : Params.t) =
                    {
                      z;
                      rep;
+                     span_name = Printf.sprintf "estimate.z%d.rep%d" z rep;
                      reduction =
                        Universe_reduction.create ~z ~seed:(Mkc_hashing.Splitmix.fork sd 0);
                      oracle =
@@ -59,7 +71,7 @@ let create (p : Params.t) =
       Run { insts }
     end
   in
-  { params = p; body; red = [||]; own_plan = Mkc_stream.Chunk_plan.create () }
+  { params = p; body; red = [||]; own_plan = Mkc_stream.Chunk_plan.create (); finals = [] }
 
 let feed t e =
   match t.body with
@@ -84,10 +96,19 @@ let feed_planned t plan edges ~pos ~len =
       let ne = Mkc_stream.Chunk_plan.num_elts plan in
       t.red <- grow_red t.red ne;
       let red = t.red and elts = Mkc_stream.Chunk_plan.elts plan in
+      (* One timed span per (z, rep) instance per chunk — the Figure 1
+         fan-out becomes visible as parallel rows on the trace timeline.
+         The obs check is hoisted so the untraced hot path pays one
+         branch per chunk, not one clock read per instance. *)
+      let obs = Mkc_obs.Registry.enabled () || Mkc_obs.Trace.enabled () in
       Array.iter
         (fun inst ->
+          let t0 = if obs then Mkc_obs.Clock.now_ns () else 0 in
           Universe_reduction.apply_batch inst.reduction elts ~pos:0 ~len:ne red;
-          Oracle.feed_planned inst.oracle plan ~red edges ~pos ~len)
+          Oracle.feed_planned inst.oracle plan ~red edges ~pos ~len;
+          if obs then
+            Mkc_obs.Span.record inst.span_name ~start_ns:t0
+              ~dur_ns:(Mkc_obs.Clock.now_ns () - t0))
         insts
 
 let feed_batch t edges ~pos ~len =
@@ -100,6 +121,7 @@ let feed_batch t edges ~pos ~len =
 let finalize t =
   match t.body with
   | Trivial { estimate; witness } ->
+      t.finals <- [ { fz = 0; frep = 0; fwinner = "trivial"; faccepted = true } ];
       {
         estimate;
         outcome = Some { Solution.estimate; witness; provenance = Solution.Trivial };
@@ -108,6 +130,7 @@ let finalize t =
   | Run { insts } ->
       let p = t.params in
       let accepted = ref None and fallback = ref None in
+      let finals = ref [] in
       let consider slot (cand : result) =
         match !slot with
         | Some (best : result) when best.estimate >= cand.estimate -> ()
@@ -116,13 +139,24 @@ let finalize t =
       Array.iter
         (fun inst ->
           match Oracle.finalize inst.oracle with
-          | None -> ()
+          | None ->
+              finals :=
+                { fz = inst.z; frep = inst.rep; fwinner = "none"; faccepted = false } :: !finals
           | Some o ->
               let cand = { estimate = o.Solution.estimate; outcome = Some o; z_guess = inst.z } in
               let threshold = float_of_int inst.z /. (p.accept_factor *. p.alpha) in
-              if o.Solution.estimate >= threshold then consider accepted cand
-              else consider fallback cand)
+              let ok = o.Solution.estimate >= threshold in
+              finals :=
+                {
+                  fz = inst.z;
+                  frep = inst.rep;
+                  fwinner = Solution.provenance_key o.Solution.provenance;
+                  faccepted = ok;
+                }
+                :: !finals;
+              if ok then consider accepted cand else consider fallback cand)
         insts;
+      t.finals <- List.rev !finals;
       (match (!accepted, !fallback) with
       | Some r, _ -> r
       | None, Some r -> r
@@ -155,6 +189,39 @@ let stats t =
       Array.to_list insts
       |> List.map (fun inst -> ((inst.z, inst.rep), Oracle.stats inst.oracle))
 
+let winners t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tbl f.fwinner
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.fwinner)))
+    t.finals;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* The Õ(m/α²) space bound of Theorems 3.1/3.3 with its constants made
+   explicit: each of the |ladder|·z_repeats oracle instances is allowed
+   [c_mass · m/α² + c_floor] words per log²(mn) polylog factor.  The
+   two-term shape matters: the mass term is the theorem's m/α² sketch
+   load, while the floor covers per-instance state that does not scale
+   with m/α² (tabulation tables, the keep-level memo, CountSketch
+   rows).  The constants are calibrated against measured peaks of the
+   quickstart/bench/CI workloads at ~0.5–0.8 headroom — tight enough
+   that a constant-factor space regression trips the watchdog, loose
+   enough that healthy runs never do. *)
+let budget_mass = 8.0
+let budget_floor = 640.0
+
+let word_budget (p : Params.t) =
+  if float_of_int p.k *. p.alpha >= float_of_int p.m then (* trivial branch: witness ids only *)
+    4 * p.k
+  else begin
+    let instances = List.length (guess_ladder p) * p.z_repeats in
+    let lmn = Params.log2f (p.m * max 1 p.n) in
+    let m_over_a2 = float_of_int p.m /. (p.alpha *. p.alpha) in
+    let per_inst = ((budget_mass *. m_over_a2) +. budget_floor) *. lmn *. lmn in
+    int_of_float (ceil (float_of_int instances *. per_inst))
+  end
+
 let record_metrics ?(registry = Mkc_obs.Registry.global) t =
   (* Publish per-(guess, repeat) oracle work counters.  Totals go under
      estimate.oracle.<stat>; the per-instance split keeps the z/rep
@@ -170,7 +237,36 @@ let record_metrics ?(registry = Mkc_obs.Registry.global) t =
                (Printf.sprintf "estimate.z%d.rep%d.%s" z rep key))
             v)
         stats)
-    (stats t)
+    (stats t);
+  (* Winner attribution and the z-ladder accept/reject outcomes (both
+     need [finalize] to have run; the counts sum to the number of
+     oracle instances). *)
+  let bump name = Mkc_obs.Registry.add (Mkc_obs.Registry.counter registry name) 1 in
+  List.iter
+    (fun f ->
+      bump ("estimate.winner." ^ f.fwinner);
+      bump
+        (Printf.sprintf "estimate.z%d.%s" f.fz (if f.faccepted then "accepted" else "rejected"));
+      bump (if f.faccepted then "estimate.guess.accepted" else "estimate.guess.rejected"))
+    t.finals;
+  (* Sketch-health ratios, derived from the same stats the counters
+     publish raw: memo hit ratio (top-level sampler_evals are exactly
+     the misses) and the heavy-hitter recovery success rate. *)
+  let totals = Hashtbl.create 32 in
+  List.iter
+    (fun ((_ : int * int), stats) ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace totals k (v + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+        stats)
+    (stats t);
+  let tot k = Option.value ~default:0 (Hashtbl.find_opt totals k) in
+  let memo_hits = tot "large_common.memo_hits" in
+  Mkc_obs.Quality.record_ratio ~registry "estimate.quality.memo.hit_ratio" ~num:memo_hits
+    ~den:(memo_hits + tot "large_common.sampler_evals");
+  Mkc_obs.Quality.record_ratio ~registry "estimate.quality.f2.hh_recovery_rate"
+    ~num:(tot "large_set.hh_recoveries")
+    ~den:(tot "large_set.hh_candidates")
 
 let sink : (t, result) Mkc_stream.Sink.sink =
   (module struct
@@ -204,12 +300,17 @@ let shard_sink : (shard, unit) Mkc_stream.Sink.sink =
       Oracle.feed s.inst.oracle (Universe_reduction.apply_edge s.inst.reduction e)
 
     let feed_planned s plan edges ~pos ~len =
+      let obs = Mkc_obs.Registry.enabled () || Mkc_obs.Trace.enabled () in
+      let t0 = if obs then Mkc_obs.Clock.now_ns () else 0 in
       let ne = Mkc_stream.Chunk_plan.num_elts plan in
       s.shard_red <- grow_red s.shard_red ne;
       Universe_reduction.apply_batch s.inst.reduction
         (Mkc_stream.Chunk_plan.elts plan)
         ~pos:0 ~len:ne s.shard_red;
-      Oracle.feed_planned s.inst.oracle plan ~red:s.shard_red edges ~pos ~len
+      Oracle.feed_planned s.inst.oracle plan ~red:s.shard_red edges ~pos ~len;
+      if obs then
+        Mkc_obs.Span.record s.inst.span_name ~start_ns:t0
+          ~dur_ns:(Mkc_obs.Clock.now_ns () - t0)
 
     let feed_batch s edges ~pos ~len =
       Mkc_stream.Chunk_plan.build s.shard_plan edges ~pos ~len;

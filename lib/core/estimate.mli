@@ -63,13 +63,35 @@ val stats : t -> ((int * int) * (string * int) list) list
     ({!Oracle.stats}) — one entry per Figure 1 instance, in ladder
     order.  Empty on the trivial branch. *)
 
+val winners : t -> (string * int) list
+(** Winner attribution, one vote per (z, rep) oracle instance: which
+    subroutine ([large_common]/[large_set]/[small_set], or ["trivial"],
+    or ["none"] when every subroutine reported infeasible) won that
+    instance's oracle max (Figure 2).  Counts sum to the number of
+    oracle instances (1 on the trivial branch); sorted by key; empty
+    before {!finalize}. *)
+
+val word_budget : Params.t -> int
+(** The theoretical space budget in words — Theorems 3.1/3.3's
+    [Õ(m/α²)] with explicit constants:
+    [instances · log²(mn) · (c_mass · m/α² + c_floor)], where
+    [instances] is the z-ladder × repeats fan-out ([4k] on the trivial
+    branch).  Feed it to {!Mkc_sketch.Space.Budget} to watchdog a
+    run. *)
+
 val record_metrics : ?registry:Mkc_obs.Registry.t -> t -> unit
 (** Publish {!stats} into a metric registry (default
     {!Mkc_obs.Registry.global}): each counter is added both to the
     aggregate [estimate.oracle.<stat>] and to the per-instance
-    [estimate.z<z>.rep<r>.<stat>].  A no-op while
+    [estimate.z<z>.rep<r>.<stat>].  Also publishes winner-attribution
+    counters ([estimate.winner.<subroutine>]), per-guess acceptance
+    outcomes ([estimate.z<z>.accepted]/[.rejected] and the
+    [estimate.guess.*] totals), and sketch-health ratio gauges
+    ([estimate.quality.memo.hit_ratio],
+    [estimate.quality.f2.hh_recovery_rate]).  A no-op while
     {!Mkc_obs.Registry.enabled} is off.  Call after {!finalize} so
-    finalize-time counters (heavy-hitter recoveries) are included. *)
+    finalize-time counters (heavy-hitter recoveries, winners) are
+    included. *)
 
 val sink : (t, result) Mkc_stream.Sink.sink
 (** The whole estimator as a single {!Mkc_stream.Sink}, for the

@@ -6,6 +6,7 @@ type t = {
   mutable codes : int array; (* per-distinct-set scratch for feed_planned *)
   mutable st_sampler_evals : int;
   mutable st_l0_updates : int;
+  mutable st_memo_hits : int;
 }
 
 let num_levels params =
@@ -29,6 +30,7 @@ let create (params : Params.t) ~seed =
     codes = [||];
     st_sampler_evals = 0;
     st_l0_updates = 0;
+    st_memo_hits = 0;
   }
 
 (* The set-sampling decision for a set id, through the memo: a hit
@@ -39,7 +41,10 @@ let create (params : Params.t) ~seed =
    is evaluated, never what it says. *)
 let keep_code t id =
   let c = Mkc_sketch.Sampler.Memo.find t.memo id in
-  if c <> Mkc_sketch.Sampler.Memo.absent then c
+  if c <> Mkc_sketch.Sampler.Memo.absent then begin
+    t.st_memo_hits <- t.st_memo_hits + 1;
+    c
+  end
   else begin
     t.st_sampler_evals <- t.st_sampler_evals + 1;
     let c = Mkc_sketch.Sampler.Nested.min_keep_level_code t.sampler id in
@@ -141,4 +146,12 @@ let words_breakdown t =
 let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
 
 let stats t =
-  [ ("sampler_evals", t.st_sampler_evals); ("l0_updates", t.st_l0_updates) ]
+  [
+    ("sampler_evals", t.st_sampler_evals);
+    ("l0_updates", t.st_l0_updates);
+    ("memo_hits", t.st_memo_hits);
+    ( "l0_prunes",
+      Array.fold_left (fun acc sk -> acc + Mkc_sketch.L0_bjkst.prunes sk) 0 t.sketches );
+    ( "l0_occupancy",
+      Array.fold_left (fun acc sk -> acc + Mkc_sketch.L0_bjkst.occupancy sk) 0 t.sketches );
+  ]

@@ -30,6 +30,7 @@ type t = {
   mutable st_f2_updates : int;
   mutable st_l0_updates : int;
   mutable st_hh_recoveries : int; (* set at finalize *)
+  mutable st_hh_candidates : int; (* set at finalize *)
 }
 
 let create (params : Params.t) ~w ~seed =
@@ -97,6 +98,7 @@ let create (params : Params.t) ~w ~seed =
     st_f2_updates = 0;
     st_l0_updates = 0;
     st_hh_recoveries = 0;
+    st_hh_candidates = 0;
   }
 
 let in_sample t rs e =
@@ -255,9 +257,24 @@ let witness t (c : candidate) () =
   Superset_partition.members ~limit:t.params.Params.k rs.partition c.superset
 
 let finalize t =
+  (* Recovery success rate = recoveries / candidates: how many of the
+     tracked heavy-hitter candidates (plus fallback sketches) actually
+     cleared their threshold.  Examined counts are taken per repeat
+     right before filtering, so they see the same post-prune tables. *)
+  let examined = ref 0 in
   let all =
-    List.concat (List.mapi (fun r rs -> candidates_of_repeat t r rs) (Array.to_list t.repeats))
+    List.concat
+      (List.mapi
+         (fun r rs ->
+           examined :=
+             !examined
+             + List.length (Mkc_sketch.F2_contributing.candidates rs.cntr_small)
+             + List.length (Mkc_sketch.F2_contributing.candidates rs.cntr_large)
+             + Hashtbl.length rs.fallback;
+           candidates_of_repeat t r rs)
+         (Array.to_list t.repeats))
   in
+  t.st_hh_candidates <- !examined;
   t.st_hh_recoveries <- List.length all;
   match List.sort (fun a b -> compare b.est a.est) all with
   | [] -> None
@@ -302,4 +319,19 @@ let stats t =
     ("f2_updates", t.st_f2_updates);
     ("l0_updates", t.st_l0_updates);
     ("hh_recoveries", t.st_hh_recoveries);
+    ("hh_candidates", t.st_hh_candidates);
+    ( "f2_prunes",
+      Array.fold_left
+        (fun acc rs ->
+          acc
+          + Mkc_sketch.F2_contributing.prunes rs.cntr_small
+          + Mkc_sketch.F2_contributing.prunes rs.cntr_large)
+        0 t.repeats );
+    ( "f2_tracked",
+      Array.fold_left
+        (fun acc rs ->
+          acc
+          + Mkc_sketch.F2_contributing.tracked rs.cntr_small
+          + Mkc_sketch.F2_contributing.tracked rs.cntr_large)
+        0 t.repeats );
   ]

@@ -15,6 +15,12 @@ let best outcomes =
       | Some a, Some b -> if b.estimate > a.estimate then o else acc)
     None outcomes
 
+let provenance_key = function
+  | Trivial -> "trivial"
+  | Large_common _ -> "large_common"
+  | Large_set _ -> "large_set"
+  | Small_set _ -> "small_set"
+
 let pp_provenance ppf = function
   | Trivial -> Format.fprintf ppf "trivial"
   | Large_common { beta } -> Format.fprintf ppf "large-common(β=%d)" beta

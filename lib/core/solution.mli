@@ -24,5 +24,9 @@ type outcome = {
 val best : outcome option list -> outcome option
 (** The outcome with the largest estimate, [None] if all are [None]. *)
 
+val provenance_key : provenance -> string
+(** Stable metric-name key of the winning subroutine:
+    ["trivial" | "large_common" | "large_set" | "small_set"]. *)
+
 val pp_provenance : Format.formatter -> provenance -> unit
 val pp : Format.formatter -> outcome -> unit

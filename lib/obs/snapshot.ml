@@ -10,14 +10,29 @@ type value = Counter of int | Gauge of float | Histogram of hist
 type metric = { mname : string; mvalue : value }
 type point = { at_edges : int; words : int; breakdown : (string * int) list }
 type profile = { pname : string; cadence : int; points : point list }
+
+type space = {
+  budget_words : int;
+  peak_words : int;
+  headroom : float;
+  overshoots : int;
+  samples : int;
+}
+
 type t = {
+  schema : string;
   created_ns : int;
+  space : space option;
   metrics : metric list;
   spans : Span.span list;
   profiles : profile list;
 }
 
-let schema_version = "mkc-obs/1"
+let schema_version = "mkc-obs/2"
+let schema_v1 = "mkc-obs/1"
+
+let headroom_of ~budget_words ~peak_words =
+  if budget_words <= 0 then 0.0 else float_of_int peak_words /. float_of_int budget_words
 
 let hist_of_metric (h : Metric.Histogram.t) =
   {
@@ -28,7 +43,7 @@ let hist_of_metric (h : Metric.Histogram.t) =
     hbuckets = Metric.Histogram.nonzero_buckets h;
   }
 
-let capture ?spans ?(profiles = []) ?now_ns registry =
+let capture ?spans ?(profiles = []) ?space ?now_ns registry =
   let spans = match spans with Some s -> s | None -> Span.recent () in
   let now_ns = match now_ns with Some t -> t | None -> Clock.now_ns () in
   let metrics =
@@ -56,7 +71,7 @@ let capture ?spans ?(profiles = []) ?now_ns registry =
         })
       profiles
   in
-  { created_ns = now_ns; metrics; spans; profiles }
+  { schema = schema_version; created_ns = now_ns; space; metrics; spans; profiles }
 
 (* ---------- emission ---------- *)
 
@@ -106,15 +121,26 @@ let json_of_profile p =
       ("points", Json.Array (List.map json_of_point p.points));
     ]
 
-let to_json t =
+let json_of_space s =
   Json.Object
     [
-      ("schema", Json.String schema_version);
-      ("created_ns", Json.Int t.created_ns);
-      ("metrics", Json.Array (List.map json_of_metric t.metrics));
-      ("spans", Json.Array (List.map json_of_span t.spans));
-      ("profiles", Json.Array (List.map json_of_profile t.profiles));
+      ("budget_words", Json.Int s.budget_words);
+      ("peak_words", Json.Int s.peak_words);
+      ("headroom", Json.Float s.headroom);
+      ("overshoots", Json.Int s.overshoots);
+      ("samples", Json.Int s.samples);
     ]
+
+let to_json t =
+  Json.Object
+    (("schema", Json.String t.schema)
+     :: ("created_ns", Json.Int t.created_ns)
+     :: (match t.space with None -> [] | Some s -> [ ("space", json_of_space s) ])
+    @ [
+        ("metrics", Json.Array (List.map json_of_metric t.metrics));
+        ("spans", Json.Array (List.map json_of_span t.spans));
+        ("profiles", Json.Array (List.map json_of_profile t.profiles));
+      ])
 
 let to_string t = Json.to_string (to_json t)
 
@@ -208,19 +234,46 @@ let profile_of_json j =
   | Some p -> Error (Printf.sprintf "%s: breakdown does not sum to words at edge %d" ctx p.at_edges)
   | None -> Ok { pname; cadence; points }
 
+let space_of_json j =
+  let ctx = "space" in
+  let* budget_words = field ctx "budget_words" Json.to_int j in
+  let* peak_words = field ctx "peak_words" Json.to_int j in
+  let* headroom = field ctx "headroom" Json.to_float j in
+  let* overshoots = field ctx "overshoots" Json.to_int j in
+  let* samples = field ctx "samples" Json.to_int j in
+  if budget_words < 0 || peak_words < 0 then Error (ctx ^ ": negative word count")
+  else if overshoots < 0 || overshoots > samples then
+    Error (ctx ^ ": overshoots outside [0, samples]")
+  else if headroom <> headroom_of ~budget_words ~peak_words then
+    Error (ctx ^ ": headroom is not peak_words / budget_words")
+  else if budget_words > 0 && samples > 0 && peak_words > budget_words && overshoots = 0 then
+    Error (ctx ^ ": peak over budget but no overshoot recorded")
+  else Ok { budget_words; peak_words; headroom; overshoots; samples }
+
 let of_json j =
   let* schema = field "snapshot" "schema" Json.to_string_opt j in
-  if schema <> schema_version then
-    Error (Printf.sprintf "snapshot: schema %S, expected %S" schema schema_version)
+  if schema <> schema_version && schema <> schema_v1 then
+    Error
+      (Printf.sprintf "snapshot: schema %S, expected %S (or legacy %S)" schema schema_version
+         schema_v1)
   else
     let* created_ns = field "snapshot" "created_ns" Json.to_int j in
+    let* space =
+      match Json.member "space" j with
+      | None -> Ok None
+      | Some _ when schema = schema_v1 ->
+          Error (Printf.sprintf "snapshot: %S has no \"space\" section" schema_v1)
+      | Some sj ->
+          let* s = space_of_json sj in
+          Ok (Some s)
+    in
     let* raw_metrics = list_field "snapshot" "metrics" j in
     let* metrics = map_result metric_of_json raw_metrics in
     let* raw_spans = list_field "snapshot" "spans" j in
     let* spans = map_result span_of_json raw_spans in
     let* raw_profiles = list_field "snapshot" "profiles" j in
     let* profiles = map_result profile_of_json raw_profiles in
-    Ok { created_ns; metrics; spans; profiles }
+    Ok { schema; created_ns; space; metrics; spans; profiles }
 
 let validate s =
   let* j = Json.parse s in

@@ -1,12 +1,15 @@
 (** Versioned, machine-readable snapshot of an observability state:
     merged metrics, recent spans, and space-over-stream profiles.
 
-    The JSON schema is {!schema_version} ("mkc-obs/1"); {!of_json}
-    re-validates every field, so consumers (CI, [bench]) fail loudly on
-    drift instead of silently mis-parsing.  Emission order is
-    deterministic (metrics sorted by name, spans by start time), so
-    snapshots taken under an injected {!Clock} source are golden-test
-    stable. *)
+    The JSON schema is {!schema_version} ("mkc-obs/2", which adds an
+    optional space-watchdog section); {!of_json} re-validates every
+    field, so consumers (CI, [bench]) fail loudly on drift instead of
+    silently mis-parsing.  Legacy {!schema_v1} ("mkc-obs/1") snapshots
+    are still accepted read-only, so old CI artifacts stay loadable;
+    the parsed [schema] field says which version was read.  Emission
+    order is deterministic (metrics sorted by name, spans by start
+    time), so snapshots taken under an injected {!Clock} source are
+    golden-test stable. *)
 
 type hist = {
   hcount : int;
@@ -20,24 +23,46 @@ type value = Counter of int | Gauge of float | Histogram of hist
 type metric = { mname : string; mvalue : value }
 type point = { at_edges : int; words : int; breakdown : (string * int) list }
 type profile = { pname : string; cadence : int; points : point list }
+
+type space = {
+  budget_words : int;  (** theoretical budget derived from [Params] *)
+  peak_words : int;  (** largest sampled [words] over the run *)
+  headroom : float;  (** peak / budget; < 1.0 means within budget *)
+  overshoots : int;  (** samples that exceeded the budget *)
+  samples : int;  (** total watchdog samples *)
+}
+
 type t = {
+  schema : string;
   created_ns : int;
+  space : space option;  (** absent on legacy v1 snapshots *)
   metrics : metric list;
   spans : Span.span list;
   profiles : profile list;
 }
 
 val schema_version : string
+(** Emission schema, ["mkc-obs/2"]. *)
+
+val schema_v1 : string
+(** Legacy schema ["mkc-obs/1"], accepted by {!of_json} read-only (its
+    snapshots cannot carry a [space] section). *)
+
+val headroom_of : budget_words:int -> peak_words:int -> float
+(** [peak / budget], or [0.] when the budget is degenerate ([<= 0]) —
+    the exact value validation demands of a [space] section. *)
 
 val capture :
   ?spans:Span.span list ->
   ?profiles:(string * Space_profile.t) list ->
+  ?space:space ->
   ?now_ns:int ->
   Registry.t ->
   t
-(** Merge-read the registry (plus the given spans/profiles) into a
-    snapshot.  [spans] defaults to [Span.recent ()]; [now_ns] defaults
-    to {!Clock.now_ns}. *)
+(** Merge-read the registry (plus the given spans/profiles and
+    optional space-watchdog verdict) into a snapshot.  [spans]
+    defaults to [Span.recent ()]; [now_ns] defaults to
+    {!Clock.now_ns}.  Always stamps {!schema_version}. *)
 
 val to_json : t -> Json.t
 val to_string : t -> string

@@ -31,6 +31,7 @@ let push sp =
   Mutex.unlock r.lock
 
 let record ?(registry = Registry.global) name ~start_ns ~dur_ns =
+  if Trace.enabled () then Trace.complete name ~start_ns ~dur_ns;
   if Registry.enabled () then begin
     let sp = { name; start_ns; dur_ns; domain = (Domain.self () :> int) } in
     push sp;
@@ -40,7 +41,7 @@ let record ?(registry = Registry.global) name ~start_ns ~dur_ns =
 type handle = { hname : string; hstart : int; hreg : Registry.t; live : bool }
 
 let start ?(registry = Registry.global) name =
-  if Registry.enabled () then
+  if Registry.enabled () || Trace.enabled () then
     { hname = name; hstart = Clock.now_ns (); hreg = registry; live = true }
   else { hname = name; hstart = 0; hreg = registry; live = false }
 

@@ -5,7 +5,9 @@
     to a bounded per-domain trace ring (most recent {!ring_capacity}
     spans per domain) readable through {!recent} — enough to
     reconstruct a per-chunk timeline of a run without unbounded
-    memory.  Everything is a no-op while {!Registry.enabled} is off. *)
+    memory.  When {!Trace.enabled} is on, every finished span is also
+    forwarded to the {!Trace} timeline ring.  Everything is a no-op
+    while both {!Registry.enabled} and {!Trace.enabled} are off. *)
 
 type span = { name : string; start_ns : int; dur_ns : int; domain : int }
 

@@ -1,0 +1,51 @@
+(** Chrome [trace_event] / Perfetto JSON timeline exporter.
+
+    Spans recorded through {!Span} (and counter samples pushed here
+    directly) land in bounded per-domain ring buffers while tracing is
+    enabled; {!to_string} renders them as a Chrome/Perfetto-loadable
+    JSON array (open in [chrome://tracing] or [ui.perfetto.dev]).
+    Recording costs one branch when disabled, and when enabled writes
+    three ints into a preallocated domain-local ring without taking a
+    lock (only the first use of a name on a domain touches the global
+    intern table). *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val ring_capacity : int
+(** Events retained per domain; older events are overwritten. *)
+
+(** {1 Recording} *)
+
+val complete : string -> start_ns:int -> dur_ns:int -> unit
+(** A finished span (trace_event phase ["X"]); no-op when disabled. *)
+
+val counter : string -> at_ns:int -> int -> unit
+(** A counter-track sample (phase ["C"]); no-op when disabled. *)
+
+(** {1 Reading} — call at quiescence (no concurrent recorders). *)
+
+type event =
+  | Complete of { name : string; start_ns : int; dur_ns : int; tid : int }
+  | Counter of { name : string; at_ns : int; value : int; tid : int }
+
+val events : unit -> event list
+(** Surviving events across all domains, sorted by (time, name, tid). *)
+
+val clear : unit -> unit
+
+(** {1 Export} *)
+
+val to_json : ?events:event list -> unit -> Json.t
+(** Chrome [trace_event] JSON array: [M] metadata naming the process
+    and each thread, then the events with domain ids renumbered densely
+    from 0 and timestamps in microseconds relative to the earliest
+    event.  Deterministic given the events. *)
+
+val to_string : ?events:event list -> unit -> string
+
+val validate : string -> (int, string) result
+(** Check that a string parses as a [trace_event] JSON array whose
+    events carry the mandatory fields for their phase ([X]: non-negative
+    [ts]/[dur]; [C]: [args.value]; [M]: [args.name]).  Returns the
+    number of events. *)

@@ -90,6 +90,8 @@ let collect t extract =
 let hits t = collect t F2_heavy_hitter.hits
 let candidates t = collect t F2_heavy_hitter.candidates
 let levels t = Array.length t.hhs
+let tracked t = Array.fold_left (fun acc hh -> acc + F2_heavy_hitter.tracked hh) 0 t.hhs
+let prunes t = Array.fold_left (fun acc hh -> acc + F2_heavy_hitter.prunes hh) 0 t.hhs
 
 let words t =
   Sampler.Nested.words t.sampler

@@ -75,4 +75,11 @@ val candidates : t -> hit list
     sorted by decreasing frequency — callers apply absolute thresholds. *)
 
 val levels : t -> int
+
+val tracked : t -> int
+(** Total candidates currently tracked, summed across levels. *)
+
+val prunes : t -> int
+(** Total candidate-table prune passes, summed across levels. *)
+
 val words : t -> int

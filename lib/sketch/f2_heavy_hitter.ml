@@ -11,6 +11,7 @@ type t = {
      values still come from the CountSketch at finalize time, keeping
      the Theorem 2.10 (1 ± 1/2) guarantee. *)
   counts : (int, int ref) Hashtbl.t;
+  mutable prunes : int;
 }
 
 type hit = { id : int; freq : float }
@@ -25,9 +26,11 @@ let create ?(depth = 5) ?(width_factor = 8) ?(clamp = true) ~phi ~seed () =
     cs = Count_sketch.create ~depth ~width ~seed:(Mkc_hashing.Splitmix.fork seed 0) ();
     cap;
     counts = Hashtbl.create 16;
+    prunes = 0;
   }
 
 let prune t =
+  t.prunes <- t.prunes + 1;
   let entries = Hashtbl.fold (fun id c acc -> (id, !c) :: acc) t.counts [] in
   let sorted = List.sort (fun (_, a) (_, b) -> compare b a) entries in
   Hashtbl.reset t.counts;
@@ -89,4 +92,6 @@ let hits t =
 
 let f2_estimate t = Count_sketch.f2_estimate t.cs
 let phi t = t.phi
+let tracked t = Hashtbl.length t.counts
+let prunes t = t.prunes
 let words t = Count_sketch.words t.cs + Space.hashtbl t.counts ~entry_words:2

@@ -63,4 +63,13 @@ val candidates : t -> hit list
 
 val f2_estimate : t -> float
 val phi : t -> float
+
+val tracked : t -> int
+(** Candidates currently held by the exact-counter tracker. *)
+
+val prunes : t -> int
+(** SpaceSaving-style prune passes so far (including the final
+    trim {!candidates} performs) — a health gauge for the candidate
+    table's capacity. *)
+
 val words : t -> int

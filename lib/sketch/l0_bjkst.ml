@@ -4,11 +4,12 @@ type t = {
   (* fingerprint -> trailing-zero level of the element's hash *)
   buf : (int64, int) Hashtbl.t;
   mutable z : int;
+  mutable prunes : int;
 }
 
 let create ?(cap = 96) ~seed () =
   if cap < 4 then invalid_arg "L0_bjkst.create: cap must be >= 4";
-  { cap; tab = Mkc_hashing.Tabulation.create ~seed; buf = Hashtbl.create 64; z = 0 }
+  { cap; tab = Mkc_hashing.Tabulation.create ~seed; buf = Hashtbl.create 64; z = 0; prunes = 0 }
 
 (* 32-bit de Bruijn count-trailing-zeros.  [x land (-x)] isolates the
    lowest set bit; multiplying by the de Bruijn constant slides a unique
@@ -35,6 +36,7 @@ let trailing_zeros v =
 
 let prune t =
   while Hashtbl.length t.buf > t.cap do
+    t.prunes <- t.prunes + 1;
     t.z <- t.z + 1;
     let z = t.z in
     (* In place: no doomed-fingerprint list is materialized. *)
@@ -68,4 +70,6 @@ let add_batch t xs ~pos ~len =
 
 let estimate t = float_of_int (Hashtbl.length t.buf) *. Float.pow 2.0 (float_of_int t.z)
 let level t = t.z
+let occupancy t = Hashtbl.length t.buf
+let prunes t = t.prunes
 let words t = Space.hashtbl t.buf ~entry_words:2 + Mkc_hashing.Tabulation.words t.tab + 2

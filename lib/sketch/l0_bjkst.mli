@@ -31,4 +31,12 @@ val estimate : t -> float
 val level : t -> int
 (** Current sampling level [z] (diagnostic). *)
 
+val occupancy : t -> int
+(** Fingerprints currently buffered (≤ [cap] between updates). *)
+
+val prunes : t -> int
+(** Level raises performed so far — each one halves the expected
+    buffer.  A health gauge: runaway pruning means the buffer capacity
+    is too small for the distinct-element load. *)
+
 val words : t -> int

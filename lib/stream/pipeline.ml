@@ -20,23 +20,37 @@ let run_seq (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
   Stream_source.iter (M.feed sink) src;
   M.finalize sink
 
-let chunk_instrumented ~nsinks ~len f =
-  if Mkc_obs.Registry.enabled () then begin
+let chunk_instrumented ~nsinks ~len ~cum f =
+  let reg = Mkc_obs.Registry.enabled () and tr = Mkc_obs.Trace.enabled () in
+  if reg || tr then begin
     let t0 = Mkc_obs.Clock.now_ns () in
     f ();
-    let dur = Mkc_obs.Clock.now_ns () - t0 in
+    let t1 = Mkc_obs.Clock.now_ns () in
+    let dur = t1 - t0 in
     Mkc_obs.Span.record "pipeline.chunk" ~start_ns:t0 ~dur_ns:dur;
-    Mkc_obs.Registry.incr Obs.chunks;
-    Mkc_obs.Registry.add Obs.edges len;
-    Mkc_obs.Registry.add Obs.sink_feed_edges (len * nsinks)
+    if reg then begin
+      Mkc_obs.Registry.incr Obs.chunks;
+      Mkc_obs.Registry.add Obs.edges len;
+      Mkc_obs.Registry.add Obs.sink_feed_edges (len * nsinks)
+    end;
+    if tr then begin
+      (* Counter tracks for the timeline: cumulative edges ingested
+         (per driver call, via [cum]) and this chunk's throughput. *)
+      cum := !cum + len;
+      Mkc_obs.Trace.counter "pipeline.edges" ~at_ns:t1 !cum;
+      if dur > 0 then
+        Mkc_obs.Trace.counter "pipeline.edges_per_sec" ~at_ns:t1
+          (int_of_float (float_of_int len *. 1e9 /. float_of_int dur))
+    end
   end
   else f ()
 
 let run ?(chunk = default_chunk) (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
   let plan = Chunk_plan.create () in
+  let cum = ref 0 in
   Stream_source.chunks ~chunk
     (fun edges ~pos ~len ->
-      chunk_instrumented ~nsinks:1 ~len (fun () ->
+      chunk_instrumented ~nsinks:1 ~len ~cum (fun () ->
           Chunk_plan.build plan edges ~pos ~len;
           M.feed_planned sink plan edges ~pos ~len))
     src;
@@ -48,9 +62,10 @@ let run ?(chunk = default_chunk) (type s r) ((module M) : (s, r) Sink.sink) (sin
 let feed_all ?(chunk = default_chunk) sinks src =
   let nsinks = Array.length sinks in
   let plan = Chunk_plan.create () in
+  let cum = ref 0 in
   Stream_source.chunks ~chunk
     (fun edges ~pos ~len ->
-      chunk_instrumented ~nsinks ~len (fun () ->
+      chunk_instrumented ~nsinks ~len ~cum (fun () ->
           Chunk_plan.build plan edges ~pos ~len;
           Array.iter (fun s -> Sink.Any.feed_planned s plan edges ~pos ~len) sinks))
     src
@@ -86,9 +101,10 @@ let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
     in
     let plan = Chunk_plan.create () in
     let busy_ns = ref 0 in
+    let cum = ref 0 in
     Stream_source.chunks ~chunk:dchunk
       (fun edges ~pos ~len ->
-        chunk_instrumented ~nsinks ~len (fun () ->
+        chunk_instrumented ~nsinks ~len ~cum (fun () ->
             Chunk_plan.build plan edges ~pos ~len;
             let feed_group mine =
               Array.iter (fun s -> Sink.Any.feed_planned s plan edges ~pos ~len) mine
@@ -104,7 +120,7 @@ let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
               Mkc_obs.Span.record "pipeline.domain" ~start_ns:t0 ~dur_ns:dur;
               dur
             in
-            if Mkc_obs.Registry.enabled () then begin
+            if Mkc_obs.Registry.enabled () || Mkc_obs.Trace.enabled () then begin
               let workers =
                 Array.init (domains - 1) (fun i ->
                     Domain.spawn (fun () -> timed_group (i + 1)))

@@ -52,6 +52,7 @@ module Observed = struct
     inner : ('s, 'r) sink;
     state : 's;
     profile : Mkc_obs.Space_profile.t;
+    budget : Mkc_sketch.Space.Budget.t option;
     mutable edges : int;
     mutable next_at : int;
   }
@@ -60,16 +61,22 @@ module Observed = struct
 
   let sample (type s r) (t : (s, r) st) =
     let (module M) = t.inner in
-    Mkc_obs.Space_profile.record t.profile ~at_edges:t.edges
-      ~words:(M.words t.state)
-      ~breakdown:(canonical_breakdown (M.words_breakdown t.state))
+    let words = M.words t.state in
+    Mkc_obs.Space_profile.record t.profile ~at_edges:t.edges ~words
+      ~breakdown:(canonical_breakdown (M.words_breakdown t.state));
+    if Mkc_obs.Trace.enabled () then
+      Mkc_obs.Trace.counter "space.words" ~at_ns:(Mkc_obs.Clock.now_ns ()) words;
+    (* Watchdog last: in strict mode [observe] raises on overshoot, and
+       the profile point above should survive to tell the story. *)
+    match t.budget with None -> () | Some b -> Mkc_sketch.Space.Budget.observe b words
 
-  let wrap ?(cadence = default_cadence) inner state =
+  let wrap ?(cadence = default_cadence) ?budget inner state =
     if cadence < 1 then invalid_arg "Sink.Observed.wrap: cadence must be >= 1";
     {
       inner;
       state;
       profile = Mkc_obs.Space_profile.create ~cadence;
+      budget;
       edges = 0;
       next_at = cadence;
     }
@@ -128,9 +135,9 @@ module Observed = struct
       let words_breakdown = words_breakdown
     end)
 
-  let observe (type s r) ?cadence (m : (s, r) sink) (state : s) :
+  let observe (type s r) ?cadence ?budget (m : (s, r) sink) (state : s) :
       ((s, r) st, r) sink * (s, r) st =
-    let t = wrap ?cadence m state in
+    let t = wrap ?cadence ?budget m state in
     (sink (), t)
 
   type observed_any = {
@@ -139,11 +146,68 @@ module Observed = struct
     osample : unit -> unit;
   }
 
-  let observe_any ?cadence packed =
+  let observe_any ?cadence ?budget packed =
     match packed with
     | Any (m, s) ->
-        let sm, t = observe ?cadence m s in
+        let sm, t = observe ?cadence ?budget m s in
         { osink = Any (sm, t); oprofile = t.profile; osample = (fun () -> sample t) }
+end
+
+(* A transparent progress tap: forwards everything to the inner sink
+   and calls [notify ~edges] once per feed call with the cumulative
+   edge count.  The callback decides what (if anything) to do — the
+   CLI's [--progress] uses wall-clock throttling in the callback, so
+   the tap itself stays policy-free and allocation-free. *)
+module Tap = struct
+  type ('s, 'r) st = {
+    inner : ('s, 'r) sink;
+    state : 's;
+    notify : edges:int -> unit;
+    mutable edges : int;
+  }
+
+  let wrap inner state ~notify = { inner; state; notify; edges = 0 }
+
+  let bump t n =
+    t.edges <- t.edges + n;
+    t.notify ~edges:t.edges
+
+  let sink (type s r) () : ((s, r) st, r) sink =
+    (module struct
+      type nonrec t = (s, r) st
+      type result = r
+
+      let feed (type s r) (t : (s, r) st) e =
+        let (module M) = t.inner in
+        M.feed t.state e;
+        bump t 1
+
+      let feed_batch (type s r) (t : (s, r) st) edges ~pos ~len =
+        let (module M) = t.inner in
+        M.feed_batch t.state edges ~pos ~len;
+        bump t len
+
+      let feed_planned (type s r) (t : (s, r) st) plan edges ~pos ~len =
+        let (module M) = t.inner in
+        M.feed_planned t.state plan edges ~pos ~len;
+        bump t len
+
+      let finalize (type s r) (t : (s, r) st) =
+        let (module M) = t.inner in
+        M.finalize t.state
+
+      let words (type s r) (t : (s, r) st) =
+        let (module M) = t.inner in
+        M.words t.state
+
+      let words_breakdown (type s r) (t : (s, r) st) =
+        let (module M) = t.inner in
+        M.words_breakdown t.state
+    end)
+
+  let tap (type s r) (m : (s, r) sink) (state : s) ~notify : ((s, r) st, r) sink * (s, r) st
+      =
+    (sink (), wrap m state ~notify)
 end
 
 module Set_arrival = struct

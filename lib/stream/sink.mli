@@ -107,7 +107,10 @@ val prefix_breakdown : string -> (string * int) list -> (string * int) list
     qcheck test) while sampling [words] / [words_breakdown] into a
     {!Mkc_obs.Space_profile} every [cadence] edges, plus once at
     finalize — so the profile's final point equals the sink's
-    [words_breakdown] exactly. *)
+    [words_breakdown] exactly.  Each sample is also fed to the optional
+    {!Mkc_sketch.Space.Budget} watchdog (which may raise on overshoot
+    in strict mode) and, when tracing is on, emitted as a
+    ["space.words"] counter track. *)
 module Observed : sig
   type ('s, 'r) st
   (** The wrapper's state around an [('s, 'r) sink]. *)
@@ -116,7 +119,11 @@ module Observed : sig
   (** 65536 edges between samples. *)
 
   val observe :
-    ?cadence:int -> ('s, 'r) sink -> 's -> (('s, 'r) st, 'r) sink * ('s, 'r) st
+    ?cadence:int ->
+    ?budget:Mkc_sketch.Space.Budget.t ->
+    ('s, 'r) sink ->
+    's ->
+    (('s, 'r) st, 'r) sink * ('s, 'r) st
   (** Wrap a typed sink; drive the returned pair instead of the
       original.  Raises [Invalid_argument] if [cadence < 1]. *)
 
@@ -133,9 +140,23 @@ module Observed : sig
         (** record a final sample before finalizing out-of-band *)
   }
 
-  val observe_any : ?cadence:int -> any -> observed_any
+  val observe_any : ?cadence:int -> ?budget:Mkc_sketch.Space.Budget.t -> any -> observed_any
   (** {!observe} for packed sinks (e.g. each element of
-      {!Mkc_core.Estimate.shards} before {!Pipeline.run_parallel}). *)
+      {!Mkc_core.Estimate.shards} before {!Pipeline.run_parallel}).
+      Sharing one [budget] across several observed shards is only safe
+      when they are driven from one domain; the parallel CLI path
+      checks the budget once against total words at finalize instead. *)
+end
+
+(** A transparent progress tap: forwards every call unchanged and
+    invokes [notify ~edges] with the cumulative edge count once per
+    feed call.  Policy-free — the CLI's [--progress] throttles by wall
+    clock inside the callback. *)
+module Tap : sig
+  type ('s, 'r) st
+
+  val tap :
+    ('s, 'r) sink -> 's -> notify:(edges:int -> unit) -> (('s, 'r) st, 'r) sink * ('s, 'r) st
 end
 
 (** Run a set-arrival algorithm (e.g. {!Mkc_coverage.Sieve},

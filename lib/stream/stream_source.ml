@@ -53,11 +53,14 @@ let load path =
     (fun () ->
       let acc = ref [] in
       let lineno = ref 0 in
-      let malformed line =
+      let malformed line why =
         failwith
-          (Printf.sprintf "Stream_source.load: %s: malformed line %d: %S" path !lineno
-             line)
+          (Printf.sprintf "Stream_source.load: %s: malformed line %d (%s): %S" path
+             !lineno why line)
       in
+      (* Point at the offending token, not just the line: a million-edge
+         file with one stray field is otherwise a needle hunt. *)
+      let bad_token tok = Printf.sprintf "token %S is not an integer" tok in
       (try
          while true do
            let line = input_line ic in
@@ -67,8 +70,11 @@ let load path =
            | [ s; e ] -> (
                match (int_of_string_opt s, int_of_string_opt e) with
                | Some s, Some e -> acc := Edge.make ~set:s ~elt:e :: !acc
-               | _ -> malformed line)
-           | _ -> malformed line
+               | None, _ -> malformed line (bad_token s)
+               | _, None -> malformed line (bad_token e))
+           | toks ->
+               malformed line
+                 (Printf.sprintf "expected 2 fields, got %d" (List.length toks))
          done
        with End_of_file -> ());
       Array.of_list (List.rev !acc))

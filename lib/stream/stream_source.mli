@@ -31,8 +31,9 @@ val save : t -> string -> unit
 val load : string -> t
 (** Inverse of {!save}, tolerant of tabs, repeated spaces, and
     leading/trailing whitespace (fields are split on runs of
-    whitespace); raises [Failure] on malformed lines, naming the file
-    and the 1-based line number. *)
+    whitespace); raises [Failure] on malformed lines, naming the file,
+    the 1-based line number, and the offending token (or field count)
+    so a single bad record in a large file is findable. *)
 
 val max_ids : t -> int * int
 (** [(max set id + 1, max element id + 1)] — a cheap (m, n) bound for

@@ -8,8 +8,8 @@
 
    1. property: planned path ≡ per-edge path on random streams — same
       estimate/witness/words AND the same per-instance work counters,
-      except the [*sampler_evals] families, which are exactly what the
-      engine is allowed (required) to shrink;
+      except the [*sampler_evals] and [*memo_hits] families, which are
+      exactly what the engine is allowed (required) to shrink;
    2. the keep-level memo is transparent: under collisions and
       overwrites its answer always equals the direct hash evaluation,
       and its fixed space shows up under a [memo] breakdown key;
@@ -40,14 +40,20 @@ let has_suffix ~suffix s =
   let ls = String.length s and lx = String.length suffix in
   ls >= lx && String.sub s (ls - lx) lx = suffix
 
-(* Work counters with the [*sampler_evals] families dropped: those count
-   hash evaluations (the engine's whole point is doing fewer of them);
-   everything else — edges, l0/f2 updates, stored pairs, recoveries — is
-   an observable-work invariant the planned path must preserve. *)
+(* Work counters with the [*sampler_evals] and [*memo_hits] families
+   dropped: those count hash evaluations and memo lookups (the engine's
+   whole point is doing fewer of the former, which also changes how
+   often the memo is consulted); everything else — edges, l0/f2
+   updates, stored pairs, recoveries — is an observable-work invariant
+   the planned path must preserve. *)
 let invariant_stats est =
   List.map
     (fun (inst, stats) ->
-      (inst, List.filter (fun (k, _) -> not (has_suffix ~suffix:"sampler_evals" k)) stats))
+      ( inst,
+        List.filter
+          (fun (k, _) ->
+            not (has_suffix ~suffix:"sampler_evals" k || has_suffix ~suffix:"memo_hits" k))
+          stats ))
     (E.stats est)
 
 (* --- 1. planned ≡ per-edge, counters included --- *)

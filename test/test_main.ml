@@ -17,4 +17,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("api-surface", Test_api_surface.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
     ]

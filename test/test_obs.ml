@@ -10,9 +10,10 @@
         profile's final point equals words_breakdown exactly;
      4. run_parallel and sequential ingestion agree metric-for-metric
         on the invariant counters;
-     5. the mkc-obs/1 JSON snapshot is byte-stable under an injected
+     5. the mkc-obs/2 JSON snapshot is byte-stable under an injected
         clock and survives a parse→validate round trip, while tampered
-        snapshots are rejected. *)
+        snapshots are rejected; legacy mkc-obs/1 snapshots still load
+        (read-only) and re-emit byte-identically. *)
 
 module Edge = Mkc_stream.Edge
 module Ss = Mkc_stream.Set_system
@@ -321,15 +322,24 @@ let test_parallel_metrics_equal_seq () =
 
 (* --- Snapshot: golden JSON, round trip, tamper rejection --- *)
 
-let golden =
-  "{\"schema\":\"mkc-obs/1\",\"created_ns\":42,\
-   \"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":5},\
+let golden_body =
+  "\"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":5},\
    {\"name\":\"g\",\"kind\":\"gauge\",\"value\":2.5},\
    {\"name\":\"h\",\"kind\":\"histogram\",\"count\":1,\"sum\":3.0,\"min\":3.0,\
    \"max\":3.0,\"buckets\":[[1,1]]}],\
    \"spans\":[{\"name\":\"s\",\"start_ns\":10,\"dur_ns\":5,\"domain\":0}],\
    \"profiles\":[{\"name\":\"p\",\"cadence\":2,\
    \"points\":[{\"at_edges\":2,\"words\":3,\"breakdown\":[[\"a\",1],[\"b\",2]]}]}]}"
+
+let golden = "{\"schema\":\"mkc-obs/2\",\"created_ns\":42," ^ golden_body
+
+(* The PR-2 era emission, byte for byte: still accepted read-only. *)
+let golden_v1 = "{\"schema\":\"mkc-obs/1\",\"created_ns\":42," ^ golden_body
+
+let golden_space =
+  "{\"schema\":\"mkc-obs/2\",\"created_ns\":42,\
+   \"space\":{\"budget_words\":8,\"peak_words\":4,\"headroom\":0.5,\
+   \"overshoots\":0,\"samples\":3}," ^ golden_body
 
 let golden_snapshot () =
   let r = Obs.Registry.create () in
@@ -342,10 +352,24 @@ let golden_snapshot () =
     ~spans:[ { Obs.Span.name = "s"; start_ns = 10; dur_ns = 5; domain = 0 } ]
     ~profiles:[ ("p", sp) ] ~now_ns:42 r
 
+let golden_space_record =
+  {
+    Obs.Snapshot.budget_words = 8;
+    peak_words = 4;
+    headroom = Obs.Snapshot.headroom_of ~budget_words:8 ~peak_words:4;
+    overshoots = 0;
+    samples = 3;
+  }
+
 let test_snapshot_golden () =
   with_metrics (fun () ->
       checks "byte-stable emission" golden
-        (Obs.Snapshot.to_string (golden_snapshot ())))
+        (Obs.Snapshot.to_string (golden_snapshot ()));
+      let with_space =
+        { (golden_snapshot ()) with Obs.Snapshot.space = Some golden_space_record }
+      in
+      checks "byte-stable emission with a space section" golden_space
+        (Obs.Snapshot.to_string with_space))
 
 let test_snapshot_round_trip () =
   with_metrics (fun () ->
@@ -354,10 +378,30 @@ let test_snapshot_round_trip () =
       | Error e -> Alcotest.failf "golden snapshot rejected: %s" e
       | Ok snap ->
           checki "created_ns" 42 snap.Obs.Snapshot.created_ns;
+          checks "schema is current" Obs.Snapshot.schema_version snap.Obs.Snapshot.schema;
           checki "metrics" 3 (List.length snap.Obs.Snapshot.metrics);
           checki "spans" 1 (List.length snap.Obs.Snapshot.spans);
           checki "profiles" 1 (List.length snap.Obs.Snapshot.profiles);
-          checks "re-emission is a fixpoint" s (Obs.Snapshot.to_string snap))
+          checks "re-emission is a fixpoint" s (Obs.Snapshot.to_string snap));
+      match Obs.Snapshot.validate golden_space with
+      | Error e -> Alcotest.failf "space snapshot rejected: %s" e
+      | Ok snap ->
+          checkb "space section parsed" true
+            (snap.Obs.Snapshot.space = Some golden_space_record);
+          checks "space re-emission is a fixpoint" golden_space
+            (Obs.Snapshot.to_string snap)
+
+let test_snapshot_accepts_v1 () =
+  with_metrics (fun () ->
+      match Obs.Snapshot.validate golden_v1 with
+      | Error e -> Alcotest.failf "legacy v1 snapshot rejected: %s" e
+      | Ok snap ->
+          checks "parsed schema says v1" Obs.Snapshot.schema_v1 snap.Obs.Snapshot.schema;
+          checkb "v1 has no space section" true (snap.Obs.Snapshot.space = None);
+          checki "metrics survive" 3 (List.length snap.Obs.Snapshot.metrics);
+          (* Re-emission keeps the v1 stamp, so reading and re-writing an
+             old CI artifact is the identity, not a silent upgrade. *)
+          checks "v1 re-emission is a fixpoint" golden_v1 (Obs.Snapshot.to_string snap))
 
 (* First-occurrence substring replacement (avoids a Str dependency). *)
 let replace_once ~sub ~by s =
@@ -383,14 +427,26 @@ let test_snapshot_rejects_tampering () =
     | Ok _ -> Alcotest.failf "validator accepted %s" what
     | Error _ -> ()
   in
-  reject "a foreign schema" (replace_once ~sub:"mkc-obs/1" ~by:"mkc-obs/2" golden);
+  reject "a foreign schema" (replace_once ~sub:"mkc-obs/2" ~by:"mkc-obs/3" golden);
   (* histogram bucket counts no longer sum to count *)
   reject "a bucket-sum mismatch"
     (replace_once ~sub:"\"buckets\":[[1,1]]" ~by:"\"buckets\":[[1,2]]" golden);
   (* profile point breakdown no longer sums to words *)
   reject "a breakdown-sum mismatch"
     (replace_once ~sub:"[\"b\",2]" ~by:"[\"b\",7]" golden);
-  reject "truncated JSON" (String.sub golden 0 (String.length golden - 1))
+  reject "truncated JSON" (String.sub golden 0 (String.length golden - 1));
+  (* the space section is v2-only: a v1 stamp with one is a forgery *)
+  reject "a v1 snapshot carrying a space section"
+    (replace_once ~sub:"mkc-obs/2" ~by:"mkc-obs/1" golden_space);
+  (* headroom must equal peak/budget exactly *)
+  reject "a headroom that disagrees with peak/budget"
+    (replace_once ~sub:"\"headroom\":0.5" ~by:"\"headroom\":0.25" golden_space);
+  (* a peak above budget with zero recorded overshoots is inconsistent *)
+  reject "an overshooting peak with overshoots = 0"
+    (replace_once ~sub:"\"peak_words\":4,\"headroom\":0.5"
+       ~by:"\"peak_words\":16,\"headroom\":2.0" golden_space);
+  reject "negative budget words"
+    (replace_once ~sub:"\"budget_words\":8" ~by:"\"budget_words\":-8" golden_space)
 
 let test_json_parse () =
   let v =
@@ -417,18 +473,27 @@ let test_json_parse () =
 
 (* --- Stream_source.load: malformed input names the line --- *)
 
-let test_load_error_line_number () =
+let load_failure content =
   let path = Filename.temp_file "mkc_obs_test" ".txt" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let oc = open_out path in
-      output_string oc "0 1\nbogus line\n";
+      output_string oc content;
       close_out oc;
       match Src.load path with
       | (_ : Src.t) -> Alcotest.fail "malformed file loaded"
-      | exception Failure msg ->
-          checkb "names the 1-based line" true (contains ~sub:"malformed line 2" msg))
+      | exception Failure msg -> msg)
+
+let test_load_error_line_number () =
+  let msg = load_failure "0 1\nbogus line\n" in
+  checkb "names the 1-based line" true (contains ~sub:"malformed line 2" msg);
+  checkb "names the offending token" true (contains ~sub:"token \"bogus\"" msg);
+  let msg = load_failure "0 1\n2 x7\n" in
+  checkb "points at the second field" true (contains ~sub:"token \"x7\"" msg);
+  let msg = load_failure "0 1 2\n" in
+  checkb "reports a field-count mismatch" true
+    (contains ~sub:"expected 2 fields, got 3" msg)
 
 let suite =
   [
@@ -452,6 +517,8 @@ let suite =
       test_parallel_metrics_equal_seq;
     Alcotest.test_case "snapshot: golden JSON" `Quick test_snapshot_golden;
     Alcotest.test_case "snapshot: validate round trip" `Quick test_snapshot_round_trip;
+    Alcotest.test_case "snapshot: accepts legacy mkc-obs/1" `Quick
+      test_snapshot_accepts_v1;
     Alcotest.test_case "snapshot: rejects tampering" `Quick
       test_snapshot_rejects_tampering;
     Alcotest.test_case "json: parse/print round trip" `Quick test_json_parse;
