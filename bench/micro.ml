@@ -72,6 +72,40 @@ let test_oracle_feed =
          incr i;
          Mkc_core.Oracle.feed o edges.(!i land 65535)))
 
+(* checkpoint codec: serialize / restore cost of a warmed estimator
+   (the price of one [--checkpoint] save and one [--resume] load,
+   minus the disk) *)
+let checkpoint_env_of est p =
+  {
+    Mkc_stream.Checkpoint.kind = Mkc_core.Estimate.ckpt_kind;
+    pos = 65536;
+    seed = (Mkc_core.Estimate.codec p).Mkc_stream.Checkpoint.seed;
+    payload = Mkc_core.Estimate.encode est;
+  }
+
+let test_checkpoint_encode =
+  let p = Mkc_core.Params.make ~m:2048 ~n:4096 ~k:16 ~alpha:8.0 ~seed:13 () in
+  let est = Mkc_core.Estimate.create p in
+  Array.iter (Mkc_core.Estimate.feed est) (mk_edges 65536 14);
+  Test.make ~name:"ckpt-encode-estimate"
+    (Staged.stage (fun () ->
+         ignore (Mkc_stream.Checkpoint.to_string (checkpoint_env_of est p))))
+
+let test_checkpoint_restore =
+  let p = Mkc_core.Params.make ~m:256 ~n:512 ~k:8 ~alpha:4.0 ~seed:15 () in
+  let est = Mkc_core.Estimate.create p in
+  Array.iter (Mkc_core.Estimate.feed est) (mk_edges 65536 16);
+  let bytes = Mkc_stream.Checkpoint.to_string (checkpoint_env_of est p) in
+  Test.make ~name:"ckpt-restore-estimate"
+    (Staged.stage (fun () ->
+         match Mkc_stream.Checkpoint.of_string bytes with
+         | Error _ -> assert false
+         | Ok env -> (
+             let fresh = Mkc_core.Estimate.create p in
+             match Mkc_core.Estimate.restore fresh env.Mkc_stream.Checkpoint.payload with
+             | Ok () -> ()
+             | Error _ -> assert false)))
+
 (* hashing substrate *)
 let test_poly_hash =
   let h = Mkc_hashing.Poly_hash.create ~indep:8 ~range:1024 ~seed:(Sm.create 11) in
@@ -101,6 +135,8 @@ let tests =
       test_f2c_add;
       test_estimate_feed;
       test_oracle_feed;
+      test_checkpoint_encode;
+      test_checkpoint_restore;
     ]
 
 let benchmark () =

@@ -3,8 +3,10 @@
    Subcommands:
      generate    synthesize an instance and write its edge stream to a file
      estimate    single-pass α-approximate coverage estimation (Thm 3.1)
+                 (--checkpoint/--resume for crash tolerance)
      report      single-pass α-approximate k-cover reporting (Thm 3.2)
      greedy      offline full-memory greedy baseline
+     merge       merge edge-partitioned shard checkpoints and finalize
      lowerbound  play the §5 one-way DSJ communication game *)
 
 open Cmdliner
@@ -52,6 +54,55 @@ let chunk_arg =
     value
     & opt (pos_int ~what:"chunk size") Mkc_stream.Pipeline.default_chunk
     & info [ "chunk" ] ~docv:"EDGES" ~doc:"Ingestion chunk size in edges.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Atomically save the sink state to $(docv) every $(b,--checkpoint-every) chunks \
+           and once at end-of-stream (the final file feeds $(b,mkc merge)).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (pos_int ~what:"checkpoint interval") Mkc_stream.Pipeline.default_checkpoint_every
+    & info [ "checkpoint-every" ] ~docv:"CHUNKS" ~doc:"Chunks between checkpoint saves.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Restore state from a checkpoint written by $(b,--checkpoint) and continue the \
+           stream from the checkpointed position.  The run must use the same stream, \
+           parameters and seed; any mismatch or corruption is rejected by name.")
+
+let stop_after_arg =
+  Arg.(
+    value
+    & opt (some (pos_int ~what:"stop-after")) None
+    & info [ "stop-after" ] ~docv:"EDGES"
+        ~doc:
+          "Stop ingesting after $(docv) edges of the stream (crash simulation for the \
+           resume workflow; combine with --checkpoint).")
+
+let force_m_arg =
+  Arg.(
+    value
+    & opt (some (pos_int ~what:"m")) None
+    & info [ "force-m" ] ~docv:"M"
+        ~doc:
+          "Override the number of sets inferred from the stream.  Shard-merge runs must \
+           pass the full instance's dimensions so every shard builds the same sinks.")
+
+let force_n_arg =
+  Arg.(
+    value
+    & opt (some (pos_int ~what:"n")) None
+    & info [ "force-n" ] ~docv:"N" ~doc:"Override the ground-set size inferred from the stream.")
 
 (* ---------- observability plumbing ---------- *)
 
@@ -262,8 +313,22 @@ let generate_cmd =
 
 (* ---------- estimate ---------- *)
 
-let estimate path k alpha seed profile domains chunk oopts budget_strict =
+let ckpt_error_exit what e =
+  Format.eprintf "mkc: %s: %s@." what (Mkc_stream.Checkpoint.error_to_string e);
+  exit 4
+
+let truncate_source src = function
+  | None -> src
+  | Some edges ->
+      let arr = Mkc_stream.Stream_source.to_array src in
+      if edges >= Array.length arr then src
+      else Mkc_stream.Stream_source.of_array (Array.sub arr 0 edges)
+
+let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt every resume
+    stop_after force_m force_n =
   let src, m, n = load_stream path in
+  let src = truncate_source src stop_after in
+  let m = Option.value ~default:m force_m and n = Option.value ~default:n force_n in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let est = Mkc_core.Estimate.create params in
   let want = metrics_wanted oopts in
@@ -281,7 +346,36 @@ let estimate path k alpha seed profile domains chunk oopts budget_strict =
   let notify = Option.map (fun sec -> progress_reporter ~total sec) oopts.progress in
   let profiles = ref [] in
   let run () =
-    if domains > 1 then begin
+    if ckpt <> None || resume <> None then begin
+      if domains > 1 then
+        Format.eprintf "mkc: --checkpoint/--resume drive a single domain; ignoring --domains@.";
+      Option.iter
+        (fun _ -> Format.eprintf "mkc: --progress is not reported in checkpoint mode; ignoring@.")
+        notify;
+      let codec = Mkc_core.Estimate.codec params in
+      let out =
+        if want || tracing || budget <> None then begin
+          let sm, ob =
+            Mkc_stream.Sink.Observed.observe ~cadence:oopts.cadence ?budget
+              Mkc_core.Estimate.sink est
+          in
+          if want then profiles := [ ("estimate", Mkc_stream.Sink.Observed.profile ob) ];
+          (* Aim the codec at the inner sink and put each save's bytes on
+             the space books — a held checkpoint is real space. *)
+          let codec = Mkc_stream.Checkpoint.map_codec Mkc_stream.Sink.Observed.state codec in
+          let on_save ~pos:_ ~bytes:_ ~words =
+            Mkc_stream.Sink.Observed.note_checkpoint ob ~words
+          in
+          Mkc_stream.Pipeline.run_resumable ~chunk ~every ?resume ?checkpoint:ckpt ~on_save
+            codec sm ob src
+        end
+        else
+          Mkc_stream.Pipeline.run_resumable ~chunk ~every ?resume ?checkpoint:ckpt codec
+            Mkc_core.Estimate.sink est src
+      in
+      match out with Ok r -> r | Error e -> ckpt_error_exit "checkpoint" e
+    end
+    else if domains > 1 then begin
       Option.iter
         (fun _ ->
           Format.eprintf "mkc: --progress is only reported with --domains 1; ignoring@.")
@@ -352,7 +446,8 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"α-approximate coverage estimation (Theorem 3.1)")
     Term.(
       const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg $ obs_term $ budget_strict_arg)
+      $ domains_arg $ chunk_arg $ obs_term $ budget_strict_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ stop_after_arg $ force_m_arg $ force_n_arg)
 
 (* ---------- report ---------- *)
 
@@ -498,6 +593,106 @@ let lowerbound_cmd =
     (Cmd.info "lowerbound" ~doc:"Play the §5 one-way set-disjointness game")
     Term.(const lowerbound $ m $ alpha_arg $ trials $ seed_arg)
 
+(* ---------- merge ---------- *)
+
+let merge files =
+  (* Shard-merge: each file is the final checkpoint of an independent
+     run over one contiguous slice of the stream (same params and seed;
+     pass them stream-ordered).  The payload embeds the params, so the
+     files are self-describing — no instance flags here. *)
+  match files with
+  | [] -> assert false (* cmdliner enforces at least one positional *)
+  | first :: rest ->
+      let load path =
+        match
+          Mkc_stream.Checkpoint.load ~expect_kind:Mkc_core.Estimate.ckpt_kind ~path ()
+        with
+        | Ok c -> c
+        | Error e -> ckpt_error_exit path e
+      in
+      let of_ckpt (c : Mkc_stream.Checkpoint.t) path =
+        match Mkc_core.Estimate.of_payload c.payload with
+        | Ok est -> est
+        | Error msg ->
+            Format.eprintf "mkc: %s: %s@." path msg;
+            exit 4
+      in
+      let c0 = load first in
+      let est = of_ckpt c0 first in
+      let edges = ref c0.pos in
+      List.iter
+        (fun path ->
+          let c = load path in
+          if c.seed <> c0.seed then
+            ckpt_error_exit path
+              (Mkc_stream.Checkpoint.Seed_mismatch { expected = c0.seed; got = c.seed });
+          let shard = of_ckpt c path in
+          if not (Mkc_core.Params.same_instance (Mkc_core.Estimate.params shard)
+                    (Mkc_core.Estimate.params est))
+          then begin
+            Format.eprintf "mkc: %s: shard params differ from %s@." path first;
+            exit 4
+          end;
+          edges := !edges + c.pos;
+          Mkc_core.Estimate.merge_into ~dst:est shard)
+        rest;
+      let r = Mkc_core.Estimate.finalize est in
+      Format.printf "merged %d shard checkpoints covering %d edges@." (List.length files)
+        !edges;
+      Format.printf "estimated optimal %d-cover coverage: %.0f@."
+        (Mkc_core.Estimate.params est).Mkc_core.Params.k r.Mkc_core.Estimate.estimate;
+      (match r.Mkc_core.Estimate.outcome with
+      | Some o ->
+          Format.printf "winning subroutine: %a (guess z=%d)@." Mkc_core.Solution.pp_provenance
+            o.provenance r.Mkc_core.Estimate.z_guess
+      | None -> Format.printf "no subroutine produced a feasible estimate@.");
+      Format.printf "space: %d words@." (Mkc_core.Estimate.words est)
+
+let merge_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Shard checkpoint files (from $(b,--checkpoint)), stream-ordered.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge edge-partitioned shard checkpoints and finalize the combined estimate")
+    Term.(const merge $ files)
+
+(* ---------- validate-checkpoint ---------- *)
+
+let validate_checkpoint file =
+  match Mkc_stream.Checkpoint.validate (read_file file) with
+  | Error e ->
+      Format.eprintf "%s: invalid checkpoint: %s@." file
+        (Mkc_stream.Checkpoint.error_to_string e);
+      exit 1
+  | Ok c ->
+      (* Deep-validate known payload kinds: the envelope checksum pins
+         the bytes, the decoder pins the shape. *)
+      (if c.kind = Mkc_core.Estimate.ckpt_kind then
+         match Mkc_core.Estimate.of_payload c.payload with
+         | Ok _ -> ()
+         | Error msg ->
+             Format.eprintf "%s: invalid %s payload: %s@." file c.kind msg;
+             exit 1);
+      Format.printf "%s: valid %s checkpoint (kind %s, %d edges, seed %d)@." file
+        Mkc_stream.Checkpoint.schema c.kind c.pos c.seed
+
+let validate_checkpoint_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Checkpoint file (from --checkpoint).")
+  in
+  Cmd.v
+    (Cmd.info "validate-checkpoint"
+       ~doc:"Validate a checkpoint file against the mkc-ckpt/1 schema")
+    Term.(const validate_checkpoint $ file)
+
 (* ---------- validate-snapshot ---------- *)
 
 let validate_snapshot file =
@@ -563,6 +758,8 @@ let () =
             greedy_cmd;
             stats_cmd;
             lowerbound_cmd;
+            merge_cmd;
+            validate_checkpoint_cmd;
             validate_snapshot_cmd;
             validate_trace_cmd;
           ]))

@@ -268,6 +268,80 @@ let record_metrics ?(registry = Mkc_obs.Registry.global) t =
     ~num:(tot "large_set.hh_recoveries")
     ~den:(tot "large_set.hh_candidates")
 
+module Ck = Mkc_stream.Checkpoint
+module Json = Mkc_obs.Json
+
+let encode t =
+  Json.Object
+    [
+      ("params", Params.encode t.params);
+      ( "body",
+        match t.body with
+        | Trivial _ -> Json.String "trivial"
+        | Run { insts } ->
+            Json.Object
+              [
+                ( "insts",
+                  Json.Array
+                    (Array.to_list (Array.map (fun i -> Oracle.encode i.oracle) insts)) );
+              ] );
+    ]
+
+let restore t j =
+  let ( let* ) = Result.bind in
+  let* pj = Ck.J.field "params" j in
+  let* p = Result.map_error (Printf.sprintf "estimate params: %s") (Params.of_json pj) in
+  let* () =
+    if Params.same_instance p t.params then Ok ()
+    else Ck.J.err "estimate: payload was produced by a different instance (params differ)"
+  in
+  let* bj = Ck.J.field "body" j in
+  match (t.body, bj) with
+  | Trivial _, Json.String "trivial" -> Ok ()
+  | Run { insts }, Json.Object _ ->
+      let* ijs = Ck.J.list_field "insts" bj in
+      let* () =
+        if List.length ijs <> Array.length insts then
+          Ck.J.err "estimate: expected %d oracle instances, got %d" (Array.length insts)
+            (List.length ijs)
+        else Ok ()
+      in
+      List.fold_left
+        (fun acc (i, ij) ->
+          let* () = acc in
+          match Oracle.restore insts.(i).oracle ij with
+          | Ok () -> Ok ()
+          | Error e ->
+              Ck.J.err "estimate z%d rep%d: %s" insts.(i).z insts.(i).rep e)
+        (Ok ())
+        (List.mapi (fun i ij -> (i, ij)) ijs)
+  | _ -> Ck.J.err "estimate: body branch (trivial vs run) disagrees with this instance"
+
+let merge_into ~dst src =
+  match (dst.body, src.body) with
+  | Trivial _, Trivial _ -> ()
+  | Run { insts = d }, Run { insts = s } when Array.length d = Array.length s ->
+      Array.iteri (fun i si -> Oracle.merge_into ~dst:d.(i).oracle si.oracle) s
+  | _ -> invalid_arg "Estimate.merge_into: instance shapes differ"
+
+let ckpt_kind = "estimate"
+
+let codec (p : Params.t) : t Ck.codec =
+  { Ck.kind = ckpt_kind; seed = p.base_seed; encode; restore = (fun t j -> restore t j) }
+
+let of_payload j =
+  (* Rebuild an estimator from a bare payload: the embedded params pin
+     the instance, so a checkpoint file is self-describing — the merge
+     CLI needs no instance flags. *)
+  let ( let* ) = Result.bind in
+  let* pj = Ck.J.field "params" j in
+  let* p = Result.map_error (Printf.sprintf "estimate params: %s") (Params.of_json pj) in
+  let t = create p in
+  let* () = restore t j in
+  Ok t
+
+let params t = t.params
+
 let sink : (t, result) Mkc_stream.Sink.sink =
   (module struct
     type nonrec t = t

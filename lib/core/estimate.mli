@@ -93,6 +93,33 @@ val record_metrics : ?registry:Mkc_obs.Registry.t -> t -> unit
     finalize-time counters (heavy-hitter recoveries, winners) are
     included. *)
 
+val encode : t -> Mkc_obs.Json.t
+(** The full mutable estimator state — every (z, rep) oracle instance's
+    payload — plus the {!Params.encode} inputs that pin the instance. *)
+
+val restore : t -> Mkc_obs.Json.t -> (unit, string) Stdlib.result
+(** Overlay an {!encode} payload onto a freshly {!create}d estimator;
+    rejects payloads whose embedded params describe a different
+    instance ({!Params.same_instance}) or whose branch/shape differ. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold a shard's oracle states in, instance by instance; raises
+    [Invalid_argument] on a shape mismatch. *)
+
+val ckpt_kind : string
+(** The {!Mkc_stream.Checkpoint} kind tag, ["estimate"]. *)
+
+val codec : Params.t -> t Mkc_stream.Checkpoint.codec
+(** Checkpoint codec (kind {!ckpt_kind}, seed [base_seed]) for
+    {!Mkc_stream.Pipeline.run_resumable}. *)
+
+val of_payload : Mkc_obs.Json.t -> (t, string) Stdlib.result
+(** Rebuild an estimator from a bare {!encode} payload: decode the
+    embedded params, {!create}, then {!restore}.  Checkpoint files are
+    self-describing — the merge/validate CLI needs no instance flags. *)
+
+val params : t -> Params.t
+
 val sink : (t, result) Mkc_stream.Sink.sink
 (** The whole estimator as a single {!Mkc_stream.Sink}, for the
     sequential {!Mkc_stream.Pipeline} drivers. *)

@@ -136,6 +136,66 @@ let finalize t =
       })
     !best
 
+module Ck = Mkc_stream.Checkpoint
+module Json = Mkc_obs.Json
+
+let encode t =
+  Json.Object
+    [
+      ("l0s", Json.Array (Array.to_list (Array.map Ck.Sketch_io.l0 t.sketches)));
+      ("memo", Ck.Sketch_io.memo t.memo);
+      ( "stats",
+        Json.Object
+          [
+            ("sampler_evals", Json.Int t.st_sampler_evals);
+            ("l0_updates", Json.Int t.st_l0_updates);
+            ("memo_hits", Json.Int t.st_memo_hits);
+          ] );
+    ]
+
+let restore t j =
+  let ( let* ) = Result.bind in
+  let* l0s = Ck.J.list_field "l0s" j in
+  let* () =
+    if List.length l0s <> Array.length t.sketches then
+      Ck.J.err "large_common: expected %d l0 levels, got %d" (Array.length t.sketches)
+        (List.length l0s)
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc (g, lj) ->
+        let* () = acc in
+        match Ck.Sketch_io.restore_l0 t.sketches.(g) lj with
+        | Ok () -> Ok ()
+        | Error e -> Ck.J.err "large_common l0 level %d: %s" g e)
+      (Ok ())
+      (List.mapi (fun g lj -> (g, lj)) l0s)
+  in
+  let* mj = Ck.J.field "memo" j in
+  let* () = Ck.Sketch_io.restore_memo t.memo mj in
+  let* sj = Ck.J.field "stats" j in
+  let* se = Ck.J.int_field "sampler_evals" sj in
+  let* lu = Ck.J.int_field "l0_updates" sj in
+  let* mh = Ck.J.int_field "memo_hits" sj in
+  t.st_sampler_evals <- se;
+  t.st_l0_updates <- lu;
+  t.st_memo_hits <- mh;
+  Ok ()
+
+(* L0 sketches merge exactly (state = pure function of elements seen);
+   work counters sum (total work done across shards); the decision memo
+   resets — overwrite histories don't compose, and it is a pure
+   accelerator, so a rebuild from scratch is always sound. *)
+let merge_into ~dst src =
+  Array.iteri
+    (fun g sk -> Mkc_sketch.L0_bjkst.merge_into ~dst:dst.sketches.(g) sk)
+    src.sketches;
+  Mkc_sketch.Sampler.Memo.reset dst.memo;
+  dst.st_sampler_evals <- dst.st_sampler_evals + src.st_sampler_evals;
+  dst.st_l0_updates <- dst.st_l0_updates + src.st_l0_updates;
+  dst.st_memo_hits <- dst.st_memo_hits + src.st_memo_hits
+
 let words_breakdown t =
   [
     ("sampler", Mkc_sketch.Sampler.Nested.words t.sampler);

@@ -66,3 +66,17 @@ val stats : t -> (string * int) list
     — memo misses, not probes: O(distinct set ids), not O(edges)) and
     ["l0_updates"] (one per (kept edge, nested level) — Figure 3's
     sketch update volume, identical across ingestion modes). *)
+
+val encode : t -> Mkc_obs.Json.t
+(** Mutable state only (L0 dumps, memo contents, work counters): the
+    samplers and hash tables are re-created from params + seed by
+    {!create}, then {!restore} overlays this payload. *)
+
+val restore : t -> Mkc_obs.Json.t -> (unit, string) result
+(** Overlay an {!encode} payload onto a freshly {!create}d instance of
+    the same params and seed. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold a shard's state in: L0 sketches merge exactly (their state is
+    a pure function of the elements seen), work counters sum, and the
+    decision memo is dropped and rebuilt (it is a pure accelerator). *)

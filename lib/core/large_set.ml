@@ -249,6 +249,9 @@ let candidates_of_repeat t r rs =
           { superset = sid; repeat = r; est = 2.0 *. v /. 3.0; via_l0 = true } :: acc
         else acc)
       rs.fallback []
+    (* Canonical order: the fold above walks the table in layout order,
+       which differs between a live run and a restored/merged one. *)
+    |> List.sort (fun a b -> compare a.superset b.superset)
   in
   small @ large @ fallback
 
@@ -276,7 +279,16 @@ let finalize t =
   in
   t.st_hh_candidates <- !examined;
   t.st_hh_recoveries <- List.length all;
-  match List.sort (fun a b -> compare b.est a.est) all with
+  (* Total order: estimate descending, then (repeat, superset, via_l0)
+     — the winner must not depend on candidate-list construction
+     order. *)
+  match
+    List.sort
+      (fun a b ->
+        if a.est <> b.est then compare b.est a.est
+        else compare (a.repeat, a.superset, a.via_l0) (b.repeat, b.superset, b.via_l0))
+      all
+  with
   | [] -> None
   | best :: _ ->
       Some
@@ -287,6 +299,107 @@ let finalize t =
             Solution.Large_set
               { superset = best.superset; repeat = best.repeat; via_l0_fallback = best.via_l0 };
         }
+
+module Ck = Mkc_stream.Checkpoint
+module Json = Mkc_obs.Json
+
+let encode_repeat rs =
+  let fallback =
+    Hashtbl.fold (fun sid sk acc -> (sid, sk) :: acc) rs.fallback []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (sid, sk) -> Json.Array [ Json.Int sid; Ck.Sketch_io.l0 sk ])
+  in
+  Json.Object
+    [
+      ("cntr_small", Ck.Sketch_io.f2c rs.cntr_small);
+      ("cntr_large", Ck.Sketch_io.f2c rs.cntr_large);
+      ("fallback", Json.Array fallback);
+    ]
+
+let encode t =
+  Json.Object
+    [
+      ("repeats", Json.Array (Array.to_list (Array.map encode_repeat t.repeats)));
+      ( "stats",
+        Json.Object
+          [
+            ("elem_sampler_evals", Json.Int t.st_elem_sampler_evals);
+            ("fallback_sampler_evals", Json.Int t.st_fallback_sampler_evals);
+            ("f2_updates", Json.Int t.st_f2_updates);
+            ("l0_updates", Json.Int t.st_l0_updates);
+          ] );
+    ]
+
+let ( let* ) = Result.bind
+
+let restore_repeat rs j =
+  let* sj = Ck.J.field "cntr_small" j in
+  let* () = Ck.Sketch_io.restore_f2c rs.cntr_small sj in
+  let* lj = Ck.J.field "cntr_large" j in
+  let* () = Ck.Sketch_io.restore_f2c rs.cntr_large lj in
+  let* fb = Ck.J.list_field "fallback" j in
+  Hashtbl.reset rs.fallback;
+  Ck.J.map_result
+    (fun entry ->
+      match Json.to_list entry with
+      | Some [ sid; skj ] ->
+          let* sid = Ck.J.to_int sid in
+          (* Same per-superset seed derivation as first-touch creation,
+             so the restored sketch hashes identically. *)
+          let sk = fallback_sketch rs sid in
+          Ck.Sketch_io.restore_l0 sk skj
+      | _ -> Ck.J.err "expected [sid, l0] fallback entry")
+    fb
+  |> Result.map (fun (_ : unit list) -> ())
+
+let restore t j =
+  let* reps = Ck.J.list_field "repeats" j in
+  let* () =
+    if List.length reps <> Array.length t.repeats then
+      Ck.J.err "large_set: expected %d repeats, got %d" (Array.length t.repeats)
+        (List.length reps)
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc (r, rj) ->
+        let* () = acc in
+        match restore_repeat t.repeats.(r) rj with
+        | Ok () -> Ok ()
+        | Error e -> Ck.J.err "large_set repeat %d: %s" r e)
+      (Ok ())
+      (List.mapi (fun r rj -> (r, rj)) reps)
+  in
+  let* sj = Ck.J.field "stats" j in
+  let* ese = Ck.J.int_field "elem_sampler_evals" sj in
+  let* fse = Ck.J.int_field "fallback_sampler_evals" sj in
+  let* f2u = Ck.J.int_field "f2_updates" sj in
+  let* l0u = Ck.J.int_field "l0_updates" sj in
+  t.st_elem_sampler_evals <- ese;
+  t.st_fallback_sampler_evals <- fse;
+  t.st_f2_updates <- f2u;
+  t.st_l0_updates <- l0u;
+  Ok ()
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun r (srs : repeat_state) ->
+      let drs = dst.repeats.(r) in
+      Mkc_sketch.F2_contributing.merge_into ~dst:drs.cntr_small srs.cntr_small;
+      Mkc_sketch.F2_contributing.merge_into ~dst:drs.cntr_large srs.cntr_large;
+      (* Fallback sketches are per-superset L0s with sid-derived seeds:
+         identical seeds on both sides, so they union exactly.  Walk in
+         sorted sid order to keep the destination layout canonical. *)
+      Hashtbl.fold (fun sid sk acc -> (sid, sk) :: acc) srs.fallback []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (sid, sk) ->
+             Mkc_sketch.L0_bjkst.merge_into ~dst:(fallback_sketch drs sid) sk))
+    src.repeats;
+  dst.st_elem_sampler_evals <- dst.st_elem_sampler_evals + src.st_elem_sampler_evals;
+  dst.st_fallback_sampler_evals <-
+    dst.st_fallback_sampler_evals + src.st_fallback_sampler_evals;
+  dst.st_f2_updates <- dst.st_f2_updates + src.st_f2_updates;
+  dst.st_l0_updates <- dst.st_l0_updates + src.st_l0_updates
 
 let words_breakdown t =
   let sampler = ref 0 and partition = ref 0 and f2 = ref 0 and l0 = ref 0 in

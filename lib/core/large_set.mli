@@ -79,3 +79,18 @@ val stats : t -> (string * int) list
 
 val thresholds : t -> float * float
 (** [(thr1, thr2)] on the sampled-universe scale (diagnostics). *)
+
+val encode : t -> Mkc_obs.Json.t
+(** Mutable state per repeat (both F2-Contributing dumps, fallback L0
+    sketches keyed by superset id, work counters); samplers/partitions
+    are re-created from params + seed. *)
+
+val restore : t -> Mkc_obs.Json.t -> (unit, string) result
+(** Overlay an {!encode} payload onto a freshly {!create}d instance of
+    the same params, [w] and seed (fallback sketches are re-created
+    with their superset-id-derived seeds, so they hash identically). *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold a shard in, repeat by repeat: F2-Contributing levels merge via
+    their linear CountSketch halves + summed trackers, fallback L0s
+    union exactly (same sid-derived seeds), work counters sum. *)

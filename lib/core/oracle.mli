@@ -65,3 +65,16 @@ val stats : t -> (string * int) list
 val sink : (t, Solution.outcome option) Mkc_stream.Sink.sink
 (** The oracle as a {!Mkc_stream.Sink} (one z-guess instance of the
     {!Estimate} fan-out, or standalone). *)
+
+val encode : t -> Mkc_obs.Json.t
+(** Composes the subroutine payloads plus the edge counter; the
+    small-set slot is [Null] in the heavy regime. *)
+
+val restore : t -> Mkc_obs.Json.t -> (unit, string) result
+(** Overlay an {!encode} payload onto a freshly {!create}d oracle of the
+    same params and seed; rejects a payload whose regime (small-set
+    present/absent) disagrees. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold a shard's subroutine states in; raises [Invalid_argument] on a
+    regime mismatch. *)

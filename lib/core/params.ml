@@ -93,6 +93,47 @@ let with_universe t u =
 
 let s_alpha t = t.s *. t.alpha
 
+(* Only the make-inputs travel: every derived quantity is a pure
+   function of them, so re-deriving on decode keeps checkpoints valid
+   across constant recalibrations (the checksum still pins bytes; the
+   semantics are pinned by the inputs). *)
+let encode t =
+  Mkc_obs.Json.(
+    Object
+      [
+        ("m", Int t.m);
+        ("n", Int t.n);
+        ("u", Int t.u);
+        ("k", Int t.k);
+        ("alpha", Float t.alpha);
+        ("profile", String (match t.profile with Paper -> "paper" | Practical -> "practical"));
+        ("seed", Int t.base_seed);
+      ])
+
+let of_json j =
+  let module J = Mkc_stream.Checkpoint.J in
+  let ( let* ) = Result.bind in
+  let* m = J.int_field "m" j in
+  let* n = J.int_field "n" j in
+  let* u = J.int_field "u" j in
+  let* k = J.int_field "k" j in
+  let* alpha = J.float_field "alpha" j in
+  let* profile =
+    let* p = J.str_field "profile" j in
+    match p with
+    | "paper" -> Ok Paper
+    | "practical" -> Ok Practical
+    | other -> J.err "unknown profile %S" other
+  in
+  let* seed = J.int_field "seed" j in
+  match make ~m ~n ~k ~alpha ~profile ~seed () with
+  | p -> Ok (with_universe p u)
+  | exception Invalid_argument msg -> Error msg
+
+let same_instance a b =
+  a.m = b.m && a.n = b.n && a.u = b.u && a.k = b.k && a.alpha = b.alpha
+  && a.profile = b.profile && a.base_seed = b.base_seed
+
 let pp ppf t =
   Format.fprintf ppf
     "params{m=%d n=%d u=%d k=%d α=%.2f %s η=%.0f w=%d s=%.4g f=%.2f σ=%.4g t=%.4g indep=%d}"

@@ -172,6 +172,10 @@ let solve t (inst : instance) =
   else begin
     let sets =
       Hashtbl.fold (fun id members acc -> (id, Array.of_list !members) :: acc) inst.store []
+      (* Sorted by set id: greedy breaks coverage ties by candidate
+         order, so the order fed in must be canonical, not the store's
+         layout order (a restored store has a different layout). *)
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     let res = Mkc_coverage.Greedy.run_on_subsets ~n:t.params.Params.u ~sets ~k:t.budget in
     (* Figure 5's acceptance filter: sol must be Ω̃(k/α) on the sample,
@@ -231,6 +235,144 @@ let finalize t =
         | None -> ())
   done;
   !best
+
+module Ck = Mkc_stream.Checkpoint
+module Json = Mkc_obs.Json
+
+let encode_instance inst =
+  let store =
+    Hashtbl.fold (fun id members acc -> (id, !members) :: acc) inst.store []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (id, members) ->
+           (* Members serialize verbatim (latest-first, as stored) so a
+              restored instance is list-for-list identical. *)
+           Json.Array [ Json.Int id; Ck.J.int_array (Array.of_list members) ])
+  in
+  Json.Object
+    [
+      ("pairs", Json.Int inst.pairs);
+      ("dead", Json.Bool inst.dead);
+      ("store", Json.Array store);
+    ]
+
+let ( let* ) = Result.bind
+
+let restore_instance inst j =
+  let* pairs = Ck.J.int_field "pairs" j in
+  let* dead =
+    let* v = Ck.J.field "dead" j in
+    match v with Json.Bool b -> Ok b | _ -> Ck.J.err "field \"dead\" is not a bool"
+  in
+  let* store = Ck.J.list_field "store" j in
+  Hashtbl.reset inst.store;
+  let* () =
+    Ck.J.map_result
+      (fun entry ->
+        match Json.to_list entry with
+        | Some [ id; members ] ->
+            let* id = Ck.J.to_int id in
+            let* members = Ck.J.to_int_array members in
+            Hashtbl.replace inst.store id (ref (Array.to_list members));
+            Ok ()
+        | _ -> Ck.J.err "expected [set, members] store entry")
+      store
+    |> Result.map (fun (_ : unit list) -> ())
+  in
+  inst.pairs <- pairs;
+  inst.dead <- dead;
+  Ok ()
+
+let encode t =
+  Json.Object
+    [
+      ( "repeats",
+        Json.Array
+          (Array.to_list
+             (Array.map
+                (fun rs ->
+                  Json.Array (Array.to_list (Array.map encode_instance rs.instances)))
+                t.repeats)) );
+      ( "stats",
+        Json.Object
+          [
+            ("elem_sampler_evals", Json.Int t.st_elem_sampler_evals);
+            ("set_sampler_evals", Json.Int t.st_set_sampler_evals);
+            ("pairs_stored", Json.Int t.st_pairs_stored);
+          ] );
+    ]
+
+let restore t j =
+  let* reps = Ck.J.list_field "repeats" j in
+  let* () =
+    if List.length reps <> Array.length t.repeats then
+      Ck.J.err "small_set: expected %d repeats, got %d" (Array.length t.repeats)
+        (List.length reps)
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc (r, rj) ->
+        let* () = acc in
+        match Json.to_list rj with
+        | Some insts when List.length insts = t.guesses ->
+            List.fold_left
+              (fun acc (g, ij) ->
+                let* () = acc in
+                match restore_instance t.repeats.(r).instances.(g) ij with
+                | Ok () -> Ok ()
+                | Error e -> Ck.J.err "small_set repeat %d guess %d: %s" r g e)
+              (Ok ())
+              (List.mapi (fun g ij -> (g, ij)) insts)
+        | _ -> Ck.J.err "small_set repeat %d: expected %d instances" r t.guesses)
+      (Ok ())
+      (List.mapi (fun r rj -> (r, rj)) reps)
+  in
+  let* sj = Ck.J.field "stats" j in
+  let* ese = Ck.J.int_field "elem_sampler_evals" sj in
+  let* sse = Ck.J.int_field "set_sampler_evals" sj in
+  let* ps = Ck.J.int_field "pairs_stored" sj in
+  t.st_elem_sampler_evals <- ese;
+  t.st_set_sampler_evals <- sse;
+  t.st_pairs_stored <- ps;
+  Ok ()
+
+(* Merging a stored sub-instance: sampling decisions are pure hashes
+   (same seeds both sides), so shard stores are disjoint-in-time slices
+   of the single-stream store.  Member lists are latest-first, so the
+   later shard's list is prepended; the pair count is monotone until
+   death, so summed pairs exceeding the cap reproduces the single-run
+   termination exactly. *)
+let merge_instance t dst src =
+  if src.dead || dst.dead then begin
+    dst.dead <- true;
+    Hashtbl.reset dst.store;
+    dst.pairs <- 0
+  end
+  else begin
+    Hashtbl.fold (fun id members acc -> (id, !members) :: acc) src.store []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (id, members) ->
+           match Hashtbl.find_opt dst.store id with
+           | Some existing -> existing := members @ !existing
+           | None -> Hashtbl.replace dst.store id (ref members));
+    dst.pairs <- dst.pairs + src.pairs;
+    if dst.pairs > t.cap then begin
+      dst.dead <- true;
+      Hashtbl.reset dst.store;
+      dst.pairs <- 0
+    end
+  end
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun r (srs : repeat_state) ->
+      Array.iteri
+        (fun g inst -> merge_instance dst dst.repeats.(r).instances.(g) inst)
+        srs.instances)
+    src.repeats;
+  dst.st_elem_sampler_evals <- dst.st_elem_sampler_evals + src.st_elem_sampler_evals;
+  dst.st_set_sampler_evals <- dst.st_set_sampler_evals + src.st_set_sampler_evals;
+  dst.st_pairs_stored <- dst.st_pairs_stored + src.st_pairs_stored
 
 let stored_pairs t =
   Array.fold_left

@@ -70,3 +70,18 @@ val budget : t -> int
 val cap : t -> int
 (** The per-instance stored-pair cap (Lemma 4.21's Õ(m/α²) instantiated
     with the profile's polylog). *)
+
+val encode : t -> Mkc_obs.Json.t
+(** Mutable state per sub-instance (stored member lists verbatim,
+    latest-first; pair counts; death flags) plus work counters; the
+    samplers are re-created from params + seed. *)
+
+val restore : t -> Mkc_obs.Json.t -> (unit, string) result
+(** Overlay an {!encode} payload onto a freshly {!create}d instance of
+    the same params and seed. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold a shard in, instance by instance: member lists concatenate
+    (the shard fed the later stream suffix first), pair counts sum, and
+    a summed count over the cap kills the instance exactly as the
+    single-stream run would. *)

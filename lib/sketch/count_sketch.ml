@@ -43,6 +43,30 @@ let add_batch t ids ~pos ~len ~delta =
     done
   done
 
+let dump t = Array.map Array.copy t.counters
+
+let load_state t rows =
+  if
+    Array.length rows <> t.depth
+    || Array.exists (fun row -> Array.length row <> t.width) rows
+  then Error "count_sketch: row shape mismatch"
+  else begin
+    Array.iteri (fun r row -> Array.blit row 0 t.counters.(r) 0 t.width) rows;
+    Ok ()
+  end
+
+(* Every counter is a signed sum over the update stream — linear — so
+   merging sketches with the same hashes is pointwise addition. *)
+let merge_into ~dst src =
+  if dst.depth <> src.depth || dst.width <> src.width then
+    invalid_arg "Count_sketch.merge_into: shape mismatch";
+  for r = 0 to dst.depth - 1 do
+    let drow = dst.counters.(r) and srow = src.counters.(r) in
+    for b = 0 to dst.width - 1 do
+      drow.(b) <- drow.(b) + srow.(b)
+    done
+  done
+
 let estimate t i =
   let ests =
     Array.init t.depth (fun r ->

@@ -31,3 +31,13 @@ val f2_estimate : t -> float
 
 val width : t -> int
 val words : t -> int
+
+val dump : t -> int array array
+(** Copy of the depth × width counter matrix. *)
+
+val load_state : t -> int array array -> (unit, string) result
+(** Overlay a dumped counter matrix onto a sketch of the same shape. *)
+
+val merge_into : dst:t -> t -> unit
+(** Pointwise counter addition (the sketch is linear); both sides must
+    share shape and seed.  @raise Invalid_argument on shape mismatch. *)

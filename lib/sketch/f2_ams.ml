@@ -34,6 +34,25 @@ let add_batch t ids ~pos ~len ~delta =
     t.counters.(c) <- t.counters.(c) + !acc
   done
 
+let dump t = Array.copy t.counters
+
+let load_state t counters =
+  if Array.length counters <> Array.length t.counters then
+    Error "f2_ams: counter length mismatch"
+  else begin
+    Array.blit counters 0 t.counters 0 (Array.length counters);
+    Ok ()
+  end
+
+(* Each counter is Σ_i s(i)·a[i], linear in the update stream, so the
+   merge of two sketches over the same signs is pointwise addition. *)
+let merge_into ~dst src =
+  if Array.length dst.counters <> Array.length src.counters then
+    invalid_arg "F2_ams.merge_into: shape mismatch";
+  for c = 0 to Array.length dst.counters - 1 do
+    dst.counters.(c) <- dst.counters.(c) + src.counters.(c)
+  done
+
 let estimate t =
   let means =
     Array.init t.groups (fun g ->

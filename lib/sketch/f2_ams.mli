@@ -23,3 +23,13 @@ val add_batch : t -> int array -> pos:int -> len:int -> delta:int -> unit
 
 val estimate : t -> float
 val words : t -> int
+
+val dump : t -> int array
+(** Copy of the counter vector — the sketch's whole mutable state. *)
+
+val load_state : t -> int array -> (unit, string) result
+(** Overlay a dumped counter vector onto a sketch of the same shape. *)
+
+val merge_into : dst:t -> t -> unit
+(** Pointwise counter addition (the sketch is linear); both sides must
+    share shape and seed.  @raise Invalid_argument on shape mismatch. *)

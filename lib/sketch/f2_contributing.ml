@@ -78,7 +78,8 @@ let dedup hits =
       | _ -> Hashtbl.replace best h.id h)
     hits;
   Hashtbl.fold (fun _ h acc -> h :: acc) best []
-  |> List.sort (fun a b -> compare b.freq a.freq)
+  |> List.sort (fun a b ->
+         if a.freq <> b.freq then compare b.freq a.freq else compare a.id b.id)
 
 let collect t extract =
   Array.to_list t.hhs
@@ -96,3 +97,27 @@ let prunes t = Array.fold_left (fun acc hh -> acc + F2_heavy_hitter.prunes hh) 0
 let words t =
   Sampler.Nested.words t.sampler
   + Array.fold_left (fun acc hh -> acc + F2_heavy_hitter.words hh) 0 t.hhs
+
+let dump t = Array.map F2_heavy_hitter.dump t.hhs
+
+let load_state t levels =
+  if Array.length levels <> t.num_levels then Error "f2c: level count mismatch"
+  else begin
+    let rec go i =
+      if i >= t.num_levels then Ok ()
+      else
+        let rows, counts, prunes = levels.(i) in
+        match F2_heavy_hitter.load_state t.hhs.(i) ~rows ~counts ~prunes with
+        | Error e -> Error (Printf.sprintf "f2c level %d: %s" i e)
+        | Ok () -> go (i + 1)
+    in
+    go 0
+  end
+
+(* Per-level merge: the subsampling decision is a pure hash of the
+   coordinate (same seed on both sides), so the surviving substreams
+   partition exactly like the input and levels merge independently. *)
+let merge_into ~dst src =
+  if dst.num_levels <> src.num_levels then
+    invalid_arg "F2_contributing.merge_into: level count mismatch";
+  Array.iteri (fun i hh -> F2_heavy_hitter.merge_into ~dst:dst.hhs.(i) hh) src.hhs

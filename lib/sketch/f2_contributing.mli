@@ -83,3 +83,16 @@ val prunes : t -> int
 (** Total candidate-table prune passes, summed across levels. *)
 
 val words : t -> int
+
+val dump : t -> (int array array * (int * int) list * int) array
+(** Per-level {!F2_heavy_hitter.dump}s, in level order. *)
+
+val load_state :
+  t -> (int array array * (int * int) list * int) array -> (unit, string) result
+(** Overlay dumped per-level states onto a freshly created instance
+    (same gamma/r/seed); errors name the offending level. *)
+
+val merge_into : dst:t -> t -> unit
+(** Merge level-by-level (the subsampling decision is seed-determined,
+    so substreams partition consistently on both sides).
+    @raise Invalid_argument on level-count mismatch. *)

@@ -32,7 +32,15 @@ let create ?(depth = 5) ?(width_factor = 8) ?(clamp = true) ~phi ~seed () =
 let prune t =
   t.prunes <- t.prunes + 1;
   let entries = Hashtbl.fold (fun id c acc -> (id, !c) :: acc) t.counts [] in
-  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) entries in
+  (* Count-descending with an id tie-break: which candidates survive a
+     prune must be a function of the (id, count) multiset alone, never
+     of hashtable iteration order — a restored or merged table has a
+     different layout but must prune identically. *)
+  let sorted =
+    List.sort
+      (fun (ia, a) (ib, b) -> if a <> b then compare b a else compare ia ib)
+      entries
+  in
   Hashtbl.reset t.counts;
   List.iteri (fun i (id, c) -> if i < t.cap then Hashtbl.replace t.counts id (ref c)) sorted
 
@@ -83,12 +91,54 @@ let candidates t =
       let freq = if t.clamp then Float.min est (float_of_int !c) else est in
       { id; freq } :: acc)
     t.counts []
-  |> List.sort (fun a b -> compare b.freq a.freq)
+  |> List.sort (fun a b ->
+         if a.freq <> b.freq then compare b.freq a.freq else compare a.id b.id)
 
 let hits t =
   let f2 = Count_sketch.f2_estimate t.cs in
   let threshold = t.phi *. f2 in
   candidates t |> List.filter (fun { freq; _ } -> freq *. freq >= threshold)
+
+let dump t =
+  let counts = Hashtbl.fold (fun id c acc -> (id, !c) :: acc) t.counts [] in
+  let counts = List.sort (fun (a, _) (b, _) -> compare a b) counts in
+  (Count_sketch.dump t.cs, counts, t.prunes)
+
+let load_state t ~rows ~counts ~prunes =
+  if prunes < 0 then Error "f2_hh: negative prune count"
+  else if List.length counts > 2 * t.cap then Error "f2_hh: tracked counts exceed cap"
+  else
+    match Count_sketch.load_state t.cs rows with
+    | Error e -> Error e
+    | Ok () ->
+        Hashtbl.reset t.counts;
+        List.iter (fun (id, c) -> Hashtbl.replace t.counts id (ref c)) counts;
+        if Hashtbl.length t.counts <> List.length counts then begin
+          Hashtbl.reset t.counts;
+          Error "f2_hh: duplicate tracked id"
+        end
+        else begin
+          t.prunes <- prunes;
+          Ok ()
+        end
+
+(* The CountSketch half is linear; the tracked half merges by summing
+   since-insertion counters (replayed in canonical id order so the
+   result is independent of either table's layout).  When neither side
+   has pruned this is exactly the single-stream tracked state; once
+   prunes have fired the tracker is an approximation either way. *)
+let merge_into ~dst src =
+  if dst.cap <> src.cap then invalid_arg "F2_heavy_hitter.merge_into: cap mismatch";
+  Count_sketch.merge_into ~dst:dst.cs src.cs;
+  let _, counts, _ = dump src in
+  List.iter
+    (fun (id, c) ->
+      (match Hashtbl.find_opt dst.counts id with
+      | Some r -> r := !r + c
+      | None -> Hashtbl.replace dst.counts id (ref c));
+      if Hashtbl.length dst.counts > 2 * dst.cap then prune dst)
+    counts;
+  dst.prunes <- dst.prunes + src.prunes
 
 let f2_estimate t = Count_sketch.f2_estimate t.cs
 let phi t = t.phi

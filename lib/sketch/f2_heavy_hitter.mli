@@ -73,3 +73,26 @@ val prunes : t -> int
     table's capacity. *)
 
 val words : t -> int
+
+val dump : t -> int array array * (int * int) list * int
+(** [(cs_rows, tracked_counts, prunes)] — canonical state: the
+    CountSketch counter matrix plus the tracked [(id, count)] pairs
+    sorted by id.  Layout-free: equal dumps ⇔ behaviourally identical
+    sketches (same seed). *)
+
+val load_state :
+  t ->
+  rows:int array array ->
+  counts:(int * int) list ->
+  prunes:int ->
+  (unit, string) result
+(** Overlay a dumped state onto a freshly created sketch (same phi,
+    width and seed).  Rejects shape mismatches, overfull trackers and
+    duplicate ids by name. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold [src] into [dst] (same shape and seed): CountSketch counters
+    add pointwise (linear), tracked counters sum per id in canonical id
+    order, pruning as capacity demands; prune counters add.  Exact
+    (bit-for-bit the single-stream state) whenever no prune has fired
+    on either side.  @raise Invalid_argument on cap mismatch. *)

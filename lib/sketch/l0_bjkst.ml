@@ -68,6 +68,59 @@ let add_batch t xs ~pos ~len =
     end
   done
 
+(* Canonical state: the buffer sorted by fingerprint (unsigned), plus
+   the level and prune counters.  Two sketches over the same seed are
+   behaviourally identical iff their dumps are equal — Hashtbl layout
+   (insertion/resize history) never leaks into any observable. *)
+let dump t =
+  let entries = Hashtbl.fold (fun fp lvl acc -> (fp, lvl) :: acc) t.buf [] in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) entries
+  in
+  (t.z, t.prunes, entries)
+
+let load_state t ~z ~prunes ~entries =
+  if z < 0 || prunes < 0 then Error "l0: negative level or prune count"
+  else if List.length entries > t.cap then Error "l0: entries exceed cap"
+  else if List.exists (fun (_, lvl) -> lvl < z || lvl > 64) entries then
+    Error "l0: entry level out of range"
+  else begin
+    Hashtbl.reset t.buf;
+    List.iter (fun (fp, lvl) -> Hashtbl.replace t.buf fp lvl) entries;
+    if Hashtbl.length t.buf <> List.length entries then begin
+      Hashtbl.reset t.buf;
+      Error "l0: duplicate fingerprint"
+    end
+    else begin
+      t.z <- z;
+      t.prunes <- prunes;
+      Ok ()
+    end
+  end
+
+(* The sketch state is a pure function of the set of fingerprints seen:
+   buf = { fp seen : level(fp) ≥ z } with z the smallest level at which
+   that set fits in [cap].  Union-then-prune therefore reproduces the
+   single-stream state exactly (merge is the set union).  Requires both
+   sketches to share cap and hash seed. *)
+let merge_into ~dst src =
+  if dst.cap <> src.cap then invalid_arg "L0_bjkst.merge_into: cap mismatch";
+  if src.z > dst.z then begin
+    dst.z <- src.z;
+    dst.prunes <- max dst.prunes src.prunes;
+    let z = dst.z in
+    Hashtbl.filter_map_inplace (fun _ lvl -> if lvl < z then None else Some lvl) dst.buf
+  end
+  else dst.prunes <- max dst.prunes src.prunes;
+  (* Insert in canonical order so the destination layout is independent
+     of the source table's internal iteration order. *)
+  let _, _, entries = dump src in
+  List.iter
+    (fun (fp, lvl) ->
+      if lvl >= dst.z && not (Hashtbl.mem dst.buf fp) then Hashtbl.replace dst.buf fp lvl)
+    entries;
+  prune dst
+
 let estimate t = float_of_int (Hashtbl.length t.buf) *. Float.pow 2.0 (float_of_int t.z)
 let level t = t.z
 let occupancy t = Hashtbl.length t.buf

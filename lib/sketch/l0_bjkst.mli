@@ -40,3 +40,22 @@ val prunes : t -> int
     is too small for the distinct-element load. *)
 
 val words : t -> int
+
+val dump : t -> int * int * (int64 * int) list
+(** [(z, prunes, entries)] — the canonical state: buffered fingerprints
+    with their levels, sorted by unsigned fingerprint.  Two sketches
+    over the same seed are behaviourally identical iff their dumps are
+    equal; hashtable layout never leaks. *)
+
+val load_state :
+  t -> z:int -> prunes:int -> entries:(int64 * int) list -> (unit, string) result
+(** Overlay a dumped state onto a freshly created sketch (same cap and
+    seed).  Rejects out-of-range levels, overfull buffers and duplicate
+    fingerprints by name. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold [src] into [dst].  Both must share cap and hash seed.  The
+    sketch state is a pure function of the fingerprint set seen, so the
+    merged state is bit-for-bit the single-stream state over the
+    concatenated inputs.
+    @raise Invalid_argument on cap mismatch. *)

@@ -99,6 +99,19 @@ module Memo : sig
   val slots : t -> int
 
   val words : t -> int
+
+  val dump : t -> int array * int array
+  (** [(keys, vals)] — the cache contents verbatim, for crash-resume
+      (a resumed run must replay the exact hit/miss sequence the
+      uninterrupted run would see). *)
+
+  val load_state : t -> keys:int array -> vals:int array -> (unit, string) result
+  (** Overlay dumped cache contents; rejects a slot-count mismatch. *)
+
+  val reset : t -> unit
+  (** Drop all cached decisions (used on merge: shards' overwrite
+      histories don't compose, and the cache is a pure accelerator, so
+      rebuilding from scratch is always sound). *)
 end
 
 module Reservoir : sig

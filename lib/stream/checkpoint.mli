@@ -1,0 +1,119 @@
+(** Versioned, schema-validated, byte-stable checkpoints of sink state.
+
+    A checkpoint is a [mkc-ckpt/1] JSON envelope around a sink-specific
+    payload: the sink kind, the stream position the state covers, the
+    base hash seed the sink was created under, and an FNV-1a checksum of
+    all of the above.  Everything about a sink except its mutable state
+    is a deterministic function of its parameters and seed, so restore
+    re-creates the sink (same hash functions, bit for bit) and overlays
+    the payload — a restored sink is indistinguishable from one that
+    processed the prefix itself.
+
+    Validation mirrors {!Mkc_obs.Snapshot}: every rejection is a named
+    {!error} (foreign magic, unknown version, truncated payload, forged
+    seed, checksum mismatch), and emission is byte-stable so goldens can
+    pin the format. *)
+
+type error =
+  | Bad_magic of string  (** [schema] field absent or not [mkc-ckpt/*]. *)
+  | Bad_version of string  (** [mkc-ckpt/N] with an N this build does not read. *)
+  | Truncated of string  (** JSON parse failure — cut-off or corrupt bytes. *)
+  | Malformed of string  (** Envelope field missing or of the wrong shape. *)
+  | Checksum_mismatch of { expected : string; got : string }
+  | Seed_mismatch of { expected : int; got : int }
+      (** The checkpoint was taken under a different base seed: its hash
+          functions are not this run's hash functions, so restoring
+          would silently corrupt every estimate. *)
+  | Kind_mismatch of { expected : string; got : string }
+  | Payload_rejected of string  (** The sink's own decoder said no. *)
+  | Io_error of string
+
+val error_to_string : error -> string
+
+type t = {
+  kind : string;  (** Which sink family the payload belongs to. *)
+  pos : int;  (** Edges of the stream covered by this state. *)
+  seed : int;  (** Base seed the sink's hash functions derive from. *)
+  payload : Mkc_obs.Json.t;
+}
+
+val schema : string
+(** ["mkc-ckpt/1"]. *)
+
+val to_string : t -> string
+(** Byte-stable rendering (fixed field order, deterministic JSON). *)
+
+val of_string : ?expect_kind:string -> ?expect_seed:int -> string -> (t, error) result
+(** Parse and validate; [expect_kind]/[expect_seed] additionally pin
+    the sink family and hash seed (a checkpoint from a different seed
+    would restore silently-wrong hash state, so resume paths always
+    pass them). *)
+
+val validate : string -> (t, error) result
+(** {!of_string} with no expectations — the [validate-checkpoint]
+    subcommand's core. *)
+
+val save : path:string -> t -> (int, error) result
+(** Serialize and write atomically (temp file + rename, so a crash
+    mid-save never destroys the previous valid checkpoint).  Returns
+    the byte size written.  Bumps [checkpoint.saves]/[checkpoint.bytes]
+    when the metric registry is enabled. *)
+
+val load : ?expect_kind:string -> ?expect_seed:int -> path:string -> unit -> (t, error) result
+
+val words_of_bytes : int -> int
+(** Words the serialized state occupies ([bytes / 8], rounded up) — the
+    figure {!Sink.Observed} accounts under the [checkpoint] breakdown
+    key. *)
+
+type 's codec = {
+  kind : string;
+  seed : int;
+  encode : 's -> Mkc_obs.Json.t;
+  restore : 's -> Mkc_obs.Json.t -> (unit, string) result;
+      (** Overlay a payload onto a freshly created sink of the same
+          parameters and seed. *)
+}
+(** How a sink family plugs into checkpointing: a kind tag, the seed its
+    hashes derive from, and payload encode/restore.  Core sinks expose
+    one ({!Mkc_core.Estimate.codec} etc.). *)
+
+val map_codec : ('t -> 's) -> 's codec -> 't codec
+(** Re-aim a codec through an accessor — e.g. checkpoint the inner sink
+    of a {!Sink.Observed} wrapper via [map_codec Sink.Observed.state]. *)
+
+(** {1 Payload plumbing} — JSON helpers shared by the sink encoders.
+    Exposed so core-layer codecs (and tests) build on one vocabulary. *)
+module J : sig
+  val err : ('a, unit, string, ('b, string) result) format4 -> 'a
+  val field : string -> Mkc_obs.Json.t -> (Mkc_obs.Json.t, string) result
+  val int_field : string -> Mkc_obs.Json.t -> (int, string) result
+  val float_field : string -> Mkc_obs.Json.t -> (float, string) result
+  val str_field : string -> Mkc_obs.Json.t -> (string, string) result
+  val list_field : string -> Mkc_obs.Json.t -> (Mkc_obs.Json.t list, string) result
+  val map_result : ('a -> ('b, string) result) -> 'a list -> ('b list, string) result
+  val to_int : Mkc_obs.Json.t -> (int, string) result
+  val int_array : int array -> Mkc_obs.Json.t
+  val to_int_array : Mkc_obs.Json.t -> (int array, string) result
+  val int_matrix : int array array -> Mkc_obs.Json.t
+  val to_int_matrix : Mkc_obs.Json.t -> (int array array, string) result
+  val int_pairs : (int * int) list -> Mkc_obs.Json.t
+  val to_int_pairs : Mkc_obs.Json.t -> ((int * int) list, string) result
+
+  val i64 : int64 -> Mkc_obs.Json.t
+  (** 64-bit fingerprints travel as decimal strings (JSON ints are
+      63-bit OCaml ints here). *)
+
+  val to_i64 : Mkc_obs.Json.t -> (int64, string) result
+end
+
+(** {1 Sketch payload codecs} — canonical JSON forms of the sketch
+    dumps, shared by every core sink that composes them. *)
+module Sketch_io : sig
+  val l0 : Mkc_sketch.L0_bjkst.t -> Mkc_obs.Json.t
+  val restore_l0 : Mkc_sketch.L0_bjkst.t -> Mkc_obs.Json.t -> (unit, string) result
+  val f2c : Mkc_sketch.F2_contributing.t -> Mkc_obs.Json.t
+  val restore_f2c : Mkc_sketch.F2_contributing.t -> Mkc_obs.Json.t -> (unit, string) result
+  val memo : Mkc_sketch.Sampler.Memo.t -> Mkc_obs.Json.t
+  val restore_memo : Mkc_sketch.Sampler.Memo.t -> Mkc_obs.Json.t -> (unit, string) result
+end

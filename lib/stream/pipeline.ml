@@ -59,23 +59,23 @@ let run ?(chunk = default_chunk) (type s r) ((module M) : (s, r) Sink.sink) (sin
 (* One plan per chunk, shared by every sink: the grouping pass is paid
    once per chunk, and each sink fans its per-distinct-id hash decisions
    out from the same tables. *)
-let feed_all ?(chunk = default_chunk) sinks src =
+let feed_all ?(chunk = default_chunk) ?(start = 0) sinks src =
   let nsinks = Array.length sinks in
   let plan = Chunk_plan.create () in
   let cum = ref 0 in
-  Stream_source.chunks ~chunk
+  Stream_source.chunks ~chunk ~start
     (fun edges ~pos ~len ->
       chunk_instrumented ~nsinks ~len ~cum (fun () ->
           Chunk_plan.build plan edges ~pos ~len;
           Array.iter (fun s -> Sink.Any.feed_planned s plan edges ~pos ~len) sinks))
     src
 
-let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
+let feed_all_parallel ?domains ?(chunk = default_chunk) ?(start = 0) sinks src =
   let domains =
     match domains with Some d -> d | None -> Domain.recommended_domain_count ()
   in
   let domains = min domains (Array.length sinks) in
-  if domains <= 1 then feed_all ~chunk sinks src
+  if domains <= 1 then feed_all ~chunk ~start sinks src
   else begin
     (* Round-robin sharding: sink i belongs to group (i mod domains), so
        no two workers ever touch the same mutable sink state.  The
@@ -102,7 +102,7 @@ let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
     let plan = Chunk_plan.create () in
     let busy_ns = ref 0 in
     let cum = ref 0 in
-    Stream_source.chunks ~chunk:dchunk
+    Stream_source.chunks ~chunk:dchunk ~start
       (fun edges ~pos ~len ->
         chunk_instrumented ~nsinks ~len ~cum (fun () ->
             Chunk_plan.build plan edges ~pos ~len;
@@ -143,6 +143,104 @@ let feed_all_parallel ?domains ?(chunk = default_chunk) sinks src =
     end
   end
 
-let run_parallel ?domains ?chunk ~shards ~finalize src =
-  feed_all_parallel ?domains ?chunk shards src;
+let run_parallel ?domains ?chunk ?start ~shards ~finalize src =
+  feed_all_parallel ?domains ?chunk ?start shards src;
   finalize ()
+
+(* {1 Crash-resume and shard-merge drivers} *)
+
+let default_checkpoint_every = 8
+
+let run_resumable (type s r) ?(chunk = default_chunk)
+    ?(every = default_checkpoint_every) ?resume ?checkpoint ?on_save
+    (codec : s Checkpoint.codec) ((module M) : (s, r) Sink.sink) (sink : s) src :
+    (r, Checkpoint.error) result =
+  if every < 1 then invalid_arg "Pipeline.run_resumable: every must be >= 1";
+  let ( let* ) = Result.bind in
+  let* start =
+    match resume with
+    | None -> Ok 0
+    | Some path ->
+        let* env =
+          Checkpoint.load ~expect_kind:codec.kind ~expect_seed:codec.seed ~path ()
+        in
+        let* () =
+          match codec.restore sink env.Checkpoint.payload with
+          | Ok () -> Ok ()
+          | Error msg -> Error (Checkpoint.Payload_rejected msg)
+        in
+        Ok env.Checkpoint.pos
+  in
+  let n = Stream_source.length src in
+  let* () =
+    if start > n then
+      Error
+        (Checkpoint.Malformed
+           (Printf.sprintf "resume position %d beyond stream length %d" start n))
+    else Ok ()
+  in
+  let save_at pos =
+    match checkpoint with
+    | None -> Ok ()
+    | Some path ->
+        let env =
+          { Checkpoint.kind = codec.kind; pos; seed = codec.seed;
+            payload = codec.encode sink }
+        in
+        let* bytes = Checkpoint.save ~path env in
+        (match on_save with
+        | Some f -> f ~pos ~bytes ~words:(Checkpoint.words_of_bytes bytes)
+        | None -> ());
+        Ok ()
+  in
+  let plan = Chunk_plan.create () in
+  let cum = ref 0 in
+  let chunks_done = ref 0 in
+  let failure = ref None in
+  (* Checkpoints land on chunk boundaries only: resuming then re-chunks
+     the suffix on the same grid, so a resumed run's chunk schedule —
+     and with it every schedule-dependent counter — matches the
+     uninterrupted run's exactly. *)
+  Stream_source.chunks ~chunk ~start
+    (fun edges ~pos ~len ->
+      chunk_instrumented ~nsinks:1 ~len ~cum (fun () ->
+          Chunk_plan.build plan edges ~pos ~len;
+          M.feed_planned sink plan edges ~pos ~len);
+      incr chunks_done;
+      let next = pos + len in
+      if !failure = None && next < n && !chunks_done mod every = 0 then
+        match save_at next with Ok () -> () | Error e -> failure := Some e)
+    src;
+  let* () = match !failure with None -> Ok () | Some e -> Error e in
+  (* A final checkpoint at end-of-stream: the shard-merge workflow
+     merges exactly these. *)
+  let* () = save_at n in
+  Ok (M.finalize sink)
+
+let merge_shards ~merge first rest =
+  Array.iter (fun s -> merge first s) rest;
+  first
+
+let run_sharded (type s r) ?(chunk = default_chunk) ~shards ~create ~merge
+    ((module M) : (s, r) Sink.sink) src : r =
+  if shards < 1 then invalid_arg "Pipeline.run_sharded: shards must be >= 1";
+  let parts = Stream_source.partition ~shards src in
+  let states =
+    Array.map
+      (fun part ->
+        let s : s = create () in
+        let plan = Chunk_plan.create () in
+        let cum = ref 0 in
+        Stream_source.chunks ~chunk
+          (fun edges ~pos ~len ->
+            chunk_instrumented ~nsinks:1 ~len ~cum (fun () ->
+                Chunk_plan.build plan edges ~pos ~len;
+                M.feed_planned s plan edges ~pos ~len))
+          part;
+        s)
+      parts
+  in
+  let merged =
+    merge_shards ~merge states.(0) (Array.sub states 1 (Array.length states - 1))
+  in
+  M.finalize merged

@@ -50,7 +50,7 @@ val run : ?chunk:int -> ('s, 'r) Sink.sink -> 's -> Stream_source.t -> 'r
 (** Feed in chunks via [feed_planned] (one {!Chunk_plan} built per
     chunk, reused across chunks), then finalize. *)
 
-val feed_all : ?chunk:int -> Sink.any array -> Stream_source.t -> unit
+val feed_all : ?chunk:int -> ?start:int -> Sink.any array -> Stream_source.t -> unit
 (** Drive several sinks through one pass, chunk by chunk (all sinks see
     chunk [i] before any sees chunk [i+1]).  One {!Chunk_plan} is built
     per chunk and shared by every sink, so the grouping pass is paid
@@ -59,7 +59,7 @@ val feed_all : ?chunk:int -> Sink.any array -> Stream_source.t -> unit
     them. *)
 
 val feed_all_parallel :
-  ?domains:int -> ?chunk:int -> Sink.any array -> Stream_source.t -> unit
+  ?domains:int -> ?chunk:int -> ?start:int -> Sink.any array -> Stream_source.t -> unit
 (** Like {!feed_all}, but the sinks are sharded round-robin across
     [domains] OCaml domains (default
     [Domain.recommended_domain_count ()], capped by the number of
@@ -78,6 +78,7 @@ val feed_all_parallel :
 val run_parallel :
   ?domains:int ->
   ?chunk:int ->
+  ?start:int ->
   shards:Sink.any array ->
   finalize:(unit -> 'r) ->
   Stream_source.t ->
@@ -85,4 +86,59 @@ val run_parallel :
 (** [run_parallel ~shards ~finalize src]: {!feed_all_parallel} the
     shards, then call [finalize] (which typically finalizes the typed
     handle the shards were derived from, e.g.
-    [Estimate.finalize est] after driving [Estimate.shards est]). *)
+    [Estimate.finalize est] after driving [Estimate.shards est]).
+    [start] skips a stream prefix — resume a parallel run by restoring
+    the typed handle from a checkpoint, re-deriving the shards, and
+    driving from the checkpointed position. *)
+
+val default_checkpoint_every : int
+(** 8 chunks between checkpoints in {!run_resumable}. *)
+
+val run_resumable :
+  ?chunk:int ->
+  ?every:int ->
+  ?resume:string ->
+  ?checkpoint:string ->
+  ?on_save:(pos:int -> bytes:int -> words:int -> unit) ->
+  's Checkpoint.codec ->
+  ('s, 'r) Sink.sink ->
+  's ->
+  Stream_source.t ->
+  ('r, Checkpoint.error) result
+(** The chunked driver with crash tolerance.
+
+    With [~resume:path], first load and fully validate the checkpoint
+    (kind and seed pinned by the codec; any mismatch or corruption is a
+    named {!Checkpoint.error}), overlay it on the freshly created
+    [sink], and continue the stream from the checkpointed position.
+    With [~checkpoint:path], atomically save the sink's state every
+    [every] chunks and once at end-of-stream (so the final file feeds
+    the shard-merge workflow).  [on_save] observes each save — e.g.
+    [Sink.Observed.note_checkpoint] to put the bytes on the space
+    books.
+
+    Checkpoints land on chunk boundaries only, so a resumed run
+    re-chunks the suffix on the same grid as the uninterrupted run —
+    results, [words] and every work counter match bit for bit (the
+    [test_checkpoint] differential harness enforces this). *)
+
+val merge_shards : merge:('s -> 's -> unit) -> 's -> 's array -> 's
+(** [merge_shards ~merge first rest] folds every state in [rest] into
+    [first] (in array order — merges of stream shards should pass them
+    stream-ordered) and returns [first]. *)
+
+val run_sharded :
+  ?chunk:int ->
+  shards:int ->
+  create:(unit -> 's) ->
+  merge:('s -> 's -> unit) ->
+  ('s, 'r) Sink.sink ->
+  Stream_source.t ->
+  'r
+(** Edge-partition the stream into [shards] contiguous sub-streams
+    ({!Stream_source.partition}), run an independent sink (from
+    [create], same params/seed each time) over each, merge the final
+    states left-to-right, and finalize the merged sink.  For the
+    linear sketches of the paper the merged state is bit-for-bit the
+    single-stream state (the merge-law qcheck properties pin this
+    modulo the memo-eval counter families). *)

@@ -55,15 +55,28 @@ module Observed = struct
     budget : Mkc_sketch.Space.Budget.t option;
     mutable edges : int;
     mutable next_at : int;
+    (* Words held by the most recent serialized checkpoint of the inner
+       sink (0 until one is taken).  Checkpointing is real space the
+       process pays for, so it joins the breakdown under its own key
+       and the budget watchdog sees it. *)
+    mutable ckpt_words : int;
   }
 
   let default_cadence = 65536
 
+  let total_words (type s r) (t : (s, r) st) =
+    let (module M) = t.inner in
+    M.words t.state + t.ckpt_words
+
   let sample (type s r) (t : (s, r) st) =
     let (module M) = t.inner in
-    let words = M.words t.state in
+    let words = total_words t in
+    let breakdown =
+      let inner = M.words_breakdown t.state in
+      if t.ckpt_words > 0 then ("checkpoint", t.ckpt_words) :: inner else inner
+    in
     Mkc_obs.Space_profile.record t.profile ~at_edges:t.edges ~words
-      ~breakdown:(canonical_breakdown (M.words_breakdown t.state));
+      ~breakdown:(canonical_breakdown breakdown);
     if Mkc_obs.Trace.enabled () then
       Mkc_obs.Trace.counter "space.words" ~at_ns:(Mkc_obs.Clock.now_ns ()) words;
     (* Watchdog last: in strict mode [observe] raises on overshoot, and
@@ -79,9 +92,15 @@ module Observed = struct
       budget;
       edges = 0;
       next_at = cadence;
+      ckpt_words = 0;
     }
 
   let profile t = t.profile
+  let state t = t.state
+
+  let note_checkpoint t ~words =
+    if words < 0 then invalid_arg "Sink.Observed.note_checkpoint: negative words";
+    t.ckpt_words <- words
 
   (* At most one sample per feed call; [next_at] realigns to the cadence
      grid so oversized batches don't trigger a burst of samples. *)
@@ -114,13 +133,13 @@ module Observed = struct
     sample t;
     r
 
-  let words (type s r) (t : (s, r) st) =
-    let (module M) = t.inner in
-    M.words t.state
+  let words (type s r) (t : (s, r) st) = total_words t
 
   let words_breakdown (type s r) (t : (s, r) st) =
     let (module M) = t.inner in
-    canonical_breakdown (M.words_breakdown t.state)
+    let inner = M.words_breakdown t.state in
+    canonical_breakdown
+      (if t.ckpt_words > 0 then ("checkpoint", t.ckpt_words) :: inner else inner)
 
   let sink (type s r) () : ((s, r) st, r) sink =
     (module struct
@@ -167,6 +186,7 @@ module Tap = struct
   }
 
   let wrap inner state ~notify = { inner; state; notify; edges = 0 }
+  let state t = t.state
 
   let bump t n =
     t.edges <- t.edges + n;

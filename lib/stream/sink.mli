@@ -129,6 +129,18 @@ module Observed : sig
 
   val profile : ('s, 'r) st -> Mkc_obs.Space_profile.t
 
+  val state : ('s, 'r) st -> 's
+  (** The wrapped sink's state — e.g. to aim a {!Checkpoint.codec} at
+      the inner sink ([Checkpoint.map_codec Observed.state codec]). *)
+
+  val note_checkpoint : ('s, 'r) st -> words:int -> unit
+  (** Record the size of the most recent serialized checkpoint.  The
+      words join {!S.words} and appear under a ["checkpoint"] breakdown
+      key (and therefore in every subsequent profile sample and budget
+      check): a checkpoint the process holds or writes is real space the
+      paper's accounting must see.  Raises [Invalid_argument] on a
+      negative size. *)
+
   val sample : ('s, 'r) st -> unit
   (** Record a sample now — for drivers that finalize through the
       original typed handle rather than the wrapper. *)
@@ -157,6 +169,10 @@ module Tap : sig
 
   val tap :
     ('s, 'r) sink -> 's -> notify:(edges:int -> unit) -> (('s, 'r) st, 'r) sink * ('s, 'r) st
+
+  val state : ('s, 'r) st -> 's
+  (** The wrapped sink's state (codec plumbing, as in
+      {!Observed.state}). *)
 end
 
 (** Run a set-arrival algorithm (e.g. {!Mkc_coverage.Sieve},

@@ -15,11 +15,21 @@ val length : t -> int
 val iter : (Edge.t -> unit) -> t -> unit
 val fold : ('a -> Edge.t -> 'a) -> 'a -> t -> 'a
 
-val chunks : ?chunk:int -> (Edge.t array -> pos:int -> len:int -> unit) -> t -> unit
+val chunks :
+  ?chunk:int -> ?start:int -> (Edge.t array -> pos:int -> len:int -> unit) -> t -> unit
 (** [chunks f t] hands the backing edge array to [f] one zero-copy
     sub-range [\[pos, pos+len)] at a time (default chunk 8192) — the
     ingestion primitive behind {!Pipeline}.  [f] must treat the array
-    as read-only and must not retain it. *)
+    as read-only and must not retain it.  Every chunk has [len >= 1]:
+    streams whose length is an exact multiple of [chunk] do not end
+    with an empty chunk.  [start] (default 0) skips a prefix — the
+    resume primitive; [start = length t] yields no chunks at all. *)
+
+val partition : shards:int -> t -> t array
+(** Edge-partition into [shards] contiguous sub-streams of near-equal
+    size (sizes differ by at most one; concatenation in order is the
+    original stream).  The shard-merge primitive behind
+    {!Pipeline.run_sharded}. *)
 
 val to_array : t -> Edge.t array
 (** A copy, for re-shuffling or persistence. *)

@@ -16,6 +16,8 @@ let () =
       ("properties", Test_props.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("api-surface", Test_api_surface.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("quality-stats", Test_quality_stats.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
     ]

@@ -1,0 +1,104 @@
+(* Statistical acceptance test for the estimator's approximation
+   quality (Theorem 3.6: the returned value lies in [OPT/Õ(α), OPT]
+   with constant probability per instance, boosted by repeats).
+
+   Deterministic by construction: 100 fixed-seed instances, each run
+   once; the estimate is compared against the offline greedy baseline on
+   the same instance.  Greedy's coverage G satisfies
+   G ≤ OPT ≤ G/(1 − 1/e), so
+
+   - upper: estimate ≤ G/(1 − 1/e)·(1 + slack) — "never exceeds OPT",
+   - lower: estimate ≥ G/(C·α) — the α-bound with an explicit constant.
+
+   The acceptance thresholds (C, slack, the 95/100 floor) are
+   calibrated against the seeded trial set with margin; a regression in
+   any subroutine's estimate path shows up as a pass-count drop, not a
+   flaky bound. *)
+
+module Edge = Mkc_stream.Edge
+module Src = Mkc_stream.Stream_source
+module Pipe = Mkc_stream.Pipeline
+module P = Mkc_core.Params
+module E = Mkc_core.Estimate
+
+let checkb = Alcotest.(check bool)
+
+let n = 256
+let m = 64
+let k = 4
+let alpha = 4.0
+let trials = 100
+let pass_floor = 95
+
+(* calibrated: worst seeded trial sits well inside both bounds *)
+let lower_c = 8.0
+let upper_slack = 0.25
+
+type verdict = { seed : int; estimate : float; greedy : int; ok_low : bool; ok_high : bool }
+
+let run_trial seed =
+  let sys =
+    match seed mod 3 with
+    | 0 -> Mkc_workload.Random_inst.uniform ~n ~m ~set_size:(n / 16) ~seed
+    | 1 -> (Mkc_workload.Planted.few_large ~n ~m ~k ~seed).Mkc_workload.Planted.system
+    | _ -> Mkc_workload.Random_inst.zipf_sizes ~n ~m ~max_size:(n / 4) ~skew:1.1 ~seed
+  in
+  let src = Src.of_system ~seed:(seed + 1) sys in
+  let greedy = (Mkc_coverage.Greedy.run sys ~k).Mkc_coverage.Greedy.coverage in
+  let params = P.make ~m ~n ~k ~alpha ~seed () in
+  let est = E.create params in
+  let r = Pipe.run E.sink est src in
+  let g = float_of_int greedy in
+  {
+    seed;
+    estimate = r.E.estimate;
+    greedy;
+    ok_low = r.E.estimate >= g /. (lower_c *. alpha);
+    ok_high = r.E.estimate <= g /. (1.0 -. exp (-1.0)) *. (1.0 +. upper_slack);
+  }
+
+let test_alpha_bound () =
+  let verdicts = List.init trials (fun i -> run_trial (1000 + i)) in
+  let passed = List.filter (fun v -> v.ok_low && v.ok_high) verdicts in
+  let npassed = List.length passed in
+  List.iter
+    (fun v ->
+      if not (v.ok_low && v.ok_high) then
+        Printf.printf "trial seed %d: estimate %.1f vs greedy %d (low %b, high %b)\n" v.seed
+          v.estimate v.greedy v.ok_low v.ok_high)
+    verdicts;
+  Printf.printf "quality: %d/%d trials within [G/(%.0fα), %.2f·G/(1-1/e)]\n" npassed trials
+    lower_c (1.0 +. upper_slack);
+  checkb
+    (Printf.sprintf "≥ %d/%d seeded trials within the α-bound (got %d)" pass_floor trials
+       npassed)
+    true (npassed >= pass_floor)
+
+(* The trivial branch (kα ≥ m) must obey the same contract: n/α against
+   greedy on the same instance. *)
+let test_trivial_branch_bound () =
+  let m = 8 and k = 4 in
+  let ok =
+    List.init 20 (fun i ->
+        let seed = 500 + i in
+        let sys = Mkc_workload.Random_inst.uniform ~n ~m ~set_size:(n / 8) ~seed in
+        let src = Src.of_system ~seed:(seed + 1) sys in
+        let greedy = (Mkc_coverage.Greedy.run sys ~k).Mkc_coverage.Greedy.coverage in
+        let params = P.make ~m ~n ~k ~alpha ~seed () in
+        let est = E.create params in
+        let r = Pipe.run E.sink est src in
+        let g = float_of_int greedy in
+        r.E.estimate >= g /. (lower_c *. alpha)
+        && r.E.estimate <= g /. (1.0 -. exp (-1.0)) *. (1.0 +. upper_slack))
+    |> List.filter (fun b -> b)
+    |> List.length
+  in
+  checkb (Printf.sprintf "trivial branch within bounds in %d/20 trials" ok) true (ok >= 19)
+
+let suite =
+  [
+    Alcotest.test_case "estimate within α-bound of greedy (95/100 seeded trials)" `Slow
+      test_alpha_bound;
+    Alcotest.test_case "trivial branch obeys the same contract" `Quick
+      test_trivial_branch_bound;
+  ]

@@ -185,8 +185,81 @@ let test_stats_contribution_profile () =
   (* contributions sum to the coverage *)
   checki "sum = coverage" (Ss.coverage s [ 0; 1; 2 ]) (Array.fold_left ( + ) 0 prof)
 
+(* Regression: every emitted chunk is non-empty, in particular when the
+   stream length is an exact multiple of the chunk size (an off-by-one
+   there would hand sinks a zero-length slice — and hand the resumable
+   driver a phantom chunk boundary). *)
+let test_chunks_never_empty () =
+  let edges n = Array.init n (fun i -> Edge.make ~set:i ~elt:i) in
+  List.iter
+    (fun (n, chunk) ->
+      let lens = ref [] in
+      Src.chunks ~chunk (fun _ ~pos:_ ~len -> lens := len :: !lens) (Src.of_array (edges n));
+      let lens = List.rev !lens in
+      checkb
+        (Printf.sprintf "n=%d chunk=%d: no empty chunk" n chunk)
+        true
+        (List.for_all (fun l -> l >= 1) lens);
+      checki
+        (Printf.sprintf "n=%d chunk=%d: chunk count" n chunk)
+        ((n + chunk - 1) / chunk)
+        (List.length lens);
+      checki
+        (Printf.sprintf "n=%d chunk=%d: lengths sum to n" n chunk)
+        n
+        (List.fold_left ( + ) 0 lens))
+    [ (8, 4); (12, 4); (1, 4); (4, 4); (65536, 8192); (5, 2) ];
+  (* the empty stream emits no chunks at all *)
+  let fired = ref 0 in
+  Src.chunks ~chunk:4 (fun _ ~pos:_ ~len:_ -> incr fired) (Src.of_array [||]);
+  checki "empty stream: zero chunks" 0 !fired
+
+let test_chunks_start () =
+  let n = 20 in
+  let src = Src.of_array (Array.init n (fun i -> Edge.make ~set:i ~elt:i)) in
+  (* resuming from [start] re-chunks the suffix on the same grid *)
+  let positions start =
+    let out = ref [] in
+    Src.chunks ~chunk:8 ~start (fun _ ~pos ~len -> out := (pos, len) :: !out) src;
+    List.rev !out
+  in
+  checkb "start 0" true (positions 0 = [ (0, 8); (8, 8); (16, 4) ]);
+  checkb "start 8 (chunk boundary)" true (positions 8 = [ (8, 8); (16, 4) ]);
+  checkb "start at n: nothing" true (positions n = []);
+  Alcotest.check_raises "negative start rejected"
+    (Invalid_argument "Stream_source.chunks: start out of range") (fun () ->
+      ignore (positions (-1)));
+  Alcotest.check_raises "start beyond n rejected"
+    (Invalid_argument "Stream_source.chunks: start out of range") (fun () ->
+      ignore (positions (n + 1)))
+
+let test_partition () =
+  let n = 23 in
+  let edges = Array.init n (fun i -> Edge.make ~set:i ~elt:(i * 2)) in
+  let src = Src.of_array edges in
+  List.iter
+    (fun shards ->
+      let parts = Src.partition ~shards src in
+      checki (Printf.sprintf "%d shards" shards) shards (Array.length parts);
+      (* concatenation restores the stream in order *)
+      let rebuilt =
+        Array.concat (Array.to_list (Array.map Src.to_array parts))
+      in
+      checkb
+        (Printf.sprintf "%d shards: concat = original" shards)
+        true (rebuilt = edges);
+      (* balanced: sizes differ by at most one *)
+      let sizes = Array.map Src.length parts in
+      let mn = Array.fold_left min max_int sizes
+      and mx = Array.fold_left max 0 sizes in
+      checkb (Printf.sprintf "%d shards: balanced" shards) true (mx - mn <= 1))
+    [ 1; 2; 3; 5; 23 ]
+
 let suite =
   [
+    Alcotest.test_case "chunks: no empty final chunk" `Quick test_chunks_never_empty;
+    Alcotest.test_case "chunks: resume grid via start" `Quick test_chunks_start;
+    Alcotest.test_case "partition: ordered, balanced, lossless" `Quick test_partition;
     Alcotest.test_case "edge make/compare" `Quick test_edge_make_and_compare;
     Alcotest.test_case "system dedup" `Quick test_system_dedup;
     Alcotest.test_case "system validation" `Quick test_system_validation;
