@@ -23,6 +23,7 @@ let registry =
     ("pipeline", Pipeline_bench.run);
     ("pipeline-smoke", Pipeline_bench.run_smoke);
     ("profile", Profile_hotpath.run);
+    ("profile-smoke", Profile_hotpath.run_smoke);
   ]
 
 let () =

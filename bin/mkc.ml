@@ -15,7 +15,10 @@ let stream_arg =
   Arg.(
     required
     & opt (some string) None
-    & info [ "stream"; "s" ] ~docv:"FILE" ~doc:"Edge stream file (lines: \"set elt\").")
+    & info [ "stream"; "s" ] ~docv:"FILE"
+        ~doc:
+          "Edge stream file: text (lines: \"set elt\") or the binary columnar format \
+           (see the convert subcommand); detected by magic bytes.")
 
 let k_arg = Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Cover budget k.")
 
@@ -258,10 +261,10 @@ let budget_exceeded_exit o exn =
   | e -> raise e
 
 let load_stream path =
-  match Mkc_stream.Stream_source.load path with
-  | src ->
-      let m, n = Mkc_stream.Stream_source.max_ids src in
-      (src, m, n)
+  (* Format dispatch on magic bytes: binary columnar files skip text
+     parsing entirely and carry (m, n) in the header. *)
+  match Mkc_stream.Stream_source.load_auto_dims path with
+  | src, m, n -> (src, m, n)
   | exception Failure msg ->
       Format.eprintf "mkc: %s@." msg;
       exit 2
@@ -310,6 +313,59 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesize an instance and write its edge stream")
     Term.(const generate $ kind $ n $ m $ k_arg $ seed_arg $ out)
+
+(* ---------- convert ---------- *)
+
+let convert path out to_text force_m force_n =
+  let src, m, n =
+    match Mkc_stream.Stream_source.load_auto_dims path with
+    | r -> r
+    | exception Failure msg ->
+        Format.eprintf "mkc: %s@." msg;
+        exit 2
+    | exception Sys_error msg ->
+        Format.eprintf "mkc: %s@." msg;
+        exit 2
+  in
+  let m = Option.value ~default:m force_m and n = Option.value ~default:n force_n in
+  let edges = Mkc_stream.Stream_source.length src in
+  (match
+     if to_text then Ok (Mkc_stream.Stream_source.save src out)
+     else
+       Result.map
+         (fun (_ : int) -> ())
+         (Mkc_stream.Edge_file.write out (Mkc_stream.Stream_source.to_array src) ~n ~m)
+   with
+  | Ok () -> ()
+  | Error e ->
+      Format.eprintf "mkc: %s: %s@." out (Mkc_stream.Edge_file.error_to_string e);
+      exit 2
+  | exception Invalid_argument msg | exception Sys_error msg ->
+      Format.eprintf "mkc: %s@." msg;
+      exit 2);
+  Format.printf "wrote %d edges (m=%d, n=%d) to %s (%s)@." edges m n out
+    (if to_text then "text" else "binary columnar")
+
+let convert_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let to_text =
+    Arg.(
+      value & flag
+      & info [ "to-text" ]
+          ~doc:"Write the text format instead of the default binary columnar format.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert an edge stream between the text format and the binary columnar \
+          format (fixed-width set/element id columns with a checksummed header; \
+          parsed without per-line string handling)")
+    Term.(const convert $ stream_arg $ out $ to_text $ force_m_arg $ force_n_arg)
 
 (* ---------- estimate ---------- *)
 
@@ -753,6 +809,7 @@ let () =
        (Cmd.group info
           [
             generate_cmd;
+            convert_cmd;
             estimate_cmd;
             report_cmd;
             greedy_cmd;

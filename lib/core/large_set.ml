@@ -1,3 +1,21 @@
+(* Deferred tracked-half state for one (counter, level).  The tracked
+   table prunes only when more than 2·cap distinct coordinates are ever
+   inserted; while [ever] (distinct supersets ever covered at this
+   level) stays within that bound, pruning provably never fires, so
+   tracked updates are a pure per-superset sum — accumulated in [pend]
+   and applied in bulk by {!flush_level}.  The first chunk that would
+   cross the bound flushes and replays per edge; that chunk necessarily
+   prunes, and a pruned level ([prunes > 0]) replays per edge forever
+   after — so [seen]/[ever] only need to be exact while no prune has
+   fired, which makes them reconstructible from the table itself on
+   restore/merge (see {!rebuild_defer}). *)
+type level_defer = {
+  pend : int array; (* sid -> pending tracked delta *)
+  seen : bool array; (* sid ever covered at this level *)
+  mutable ever : int; (* number of [seen] sids *)
+  mutable dirty : bool;
+}
+
 type repeat_state = {
   elem_sampler : Mkc_sketch.Sampler.Bernoulli.t option; (* None: rate 1 *)
   partition : Superset_partition.t; (* F -> [q] supersets (Claim 4.9) *)
@@ -6,6 +24,28 @@ type repeat_state = {
   fallback_sampler : Mkc_sketch.Sampler.Bernoulli.t;
   fallback : (int, Mkc_sketch.L0_bjkst.t) Hashtbl.t; (* sampled supersets M *)
   fallback_seed : Mkc_hashing.Splitmix.t;
+  (* Planned-path accelerators.  All four caches memoise pure,
+     seed-determined functions (superset assignment, F2C subsampling
+     codes, fallback sampling, element sampling), so a hit returns
+     exactly what a recomputation would: sketch state is unchanged by
+     construction.  They are scratch — uncounted in [words_breakdown],
+     absent from checkpoints (restored runs start cold), and left
+     as-is by merges (the memoised functions only depend on seeds,
+     which shards share). *)
+  sp_memo : Mkc_sketch.Sampler.Memo.t; (* set id -> superset id *)
+  code_small : int array; (* sid -> cntr_small keep code; min_int = unknown *)
+  code_large : int array; (* sid -> cntr_large keep code; min_int = unknown *)
+  keepf_tab : int array; (* sid -> 0/1 fallback-sampled; -1 = unknown *)
+  elem_memo : Mkc_sketch.Sampler.Memo.t; (* reduced elt -> 0/1 in-sample *)
+  (* Deferred CountSketch deltas: the CS halves of both counters are
+     linear and commutative, so per-chunk per-superset multiplicities
+     accumulate here and are applied once — via {!flush_pending} —
+     before any read of counter state (finalize, checkpoint encode,
+     merge).  Final counter values are bit-for-bit the eager ones. *)
+  cs_pending : int array; (* sid -> pending delta for both counters *)
+  mutable cs_dirty : bool;
+  defer_small : level_defer array; (* per cntr_small level *)
+  defer_large : level_defer array; (* per cntr_large level *)
 }
 
 type t = {
@@ -24,7 +64,8 @@ type t = {
   mutable sc_small : int array; (* distinct set -> Cntr_small keep code *)
   mutable sc_large : int array; (* distinct set -> Cntr_large keep code *)
   mutable sc_keepf : bool array; (* distinct set -> fallback-sampled *)
-  mutable sc_cnt : int array; (* distinct set -> in-sample edges this chunk *)
+  sc_sid_cnt : int array; (* sid -> in-sample edges this chunk (zeroed after) *)
+  sc_active : int array; (* compact list of sids touched this chunk *)
   mutable st_elem_sampler_evals : int;
   mutable st_fallback_sampler_evals : int;
   mutable st_f2_updates : int;
@@ -49,8 +90,20 @@ let create (params : Params.t) ~w ~seed =
   (* Figure 6 samples ~ q·log(m)/r2 supersets for the oversized-class
      fallback; with r2 = q/4 that is a constant-size pool. *)
   let fallback_rate = min 1.0 (8.0 *. float_of_int (q / r2) /. float_of_int q) in
+  let mk_defer cntr =
+    Array.init (Mkc_sketch.F2_contributing.levels cntr) (fun _ ->
+        { pend = Array.make q 0; seen = Array.make q false; ever = 0; dirty = false })
+  in
   let mk_repeat r =
     let sd = Mkc_hashing.Splitmix.fork seed r in
+    let cntr_small =
+      Mkc_sketch.F2_contributing.create ~gamma:gamma1 ~r:r1 ~indep:p.indep
+        ~seed:(Mkc_hashing.Splitmix.fork sd 2) ()
+    in
+    let cntr_large =
+      Mkc_sketch.F2_contributing.create ~gamma:gamma2 ~r:r2 ~indep:p.indep
+        ~seed:(Mkc_hashing.Splitmix.fork sd 3) ()
+    in
     {
       elem_sampler =
         (if rho >= 1.0 then None
@@ -61,17 +114,22 @@ let create (params : Params.t) ~w ~seed =
       partition =
         Superset_partition.create ~m:p.Params.m ~q ~indep:p.indep
           ~seed:(Mkc_hashing.Splitmix.fork sd 1);
-      cntr_small =
-        Mkc_sketch.F2_contributing.create ~gamma:gamma1 ~r:r1 ~indep:p.indep
-          ~seed:(Mkc_hashing.Splitmix.fork sd 2) ();
-      cntr_large =
-        Mkc_sketch.F2_contributing.create ~gamma:gamma2 ~r:r2 ~indep:p.indep
-          ~seed:(Mkc_hashing.Splitmix.fork sd 3) ();
+      cntr_small;
+      cntr_large;
       fallback_sampler =
         Mkc_sketch.Sampler.Bernoulli.create ~rate:fallback_rate ~indep:p.indep
           ~seed:(Mkc_hashing.Splitmix.fork sd 4);
       fallback = Hashtbl.create 16;
       fallback_seed = Mkc_hashing.Splitmix.fork sd 5;
+      sp_memo = Mkc_sketch.Sampler.Memo.create ~slots:(min p.Params.m 65536);
+      code_small = Array.make q min_int;
+      code_large = Array.make q min_int;
+      keepf_tab = Array.make q (-1);
+      elem_memo = Mkc_sketch.Sampler.Memo.create ~slots:(min (max 16 p.Params.u) 65536);
+      cs_pending = Array.make q 0;
+      cs_dirty = false;
+      defer_small = mk_defer cntr_small;
+      defer_large = mk_defer cntr_large;
     }
   in
   (* With ρ = 1 the element sample is the whole universe, so the
@@ -92,7 +150,8 @@ let create (params : Params.t) ~w ~seed =
     sc_small = [||];
     sc_large = [||];
     sc_keepf = [||];
-    sc_cnt = [||];
+    sc_sid_cnt = Array.make q 0;
+    sc_active = Array.make q 0;
     st_elem_sampler_evals = 0;
     st_fallback_sampler_evals = 0;
     st_f2_updates = 0;
@@ -113,9 +172,11 @@ let in_sample t rs e =
    follow stream order in every ingestion mode, so candidate iteration
    at finalize is identical across them. *)
 let fallback_sketch rs sid =
-  match Hashtbl.find_opt rs.fallback sid with
-  | Some sk -> sk
-  | None ->
+  (* [find] + Not_found, not [find_opt]: the hit path is per-edge hot
+     and must not allocate a [Some]. *)
+  match Hashtbl.find rs.fallback sid with
+  | sk -> sk
+  | exception Not_found ->
       let sk =
         Mkc_sketch.L0_bjkst.create ~seed:(Mkc_hashing.Splitmix.fork rs.fallback_seed sid) ()
       in
@@ -154,17 +215,169 @@ let ensure_int a n = if Array.length a >= n then a else Array.make (max n (2 * A
 let ensure_bool a n =
   if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) false
 
+(* Cached F2C subsampling codes, filled on first sighting of a superset
+   id.  [decide] is a pure function of the counter's seed, so the cache
+   never goes stale. *)
+let code_small_of rs sid =
+  let c = Array.unsafe_get rs.code_small sid in
+  if c <> min_int then c
+  else begin
+    let c = Mkc_sketch.F2_contributing.decide rs.cntr_small sid in
+    Array.unsafe_set rs.code_small sid c;
+    c
+  end
+
+let code_large_of rs sid =
+  let c = Array.unsafe_get rs.code_large sid in
+  if c <> min_int then c
+  else begin
+    let c = Mkc_sketch.F2_contributing.decide rs.cntr_large sid in
+    Array.unsafe_set rs.code_large sid c;
+    c
+  end
+
+(* Apply one level's deferred tracked deltas.  Sound only under the
+   deferral invariant ([ever <= 2·cap], so no prune can fire during the
+   bulk insert): the resulting table holds the same (id, count) multiset
+   as an in-order replay, and nothing observable depends on slot
+   layout (dump/candidates/prune all canonicalize). *)
+let flush_level hh d =
+  if d.dirty then begin
+    d.dirty <- false;
+    let pend = d.pend in
+    for sid = 0 to Array.length pend - 1 do
+      let c = Array.unsafe_get pend sid in
+      if c > 0 then begin
+        Array.unsafe_set pend sid 0;
+        Mkc_sketch.F2_heavy_hitter.add_tracked hh sid c
+      end
+    done
+  end
+
+let flush_tracked cntr defer =
+  Array.iteri (fun lvl d -> flush_level (Mkc_sketch.F2_contributing.level cntr lvl) d) defer
+
+(* Apply all deferred deltas (CountSketch halves and tracked halves).
+   Must run before any read of counter state — candidate recovery,
+   checkpoint encode, merge — and is a no-op on clean repeats (the
+   common per-edge-mode case). *)
+let flush_pending rs =
+  if rs.cs_dirty then begin
+    rs.cs_dirty <- false;
+    let pend = rs.cs_pending in
+    for sid = 0 to Array.length pend - 1 do
+      let c = Array.unsafe_get pend sid in
+      if c > 0 then begin
+        Array.unsafe_set pend sid 0;
+        Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_small ~code:(code_small_of rs sid)
+          sid c;
+        Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_large ~code:(code_large_of rs sid)
+          sid c
+      end
+    done
+  end;
+  flush_tracked rs.cntr_small rs.defer_small;
+  flush_tracked rs.cntr_large rs.defer_large
+
+(* Reconstruct [seen]/[ever] from the tables themselves (after restore
+   or merge).  Exact while a level has never pruned: with no prunes the
+   flushed table holds precisely the coordinates ever inserted.  Once a
+   level has pruned, deferral is disabled for good and [seen]/[ever]
+   are irrelevant. *)
+let rebuild_defer rs =
+  let reb cntr defer =
+    Array.iteri
+      (fun lvl d ->
+        let hh = Mkc_sketch.F2_contributing.level cntr lvl in
+        Array.fill d.pend 0 (Array.length d.pend) 0;
+        d.dirty <- false;
+        Array.fill d.seen 0 (Array.length d.seen) false;
+        d.ever <- 0;
+        if Mkc_sketch.F2_heavy_hitter.prunes hh = 0 then
+          for sid = 0 to Array.length d.seen - 1 do
+            if Mkc_sketch.F2_heavy_hitter.mem hh sid then begin
+              d.seen.(sid) <- true;
+              d.ever <- d.ever + 1
+            end
+          done)
+      defer
+  in
+  reb rs.cntr_small rs.defer_small;
+  reb rs.cntr_large rs.defer_large
+
+(* The tracked half of one counter for one chunk, level-major.  Levels
+   share no state, so regrouping per level is exact as long as each
+   level sees its update subsequence in order.  A level defers (pure
+   per-sid sums into [pend]) while pruning provably cannot fire —
+   [ever + newly <= 2·cap] — and otherwise flushes and replays the
+   chunk edge-by-edge (the first such chunk drives the table past
+   2·cap, so it prunes, and [prunes > 0] pins the level to per-edge
+   replay from then on). *)
+let tracked_chunk cntr defer ~code_tab ~active ~na ~sid_cnt ~ins ~sids ~codes_j ~set_idx
+    ~elt_idx ~len =
+  let levels = Mkc_sketch.F2_contributing.levels cntr in
+  for lvl = 0 to levels - 1 do
+    let hh = Mkc_sketch.F2_contributing.level cntr lvl in
+    let d = Array.unsafe_get defer lvl in
+    let top = levels - 1 - lvl in
+    (* covered at lvl ⟺ 0 <= code <= top *)
+    let deferrable =
+      Mkc_sketch.F2_heavy_hitter.prunes hh = 0
+      &&
+      let newly = ref 0 in
+      for a = 0 to na - 1 do
+        let sid = Array.unsafe_get active a in
+        let code = Array.unsafe_get code_tab sid in
+        if code >= 0 && code <= top && not (Array.unsafe_get d.seen sid) then incr newly
+      done;
+      d.ever + !newly <= 2 * Mkc_sketch.F2_heavy_hitter.cap hh
+    in
+    if deferrable then begin
+      for a = 0 to na - 1 do
+        let sid = Array.unsafe_get active a in
+        let code = Array.unsafe_get code_tab sid in
+        if code >= 0 && code <= top then begin
+          if not (Array.unsafe_get d.seen sid) then begin
+            Array.unsafe_set d.seen sid true;
+            d.ever <- d.ever + 1
+          end;
+          Array.unsafe_set d.pend sid
+            (Array.unsafe_get d.pend sid + Array.unsafe_get sid_cnt sid)
+        end
+      done;
+      d.dirty <- true
+    end
+    else begin
+      flush_level hh d;
+      for i = 0 to len - 1 do
+        if Array.unsafe_get ins (Array.unsafe_get elt_idx i) then begin
+          let sj = Array.unsafe_get set_idx i in
+          let code = Array.unsafe_get codes_j sj in
+          if code >= 0 && code <= top then
+            Mkc_sketch.F2_heavy_hitter.add_tracked hh (Array.unsafe_get sids sj) 1
+        end
+      done
+    end
+  done
+
 let feed_planned t plan ~red _edges ~pos:_ ~len =
   (* Chunk-deduplicated path.  Per repeat: every hash decision — element
      sample membership, superset assignment, both F2C subsampling codes,
-     fallback superset sampling — is computed once per distinct element
-     or set id of the chunk (coefficient-major batched hashing), then
-     the chunk is replayed in original edge order through O(1) table
-     lookups.  The order-sensitive halves (F2C candidate tracking with
-     its prune, fallback L0 adds) replay per edge, so their states are
-     bit-for-bit the per-edge ones; the CountSketch halves are linear
-     and commutative, so each distinct set's in-sample multiplicity is
-     applied as one aggregated delta. *)
+     fallback superset sampling — is served from the repeat's memo
+     caches, falling back to one hash evaluation per distinct id on a
+     miss; then the chunk is replayed in original edge order through
+     O(1) table lookups.  The order-sensitive halves (F2C candidate
+     tracking with its prune, fallback L0 adds) replay per edge, so
+     their states are bit-for-bit the per-edge ones; the CountSketch
+     halves are linear and commutative, so each distinct set's
+     in-sample multiplicity is parked in [cs_pending] and applied by
+     {!flush_pending} before the counters are next read.
+
+     Eval counters deliberately charge the full [ne]/[ns] per chunk —
+     the decision *consumptions*, not the hash evaluations a cache
+     happened to absorb — so their values are independent of cache
+     warmth and replay exactly across crash-resume without the caches
+     being checkpointed. *)
   let ns = Mkc_stream.Chunk_plan.num_sets plan in
   let ne = Mkc_stream.Chunk_plan.num_elts plan in
   t.sc_ins <- ensure_bool t.sc_ins ne;
@@ -172,10 +385,10 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
   t.sc_small <- ensure_int t.sc_small ns;
   t.sc_large <- ensure_int t.sc_large ns;
   t.sc_keepf <- ensure_bool t.sc_keepf ns;
-  t.sc_cnt <- ensure_int t.sc_cnt ns;
   let ins = t.sc_ins and sids = t.sc_sids in
   let csmall = t.sc_small and clarge = t.sc_large in
-  let keepf = t.sc_keepf and cnt = t.sc_cnt in
+  let keepf = t.sc_keepf in
+  let sid_cnt = t.sc_sid_cnt and active = t.sc_active in
   let sets = Mkc_stream.Chunk_plan.sets plan in
   let set_idx = Mkc_stream.Chunk_plan.set_index plan in
   let elt_idx = Mkc_stream.Chunk_plan.elt_index plan in
@@ -185,24 +398,59 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
       | None -> Array.fill ins 0 ne true
       | Some s ->
           t.st_elem_sampler_evals <- t.st_elem_sampler_evals + ne;
-          Mkc_sketch.Sampler.Bernoulli.keep_batch s red ~pos:0 ~len:ne ins);
-      Superset_partition.superset_of_batch rs.partition sets ~pos:0 ~len:ns sids;
-      Mkc_sketch.F2_contributing.decide_batch rs.cntr_small sids ~pos:0 ~len:ns csmall;
-      Mkc_sketch.F2_contributing.decide_batch rs.cntr_large sids ~pos:0 ~len:ns clarge;
+          let memo = rs.elem_memo in
+          for j = 0 to ne - 1 do
+            let x = Array.unsafe_get red j in
+            let v = Mkc_sketch.Sampler.Memo.find memo x in
+            if v >= 0 then Array.unsafe_set ins j (v = 1)
+            else begin
+              let b = Mkc_sketch.Sampler.Bernoulli.keep s x in
+              Mkc_sketch.Sampler.Memo.store memo x (if b then 1 else 0);
+              Array.unsafe_set ins j b
+            end
+          done);
       t.st_fallback_sampler_evals <- t.st_fallback_sampler_evals + ns;
-      Mkc_sketch.Sampler.Bernoulli.keep_batch rs.fallback_sampler sids ~pos:0 ~len:ns keepf;
-      Array.fill cnt 0 ns 0;
+      for j = 0 to ns - 1 do
+        let set = Array.unsafe_get sets j in
+        let sid =
+          let v = Mkc_sketch.Sampler.Memo.find rs.sp_memo set in
+          if v >= 0 then v
+          else begin
+            let sid = Superset_partition.superset_of rs.partition set in
+            Mkc_sketch.Sampler.Memo.store rs.sp_memo set sid;
+            sid
+          end
+        in
+        Array.unsafe_set sids j sid;
+        Array.unsafe_set csmall j (code_small_of rs sid);
+        Array.unsafe_set clarge j (code_large_of rs sid);
+        let kf =
+          let v = Array.unsafe_get rs.keepf_tab sid in
+          if v >= 0 then v = 1
+          else begin
+            let b = Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid in
+            Array.unsafe_set rs.keepf_tab sid (if b then 1 else 0);
+            b
+          end
+        in
+        Array.unsafe_set keepf j kf
+      done;
+      (* Replay pass: order-sensitive L0 fallback adds happen here, per
+         edge; per-sid in-sample multiplicities are collected for the
+         deferred CountSketch and tracked halves. *)
       let in_sample_edges = ref 0 in
+      let na = ref 0 in
       for i = 0 to len - 1 do
         if Array.unsafe_get ins (Array.unsafe_get elt_idx i) then begin
           let sj = Array.unsafe_get set_idx i in
           let sid = Array.unsafe_get sids sj in
           incr in_sample_edges;
-          Array.unsafe_set cnt sj (Array.unsafe_get cnt sj + 1);
-          Mkc_sketch.F2_contributing.add_tracked_decided rs.cntr_small
-            ~code:(Array.unsafe_get csmall sj) sid 1;
-          Mkc_sketch.F2_contributing.add_tracked_decided rs.cntr_large
-            ~code:(Array.unsafe_get clarge sj) sid 1;
+          let c = Array.unsafe_get sid_cnt sid in
+          if c = 0 then begin
+            Array.unsafe_set active !na sid;
+            incr na
+          end;
+          Array.unsafe_set sid_cnt sid (c + 1);
           if Array.unsafe_get keepf sj then begin
             t.st_l0_updates <- t.st_l0_updates + 1;
             Mkc_sketch.L0_bjkst.add (fallback_sketch rs sid)
@@ -211,16 +459,23 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
         end
       done;
       t.st_f2_updates <- t.st_f2_updates + (2 * !in_sample_edges);
-      for j = 0 to ns - 1 do
-        let c = Array.unsafe_get cnt j in
-        if c > 0 then begin
-          let sid = Array.unsafe_get sids j in
-          Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_small
-            ~code:(Array.unsafe_get csmall j) sid c;
-          Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_large
-            ~code:(Array.unsafe_get clarge j) sid c
-        end
-      done)
+      if !in_sample_edges > 0 then begin
+        let na = !na in
+        rs.cs_dirty <- true;
+        let pend = rs.cs_pending in
+        for a = 0 to na - 1 do
+          let sid = Array.unsafe_get active a in
+          Array.unsafe_set pend sid
+            (Array.unsafe_get pend sid + Array.unsafe_get sid_cnt sid)
+        done;
+        tracked_chunk rs.cntr_small rs.defer_small ~code_tab:rs.code_small ~active ~na
+          ~sid_cnt ~ins ~sids ~codes_j:csmall ~set_idx ~elt_idx ~len;
+        tracked_chunk rs.cntr_large rs.defer_large ~code_tab:rs.code_large ~active ~na
+          ~sid_cnt ~ins ~sids ~codes_j:clarge ~set_idx ~elt_idx ~len;
+        for a = 0 to na - 1 do
+          Array.unsafe_set sid_cnt (Array.unsafe_get active a) 0
+        done
+      end)
     t.repeats
 
 let thresholds t = (t.thr1, t.thr2)
@@ -229,6 +484,7 @@ let thresholds t = (t.thr1, t.thr2)
 type candidate = { superset : int; repeat : int; est : float; via_l0 : bool }
 
 let candidates_of_repeat t r rs =
+  flush_pending rs;
   let f = t.params.Params.f in
   let of_hits threshold hits =
     List.filter_map
@@ -269,6 +525,7 @@ let finalize t =
     List.concat
       (List.mapi
          (fun r rs ->
+           flush_pending rs;
            examined :=
              !examined
              + List.length (Mkc_sketch.F2_contributing.candidates rs.cntr_small)
@@ -304,6 +561,10 @@ module Ck = Mkc_stream.Checkpoint
 module Json = Mkc_obs.Json
 
 let encode_repeat rs =
+  (* The checkpoint carries the counters with all pending CS deltas
+     applied — the envelope format is unchanged and a resumed run
+     starts with clean accumulators. *)
+  flush_pending rs;
   let fallback =
     Hashtbl.fold (fun sid sk acc -> (sid, sk) :: acc) rs.fallback []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -333,10 +594,16 @@ let encode t =
 let ( let* ) = Result.bind
 
 let restore_repeat rs j =
+  (* Checkpointed counters are always flushed (see [encode_repeat]), so
+     pending deltas from any pre-restore feeding must not survive into
+     the restored state. *)
+  Array.fill rs.cs_pending 0 (Array.length rs.cs_pending) 0;
+  rs.cs_dirty <- false;
   let* sj = Ck.J.field "cntr_small" j in
   let* () = Ck.Sketch_io.restore_f2c rs.cntr_small sj in
   let* lj = Ck.J.field "cntr_large" j in
   let* () = Ck.Sketch_io.restore_f2c rs.cntr_large lj in
+  rebuild_defer rs;
   let* fb = Ck.J.list_field "fallback" j in
   Hashtbl.reset rs.fallback;
   Ck.J.map_result
@@ -385,8 +652,11 @@ let merge_into ~dst src =
   Array.iteri
     (fun r (srs : repeat_state) ->
       let drs = dst.repeats.(r) in
+      flush_pending srs;
+      flush_pending drs;
       Mkc_sketch.F2_contributing.merge_into ~dst:drs.cntr_small srs.cntr_small;
       Mkc_sketch.F2_contributing.merge_into ~dst:drs.cntr_large srs.cntr_large;
+      rebuild_defer drs;
       (* Fallback sketches are per-superset L0s with sid-derived seeds:
          identical seeds on both sides, so they union exactly.  Walk in
          sorted sid order to keep the destination layout canonical. *)

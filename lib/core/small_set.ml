@@ -11,6 +11,12 @@ type repeat_state = {
   (* level i has rate base·2^i; guess g (γ = 2^-g) uses level G - g *)
   set_sampler : Mkc_sketch.Sampler.Bernoulli.t option; (* M; None = rate 1 *)
   instances : instance array; (* indexed by gamma_exp *)
+  (* Planned-path accelerators: ids recur across chunks, so the pure
+     seed-determined sampling decisions are memoised instead of
+     re-hashed every chunk.  Scratch — uncounted, unchecked-pointed,
+     merge-safe (see Large_set for the argument). *)
+  elem_memo : Mkc_sketch.Sampler.Memo.t; (* reduced elt -> nested code *)
+  set_memo : Mkc_sketch.Sampler.Memo.t; (* set id -> 0/1 in M *)
 }
 
 type t = {
@@ -61,6 +67,8 @@ let create (params : Params.t) ~seed =
       instances =
         Array.init guesses (fun g ->
             { gamma_exp = g; repeat = r; store = Hashtbl.create 64; pairs = 0; dead = false });
+      elem_memo = Mkc_sketch.Sampler.Memo.create ~slots:(min (max 16 p.Params.u) 65536);
+      set_memo = Mkc_sketch.Sampler.Memo.create ~slots:(min p.Params.m 65536);
     }
   in
   {
@@ -124,9 +132,12 @@ let feed_batch t edges ~pos ~len =
 
 let feed_planned t plan ~red _edges ~pos:_ ~len =
   (* Chunk-deduplicated path: nested element decisions once per distinct
-     (reduced) element, set-sample membership once per distinct set,
-     then an in-order replay — add_pair sequences (hence cap/termination
-     points) are exactly the per-edge ones. *)
+     (reduced) element, set-sample membership once per distinct set —
+     both served from cross-chunk memo caches — then an in-order replay,
+     so add_pair sequences (hence cap/termination points) are exactly
+     the per-edge ones.  Eval counters charge the full ne/ns per chunk
+     (decision consumptions, not hash evaluations), independent of
+     cache warmth. *)
   let ns = Mkc_stream.Chunk_plan.num_sets plan in
   let ne = Mkc_stream.Chunk_plan.num_elts plan in
   if Array.length t.sc_codes < ne then
@@ -140,12 +151,32 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
   Array.iter
     (fun rs ->
       t.st_elem_sampler_evals <- t.st_elem_sampler_evals + ne;
-      Mkc_sketch.Sampler.Nested.min_keep_level_batch rs.elem_sampler red ~pos:0 ~len:ne codes;
+      (let memo = rs.elem_memo and s = rs.elem_sampler in
+       for j = 0 to ne - 1 do
+         let x = Array.unsafe_get red j in
+         let v = Mkc_sketch.Sampler.Memo.find memo x in
+         if v <> Mkc_sketch.Sampler.Memo.absent then Array.unsafe_set codes j v
+         else begin
+           let c = Mkc_sketch.Sampler.Nested.min_keep_level_code s x in
+           Mkc_sketch.Sampler.Memo.store memo x c;
+           Array.unsafe_set codes j c
+         end
+       done);
       (match rs.set_sampler with
       | None -> Array.fill inm 0 ns true
       | Some s ->
           t.st_set_sampler_evals <- t.st_set_sampler_evals + ns;
-          Mkc_sketch.Sampler.Bernoulli.keep_batch s sets ~pos:0 ~len:ns inm);
+          let memo = rs.set_memo in
+          for j = 0 to ns - 1 do
+            let x = Array.unsafe_get sets j in
+            let v = Mkc_sketch.Sampler.Memo.find memo x in
+            if v >= 0 then Array.unsafe_set inm j (v = 1)
+            else begin
+              let b = Mkc_sketch.Sampler.Bernoulli.keep s x in
+              Mkc_sketch.Sampler.Memo.store memo x (if b then 1 else 0);
+              Array.unsafe_set inm j b
+            end
+          done);
       for i = 0 to len - 1 do
         let ej = Array.unsafe_get elt_idx i in
         let min_lvl = Array.unsafe_get codes ej in

@@ -1,8 +1,12 @@
 let p = (1 lsl 61) - 1
 
+(* In-range fast path first: hash inputs are almost always ids already
+   in [0, p), and the branch is free next to [mod]'s idiv. *)
 let normalize x =
-  let r = x mod p in
-  if r < 0 then r + p else r
+  if x >= 0 && x < p then x
+  else
+    let r = x mod p in
+    if r < 0 then r + p else r
 
 let add a b =
   let s = a + b in

@@ -1,22 +1,77 @@
 let chars = 8
 
-type t = { tables : int64 array array }
+(* Tables are stored as flat 32-bit halves in native-int arrays:
+   entry [i*256 + c] of [lo] (resp. [hi]) is the low (resp. high) half
+   of the 64-bit table word for character [c] of position [i].  XOR
+   distributes over the halves, so folding the halves separately and
+   recombining reproduces the original 64-bit hash bit-for-bit — but
+   the fold itself runs entirely on immediate ints, so the per-key
+   hot path ([hash_parts]) allocates nothing.  The boxed-[int64] view
+   ([hash64]) survives for finalize-time consumers (KMV order
+   statistics, tests). *)
+type t = {
+  lo : int array;
+  hi : int array;
+  mutable part_lo : int;
+  mutable part_hi : int;
+}
 
 let create ~seed =
-  let tables =
-    Array.init chars (fun _ -> Array.init 256 (fun _ -> Splitmix.next seed))
-  in
-  { tables }
+  let lo = Array.make (chars * 256) 0 in
+  let hi = Array.make (chars * 256) 0 in
+  (* Same Splitmix draw order as the historical int64 table layout
+     (position-major, character-ascending), so seeds keep producing
+     identical hash functions across checkpoint generations. *)
+  for i = 0 to chars - 1 do
+    for c = 0 to 255 do
+      let v = Splitmix.next seed in
+      let j = (i * 256) + c in
+      lo.(j) <- Int64.to_int v land 0xFFFF_FFFF;
+      hi.(j) <- Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFF_FFFF
+    done
+  done;
+  { lo; hi; part_lo = 0; part_hi = 0 }
+
+(* Fully unrolled: eight table loads per half, no loop counter, no
+   refs, no boxing.  Results land in [part_lo]/[part_hi] so the caller
+   reads two immediates instead of an allocated pair. *)
+let[@inline] hash_parts t x =
+  let lo = t.lo and hi = t.hi in
+  let c0 = x land 0xFF in
+  let c1 = 256 + ((x lsr 8) land 0xFF) in
+  let c2 = 512 + ((x lsr 16) land 0xFF) in
+  let c3 = 768 + ((x lsr 24) land 0xFF) in
+  let c4 = 1024 + ((x lsr 32) land 0xFF) in
+  let c5 = 1280 + ((x lsr 40) land 0xFF) in
+  let c6 = 1536 + ((x lsr 48) land 0xFF) in
+  let c7 = 1792 + ((x lsr 56) land 0xFF) in
+  t.part_lo <-
+    Array.unsafe_get lo c0
+    lxor Array.unsafe_get lo c1
+    lxor Array.unsafe_get lo c2
+    lxor Array.unsafe_get lo c3
+    lxor Array.unsafe_get lo c4
+    lxor Array.unsafe_get lo c5
+    lxor Array.unsafe_get lo c6
+    lxor Array.unsafe_get lo c7;
+  t.part_hi <-
+    Array.unsafe_get hi c0
+    lxor Array.unsafe_get hi c1
+    lxor Array.unsafe_get hi c2
+    lxor Array.unsafe_get hi c3
+    lxor Array.unsafe_get hi c4
+    lxor Array.unsafe_get hi c5
+    lxor Array.unsafe_get hi c6
+    lxor Array.unsafe_get hi c7
+
+let part_lo t = t.part_lo
+let part_hi t = t.part_hi
 
 let hash64 t x =
-  let acc = ref 0L in
-  let x = ref x in
-  for i = 0 to chars - 1 do
-    let c = !x land 0xFF in
-    acc := Int64.logxor !acc t.tables.(i).(c);
-    x := !x lsr 8
-  done;
-  !acc
+  hash_parts t x;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.part_hi) 32)
+    (Int64.of_int t.part_lo)
 
 let hash t x r =
   if r < 1 then invalid_arg "Tabulation.hash: range must be >= 1";
@@ -26,4 +81,7 @@ let to_unit_float t x =
   let bits = Int64.shift_right_logical (hash64 t x) 11 in
   Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
 
-let words t = chars * Array.length t.tables.(0)
+(* Space accounting stays in logical 64-bit table words (chars · 256):
+   the lo/hi split stores the same randomness in two native-int halves,
+   an implementation detail, not extra sketch state. *)
+let words _t = chars * 256

@@ -91,6 +91,10 @@ let collect t extract =
 let hits t = collect t F2_heavy_hitter.hits
 let candidates t = collect t F2_heavy_hitter.candidates
 let levels t = Array.length t.hhs
+
+let level t i =
+  if i < 0 || i >= t.num_levels then invalid_arg "F2_contributing.level: out of range";
+  t.hhs.(i)
 let tracked t = Array.fold_left (fun acc hh -> acc + F2_heavy_hitter.tracked hh) 0 t.hhs
 let prunes t = Array.fold_left (fun acc hh -> acc + F2_heavy_hitter.prunes hh) 0 t.hhs
 

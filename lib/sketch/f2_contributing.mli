@@ -76,6 +76,14 @@ val candidates : t -> hit list
 
 val levels : t -> int
 
+val level : t -> int -> F2_heavy_hitter.t
+(** The heavy-hitter instance of one subsampling level.  A coordinate
+    with keep-level code [c >= 0] updates levels [0 .. levels t - 1 - c];
+    the levels share no state, so a chunk-planned driver may regroup
+    tracked updates level-by-level (each level still replayed in stream
+    order) and stay bit-for-bit with per-item {!add}.
+    @raise Invalid_argument on an out-of-range level. *)
+
 val tracked : t -> int
 (** Total candidates currently tracked, summed across levels. *)
 

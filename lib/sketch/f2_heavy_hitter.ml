@@ -9,40 +9,125 @@ type t = {
      identifies heavy candidates and avoids re-estimating through the
      CountSketch on every update (a per-update sort); the reported
      values still come from the CountSketch at finalize time, keeping
-     the Theorem 2.10 (1 ± 1/2) guarantee. *)
-  counts : (int, int ref) Hashtbl.t;
+     the Theorem 2.10 (1 ± 1/2) guarantee.
+
+     The tracker is a flat open-addressed (linear-probe) table over two
+     preallocated int arrays: [tkeys] ([min_int] = empty) and [tvals].
+     Slot count is a fixed power of two >= 2·(2·cap+1): occupancy peaks
+     at 2·cap+1 just before a prune fires, so the load factor stays
+     <= 1/2 and the table never resizes.  Entries are only removed in
+     bulk prunes (which rebuild from scratch), so linear probing needs
+     no tombstones, and the per-update path allocates nothing. *)
+  tkeys : int array;
+  tvals : int array;
+  tmask : int;
+  (* prune scratch: at most 2·cap+1 live entries when a prune fires *)
+  sid : int array;
+  scnt : int array;
+  mutable tn : int;
   mutable prunes : int;
 }
 
 type hit = { id : int; freq : float }
 
+let absent = min_int
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
 let create ?(depth = 5) ?(width_factor = 8) ?(clamp = true) ~phi ~seed () =
   if phi <= 0.0 || phi > 1.0 then invalid_arg "F2_heavy_hitter.create: phi must be in (0, 1]";
   let width = max 4 (int_of_float (ceil (float_of_int width_factor /. phi))) in
   let cap = max 4 (int_of_float (ceil (4.0 /. phi))) in
+  let maxocc = (2 * cap) + 1 in
+  let slots = pow2_at_least (2 * maxocc) 16 in
   {
     phi;
     clamp;
     cs = Count_sketch.create ~depth ~width ~seed:(Mkc_hashing.Splitmix.fork seed 0) ();
     cap;
-    counts = Hashtbl.create 16;
+    tkeys = Array.make slots absent;
+    tvals = Array.make slots 0;
+    tmask = slots - 1;
+    sid = Array.make maxocc 0;
+    scnt = Array.make maxocc 0;
+    tn = 0;
     prunes = 0;
   }
 
+let[@inline] slot_of t i =
+  let h = i * 0x2545_F491_4F6C_DD1D in
+  (h lxor (h lsr 23)) land t.tmask
+
+(* Find the slot holding [i], or the empty slot where it would go.
+   Tail-recursive: no refs, no allocation on the per-update path. *)
+let rec probe keys mask i s =
+  let k = Array.unsafe_get keys s in
+  if k = i || k = absent then s else probe keys mask i ((s + 1) land mask)
+
+(* Prune order: count descending with an id tie-break.  Which
+   candidates survive must be a function of the (id, count) multiset
+   alone, never of table layout — a restored or merged table has a
+   different slot arrangement but must prune identically.  The sort is
+   an in-place heapsort over the preallocated scratch prefix, so a
+   prune allocates nothing either. *)
+let[@inline] sorts_after t i j =
+  let ci = Array.unsafe_get t.scnt i and cj = Array.unsafe_get t.scnt j in
+  ci < cj || (ci = cj && Array.unsafe_get t.sid i > Array.unsafe_get t.sid j)
+
+let swap_scratch t i j =
+  let c = t.scnt.(i) in
+  t.scnt.(i) <- t.scnt.(j);
+  t.scnt.(j) <- c;
+  let d = t.sid.(i) in
+  t.sid.(i) <- t.sid.(j);
+  t.sid.(j) <- d
+
+let rec sift t n i =
+  let l = (2 * i) + 1 in
+  if l < n then begin
+    let m = if sorts_after t l i then l else i in
+    let r = l + 1 in
+    let m = if r < n && sorts_after t r m then r else m in
+    if m <> i then begin
+      swap_scratch t i m;
+      sift t n m
+    end
+  end
+
+let sort_scratch t n =
+  for i = (n / 2) - 1 downto 0 do
+    sift t n i
+  done;
+  for e = n - 1 downto 1 do
+    swap_scratch t 0 e;
+    sift t e 0
+  done
+
+(* Insert without overflow checks: only called while rebuilding below
+   cap occupancy. *)
+let reinsert t id c =
+  let s = probe t.tkeys t.tmask id (slot_of t id) in
+  t.tkeys.(s) <- id;
+  t.tvals.(s) <- c;
+  t.tn <- t.tn + 1
+
 let prune t =
   t.prunes <- t.prunes + 1;
-  let entries = Hashtbl.fold (fun id c acc -> (id, !c) :: acc) t.counts [] in
-  (* Count-descending with an id tie-break: which candidates survive a
-     prune must be a function of the (id, count) multiset alone, never
-     of hashtable iteration order — a restored or merged table has a
-     different layout but must prune identically. *)
-  let sorted =
-    List.sort
-      (fun (ia, a) (ib, b) -> if a <> b then compare b a else compare ia ib)
-      entries
-  in
-  Hashtbl.reset t.counts;
-  List.iteri (fun i (id, c) -> if i < t.cap then Hashtbl.replace t.counts id (ref c)) sorted
+  let n = ref 0 in
+  for s = 0 to t.tmask do
+    if Array.unsafe_get t.tkeys s <> absent then begin
+      t.sid.(!n) <- Array.unsafe_get t.tkeys s;
+      t.scnt.(!n) <- Array.unsafe_get t.tvals s;
+      incr n;
+      Array.unsafe_set t.tkeys s absent
+    end
+  done;
+  sort_scratch t !n;
+  t.tn <- 0;
+  let keep = min t.cap !n in
+  for j = 0 to keep - 1 do
+    reinsert t t.sid.(j) t.scnt.(j)
+  done
 
 (* The two halves of an update, separable because they touch disjoint
    state.  The CountSketch half is linear and commutative — updates to
@@ -55,10 +140,15 @@ let prune t =
 let add_cs t i delta = Count_sketch.add t.cs i delta
 
 let add_tracked t i delta =
-  (match Hashtbl.find_opt t.counts i with
-  | Some c -> c := !c + delta
-  | None -> Hashtbl.replace t.counts i (ref delta));
-  if Hashtbl.length t.counts > 2 * t.cap then prune t
+  let s = probe t.tkeys t.tmask i (slot_of t i) in
+  if Array.unsafe_get t.tkeys s = i then
+    Array.unsafe_set t.tvals s (Array.unsafe_get t.tvals s + delta)
+  else begin
+    Array.unsafe_set t.tkeys s i;
+    Array.unsafe_set t.tvals s delta;
+    t.tn <- t.tn + 1;
+    if t.tn > 2 * t.cap then prune t
+  end
 
 let add t i delta =
   add_cs t i delta;
@@ -70,29 +160,29 @@ let add_batch t ids ~pos ~len ~delta =
      candidate tracking and pruning behave exactly as per-item [add]. *)
   Count_sketch.add_batch t.cs ids ~pos ~len ~delta;
   for i = pos to pos + len - 1 do
-    let x = Array.unsafe_get ids i in
-    (match Hashtbl.find_opt t.counts x with
-    | Some c -> c := !c + delta
-    | None -> Hashtbl.replace t.counts x (ref delta));
-    if Hashtbl.length t.counts > 2 * t.cap then prune t
+    add_tracked t (Array.unsafe_get ids i) delta
   done
 
 let candidates t =
-  if Hashtbl.length t.counts > t.cap then prune t;
+  if t.tn > t.cap then prune t;
   (* The CountSketch estimate of a light coordinate can be inflated by
      bucket collisions with a genuinely heavy one; the exact
      since-insertion counter is a sound upper bound in insertion-only
      streams, so report the minimum of the two.  (A heavy coordinate is
      tracked from early on, so its counter is near-exact and the
      (1 ± 1/2) value guarantee is preserved.) *)
-  Hashtbl.fold
-    (fun id c acc ->
+  let acc = ref [] in
+  for s = 0 to t.tmask do
+    let id = t.tkeys.(s) in
+    if id <> absent then begin
       let est = Count_sketch.estimate t.cs id in
-      let freq = if t.clamp then Float.min est (float_of_int !c) else est in
-      { id; freq } :: acc)
-    t.counts []
-  |> List.sort (fun a b ->
-         if a.freq <> b.freq then compare b.freq a.freq else compare a.id b.id)
+      let freq = if t.clamp then Float.min est (float_of_int t.tvals.(s)) else est in
+      acc := { id; freq } :: !acc
+    end
+  done;
+  List.sort
+    (fun a b -> if a.freq <> b.freq then compare b.freq a.freq else compare a.id b.id)
+    !acc
 
 let hits t =
   let f2 = Count_sketch.f2_estimate t.cs in
@@ -100,9 +190,27 @@ let hits t =
   candidates t |> List.filter (fun { freq; _ } -> freq *. freq >= threshold)
 
 let dump t =
-  let counts = Hashtbl.fold (fun id c acc -> (id, !c) :: acc) t.counts [] in
-  let counts = List.sort (fun (a, _) (b, _) -> compare a b) counts in
+  let counts = ref [] in
+  for s = 0 to t.tmask do
+    if t.tkeys.(s) <> absent then counts := (t.tkeys.(s), t.tvals.(s)) :: !counts
+  done;
+  let counts = List.sort (fun (a, _) (b, _) -> compare a b) !counts in
   (Count_sketch.dump t.cs, counts, t.prunes)
+
+let clear_tracked t =
+  Array.fill t.tkeys 0 (t.tmask + 1) absent;
+  t.tn <- 0
+
+(* Insert a restored/merged (id, count); returns false on duplicate. *)
+let insert_count t id c =
+  let s = probe t.tkeys t.tmask id (slot_of t id) in
+  if Array.unsafe_get t.tkeys s = id then false
+  else begin
+    t.tkeys.(s) <- id;
+    t.tvals.(s) <- c;
+    t.tn <- t.tn + 1;
+    true
+  end
 
 let load_state t ~rows ~counts ~prunes =
   if prunes < 0 then Error "f2_hh: negative prune count"
@@ -111,10 +219,10 @@ let load_state t ~rows ~counts ~prunes =
     match Count_sketch.load_state t.cs rows with
     | Error e -> Error e
     | Ok () ->
-        Hashtbl.reset t.counts;
-        List.iter (fun (id, c) -> Hashtbl.replace t.counts id (ref c)) counts;
-        if Hashtbl.length t.counts <> List.length counts then begin
-          Hashtbl.reset t.counts;
+        clear_tracked t;
+        let dup = List.exists (fun (id, c) -> not (insert_count t id c)) counts in
+        if dup then begin
+          clear_tracked t;
           Error "f2_hh: duplicate tracked id"
         end
         else begin
@@ -131,17 +239,18 @@ let merge_into ~dst src =
   if dst.cap <> src.cap then invalid_arg "F2_heavy_hitter.merge_into: cap mismatch";
   Count_sketch.merge_into ~dst:dst.cs src.cs;
   let _, counts, _ = dump src in
-  List.iter
-    (fun (id, c) ->
-      (match Hashtbl.find_opt dst.counts id with
-      | Some r -> r := !r + c
-      | None -> Hashtbl.replace dst.counts id (ref c));
-      if Hashtbl.length dst.counts > 2 * dst.cap then prune dst)
-    counts;
+  List.iter (fun (id, c) -> add_tracked dst id c) counts;
   dst.prunes <- dst.prunes + src.prunes
 
 let f2_estimate t = Count_sketch.f2_estimate t.cs
 let phi t = t.phi
-let tracked t = Hashtbl.length t.counts
+let tracked t = t.tn
+let cap t = t.cap
+let mem t i = Array.unsafe_get t.tkeys (probe t.tkeys t.tmask i (slot_of t i)) = i
 let prunes t = t.prunes
-let words t = Count_sketch.words t.cs + Space.hashtbl t.counts ~entry_words:2
+
+(* Logical space: two words per live tracked entry plus the
+   CountSketch — same accounting as the historical Hashtbl layout
+   (the flat table's 2×-slot preallocation is a bounded constant
+   factor; see DESIGN.md). *)
+let words t = Count_sketch.words t.cs + (2 * t.tn)

@@ -67,6 +67,17 @@ val phi : t -> float
 val tracked : t -> int
 (** Candidates currently held by the exact-counter tracker. *)
 
+val cap : t -> int
+(** Tracker capacity: a prune fires only when more than [2 * cap]
+    candidates are held, so a caller that can bound the distinct
+    coordinates ever inserted by [2 * cap] knows pruning never
+    triggers — and may then aggregate or reorder tracked updates
+    freely (the final table is a pure per-coordinate sum). *)
+
+val mem : t -> int -> bool
+(** Whether a coordinate is currently tracked (one probe, no
+    allocation). *)
+
 val prunes : t -> int
 (** SpaceSaving-style prune passes so far (including the final
     trim {!candidates} performs) — a health gauge for the candidate

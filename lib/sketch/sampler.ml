@@ -46,13 +46,17 @@ module Nested = struct
 
   let keep t ~level x = Mkc_hashing.Poly_hash.hash t.hash x mod range_at t level = 0
 
-  let code_of_hash t h =
-    let rec go level =
-      if level >= t.levels then -1
-      else if h mod max 1 (t.base_range lsr level) = 0 then level
-      else go (level + 1)
-    in
-    go 0
+  (* Top-level with every free variable a parameter: a local [let rec]
+     capturing [t] and [h] heap-allocates a closure per call without
+     flambda, and this sits on the per-edge decide path. *)
+  let rec code_loop base_range levels h level =
+    if level >= levels then -1
+      (* [base_range] is a power of two by construction, so each level's
+         range is too: the [mod] is a mask ([h] is a hash, hence >= 0). *)
+    else if h land (max 1 (base_range lsr level) - 1) = 0 then level
+    else code_loop base_range levels h (level + 1)
+
+  let code_of_hash t h = code_loop t.base_range t.levels h 0
 
   let min_keep_level_code t x = code_of_hash t (Mkc_hashing.Poly_hash.hash t.hash x)
 

@@ -16,10 +16,13 @@
    through O(1) array lookups, so the final sketch states are exactly
    the per-edge ones — only the evaluation schedule changes.
 
-   Id -> slot mapping uses hash tables (cleared, not reallocated,
-   between chunks) so arbitrary non-negative ids are safe; the cost is
-   two table probes per edge, paid once per chunk and shared by every
-   oracle instance that consumes the plan. *)
+   Id -> slot mapping uses flat open-addressed (linear-probe) tables
+   over preallocated int arrays, sized to a power of two >= 2·chunk_len
+   so the load factor stays <= 1/2.  A stamp array versions the slots:
+   a slot is live only if its stamp equals the current build's, so
+   "clearing" between chunks is a single counter increment, not an
+   O(slots) wipe.  The per-edge cost is two probes with no allocation —
+   no Hashtbl buckets, no [Some j] per lookup. *)
 
 type t = {
   mutable len : int;
@@ -33,9 +36,19 @@ type t = {
   (* distinct raw element values, first-appearance order *)
   mutable nelts : int;
   mutable elts : int array;
-  sslot : (int, int) Hashtbl.t;
-  eslot : (int, int) Hashtbl.t;
+  (* open-addressed id -> distinct-slot tables, stamp-versioned *)
+  mutable smask : int;
+  mutable skey : int array;
+  mutable sval : int array;
+  mutable sstamp : int array;
+  mutable emask : int;
+  mutable ekey : int array;
+  mutable eval : int array;
+  mutable estamp : int array;
+  mutable stamp : int;
 }
+
+let init_slots = 2048
 
 let create () =
   {
@@ -47,11 +60,22 @@ let create () =
     set_count = [||];
     nelts = 0;
     elts = [||];
-    sslot = Hashtbl.create 1024;
-    eslot = Hashtbl.create 4096;
+    smask = init_slots - 1;
+    skey = Array.make init_slots 0;
+    sval = Array.make init_slots 0;
+    sstamp = Array.make init_slots 0;
+    emask = init_slots - 1;
+    ekey = Array.make init_slots 0;
+    eval = Array.make init_slots 0;
+    estamp = Array.make init_slots 0;
+    stamp = 0;
   }
 
 let ensure a n = if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) 0
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let[@inline] mix x = (x * 0x2545_F491_4F6C_DD1D) lsr 17
 
 let build t edges ~pos ~len =
   if len < 0 || pos < 0 || pos + len > Array.length edges then
@@ -62,34 +86,71 @@ let build t edges ~pos ~len =
   t.sets <- ensure t.sets len;
   t.set_count <- ensure t.set_count len;
   t.elts <- ensure t.elts len;
+  (* Distinct counts are bounded by the chunk length, so power-of-two
+     slots >= 2·len keeps the load factor under 1/2 with no mid-chunk
+     rehash. *)
+  let slots = pow2_at_least (2 * max 1 len) init_slots in
+  if slots - 1 > t.smask then begin
+    t.smask <- slots - 1;
+    t.skey <- Array.make slots 0;
+    t.sval <- Array.make slots 0;
+    t.sstamp <- Array.make slots 0;
+    t.emask <- slots - 1;
+    t.ekey <- Array.make slots 0;
+    t.eval <- Array.make slots 0;
+    t.estamp <- Array.make slots 0;
+    t.stamp <- 0
+  end;
   t.nsets <- 0;
   t.nelts <- 0;
-  Hashtbl.clear t.sslot;
-  Hashtbl.clear t.eslot;
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let smask = t.smask and skey = t.skey and sval = t.sval and sstamp = t.sstamp in
+  let emask = t.emask and ekey = t.ekey and eval = t.eval and estamp = t.estamp in
   for i = 0 to len - 1 do
     let (e : Edge.t) = Array.unsafe_get edges (pos + i) in
+    (* set id -> distinct slot *)
+    let s = ref (mix e.set land smask) in
+    while
+      Array.unsafe_get sstamp !s = stamp && Array.unsafe_get skey !s <> e.set
+    do
+      s := (!s + 1) land smask
+    done;
     let sj =
-      match Hashtbl.find_opt t.sslot e.set with
-      | Some j ->
-          t.set_count.(j) <- t.set_count.(j) + 1;
-          j
-      | None ->
-          let j = t.nsets in
-          Hashtbl.replace t.sslot e.set j;
-          t.sets.(j) <- e.set;
-          t.set_count.(j) <- 1;
-          t.nsets <- j + 1;
-          j
+      if Array.unsafe_get sstamp !s = stamp then begin
+        let j = Array.unsafe_get sval !s in
+        t.set_count.(j) <- t.set_count.(j) + 1;
+        j
+      end
+      else begin
+        let j = t.nsets in
+        Array.unsafe_set sstamp !s stamp;
+        Array.unsafe_set skey !s e.set;
+        Array.unsafe_set sval !s j;
+        t.sets.(j) <- e.set;
+        t.set_count.(j) <- 1;
+        t.nsets <- j + 1;
+        j
+      end
     in
+    (* raw element value -> distinct slot *)
+    let p = ref (mix e.elt land emask) in
+    while
+      Array.unsafe_get estamp !p = stamp && Array.unsafe_get ekey !p <> e.elt
+    do
+      p := (!p + 1) land emask
+    done;
     let ej =
-      match Hashtbl.find_opt t.eslot e.elt with
-      | Some j -> j
-      | None ->
-          let j = t.nelts in
-          Hashtbl.replace t.eslot e.elt j;
-          t.elts.(j) <- e.elt;
-          t.nelts <- j + 1;
-          j
+      if Array.unsafe_get estamp !p = stamp then Array.unsafe_get eval !p
+      else begin
+        let j = t.nelts in
+        Array.unsafe_set estamp !p stamp;
+        Array.unsafe_set ekey !p e.elt;
+        Array.unsafe_set eval !p j;
+        t.elts.(j) <- e.elt;
+        t.nelts <- j + 1;
+        j
+      end
     in
     t.set_idx.(i) <- sj;
     t.elt_idx.(i) <- ej
@@ -110,5 +171,5 @@ let elt_index t = t.elt_idx
 let words t =
   Array.length t.set_idx + Array.length t.elt_idx + Array.length t.sets
   + Array.length t.set_count + Array.length t.elts
-  + (2 * Hashtbl.length t.sslot)
-  + (2 * Hashtbl.length t.eslot)
+  + (3 * (t.smask + 1))
+  + (3 * (t.emask + 1))

@@ -1,0 +1,184 @@
+(* Binary columnar edge files.
+
+   Layout (all integers little-endian int64):
+
+     offset  0   magic   "MKCEDG1\n" (8 bytes)
+     offset  8   version (currently 1)
+     offset 16   n       (element universe bound: every elt in [0, n))
+     offset 24   m       (set universe bound: every set in [0, m))
+     offset 32   count   (number of edges)
+     offset 40   checksum — FNV-1a 64 over the column bytes
+     offset 48   set column: count × int64
+     then        elt column: count × int64
+
+   Column-major fixed-width records: the two columns are contiguous
+   runs of 8-byte values, so the format is mmap-able by construction
+   (no variable-length rows, no string parsing on read), and loading
+   is two bulk reads plus integer extraction.
+
+   Error handling mirrors the checkpoint envelope's matrix: every
+   rejection is a named variant — bad magic, unsupported version,
+   truncation, checksum mismatch, out-of-range ids — never a silent
+   partial load. *)
+
+type error =
+  | Bad_magic of string
+  | Bad_version of int
+  | Truncated of string
+  | Checksum_mismatch of { expected : string; got : string }
+  | Malformed of string
+  | Io_error of string
+
+let error_to_string = function
+  | Bad_magic s -> Printf.sprintf "not an edge file (magic %S, expected %S)" s "MKCEDG1\n"
+  | Bad_version v ->
+      Printf.sprintf "unsupported edge file version %d (this build reads 1)" v
+  | Truncated msg -> Printf.sprintf "truncated edge file: %s" msg
+  | Checksum_mismatch { expected; got } ->
+      Printf.sprintf "checksum mismatch: header says %s, columns hash to %s" got expected
+  | Malformed msg -> Printf.sprintf "malformed edge file: %s" msg
+  | Io_error msg -> Printf.sprintf "i/o error: %s" msg
+
+let magic = "MKCEDG1\n"
+let version = 1
+let header_bytes = 48
+
+(* Same FNV-1a 64 as the checkpoint envelope, over a bytes region. *)
+let fnv1a64 b ~pos ~len =
+  let h = ref 0xCBF29CE484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h 0x100000001B3L
+  done;
+  !h
+
+let hex64 v = Printf.sprintf "%016Lx" v
+
+let write path edges ~n ~m =
+  if n < 0 || m < 0 then invalid_arg "Edge_file.write: negative universe bound";
+  let count = Array.length edges in
+  let body = Bytes.create (16 * count) in
+  for i = 0 to count - 1 do
+    let (e : Edge.t) = Array.unsafe_get edges i in
+    if e.set >= m then
+      invalid_arg
+        (Printf.sprintf "Edge_file.write: set id %d out of range [0, %d)" e.set m);
+    if e.elt >= n then
+      invalid_arg
+        (Printf.sprintf "Edge_file.write: element id %d out of range [0, %d)" e.elt n);
+    Bytes.set_int64_le body (8 * i) (Int64.of_int e.set);
+    Bytes.set_int64_le body (8 * (count + i)) (Int64.of_int e.elt)
+  done;
+  let header = Bytes.create header_bytes in
+  Bytes.blit_string magic 0 header 0 8;
+  Bytes.set_int64_le header 8 (Int64.of_int version);
+  Bytes.set_int64_le header 16 (Int64.of_int n);
+  Bytes.set_int64_le header 24 (Int64.of_int m);
+  Bytes.set_int64_le header 32 (Int64.of_int count);
+  Bytes.set_int64_le header 40 (fnv1a64 body ~pos:0 ~len:(Bytes.length body));
+  match
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_bytes oc header;
+        output_bytes oc body)
+  with
+  | () -> Ok (header_bytes + Bytes.length body)
+  | exception Sys_error msg -> Error (Io_error msg)
+
+(* Magic sniff for format dispatch: a short or unreadable file is
+   simply "not binary" here — the text loader will report it. *)
+let is_binary path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic 8 with
+          | s -> String.equal s magic
+          | exception End_of_file -> false)
+
+let ( let* ) = Result.bind
+
+let checked_to_int name v =
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v || i < 0 then
+    Error (Malformed (Printf.sprintf "%s %Ld out of range" name v))
+  else Ok i
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let file_len = in_channel_length ic in
+          let* header =
+            if file_len < header_bytes then
+              Error
+                (Truncated
+                   (Printf.sprintf "%d bytes, need %d for the header" file_len
+                      header_bytes))
+            else
+              match really_input_string ic header_bytes with
+              | s -> Ok (Bytes.of_string s)
+              | exception End_of_file -> Error (Truncated "header read failed")
+          in
+          let got_magic = Bytes.sub_string header 0 8 in
+          let* () =
+            if String.equal got_magic magic then Ok () else Error (Bad_magic got_magic)
+          in
+          let* ver = checked_to_int "version" (Bytes.get_int64_le header 8) in
+          let* () = if ver = version then Ok () else Error (Bad_version ver) in
+          let* n = checked_to_int "n" (Bytes.get_int64_le header 16) in
+          let* m = checked_to_int "m" (Bytes.get_int64_le header 24) in
+          let* count = checked_to_int "count" (Bytes.get_int64_le header 32) in
+          let stored_crc = Bytes.get_int64_le header 40 in
+          let body_len = 16 * count in
+          let* () =
+            if file_len <> header_bytes + body_len then
+              Error
+                (Truncated
+                   (Printf.sprintf "%d bytes, header promises %d edges (%d bytes)"
+                      file_len count (header_bytes + body_len)))
+            else Ok ()
+          in
+          let body = Bytes.create body_len in
+          let* () =
+            match really_input ic body 0 body_len with
+            | () -> Ok ()
+            | exception End_of_file -> Error (Truncated "column read failed")
+          in
+          let crc = fnv1a64 body ~pos:0 ~len:body_len in
+          let* () =
+            if Int64.equal crc stored_crc then Ok ()
+            else
+              Error (Checksum_mismatch { expected = hex64 crc; got = hex64 stored_crc })
+          in
+          let* edges =
+            let rec go i acc =
+              if i < 0 then Ok acc
+              else
+                let* s = checked_to_int "set id" (Bytes.get_int64_le body (8 * i)) in
+                let* e =
+                  checked_to_int "element id" (Bytes.get_int64_le body (8 * (count + i)))
+                in
+                if s >= m then
+                  Error
+                    (Malformed (Printf.sprintf "set id %d out of range [0, %d)" s m))
+                else if e >= n then
+                  Error
+                    (Malformed
+                       (Printf.sprintf "element id %d out of range [0, %d)" e n))
+                else begin
+                  acc.(i) <- Edge.make ~set:s ~elt:e;
+                  go (i - 1) acc
+                end
+            in
+            if count = 0 then Ok [||]
+            else go (count - 1) (Array.make count (Edge.make ~set:0 ~elt:0))
+          in
+          Ok (edges, n, m))

@@ -1,0 +1,36 @@
+(** Binary columnar edge files.
+
+    Fixed-width column-major storage for edge streams: an 8-byte magic,
+    a 48-byte header (version, n, m, edge count, FNV-1a checksum), then
+    the set-id column and the element-id column as contiguous runs of
+    little-endian int64 — mmap-able by construction, no string parsing
+    on read.  The [convert] CLI subcommand produces these from the text
+    format; {!Stream_source.load_auto} dispatches on the magic. *)
+
+type error =
+  | Bad_magic of string
+  | Bad_version of int
+  | Truncated of string
+  | Checksum_mismatch of { expected : string; got : string }
+  | Malformed of string
+  | Io_error of string
+
+val error_to_string : error -> string
+
+val magic : string
+(** First 8 bytes of every binary edge file: ["MKCEDG1\n"]. *)
+
+val version : int
+
+val write : string -> Edge.t array -> n:int -> m:int -> (int, error) result
+(** [write path edges ~n ~m] stores the stream with universe bounds
+    [n] (elements) and [m] (sets); returns the byte size written.
+    @raise Invalid_argument if an id is outside its universe bound. *)
+
+val read : string -> (Edge.t array * int * int, error) result
+(** [read path] loads [(edges, n, m)], verifying magic, version, exact
+    length, checksum and id ranges — every failure is a named
+    {!error}, never a silent partial load. *)
+
+val is_binary : string -> bool
+(** Magic sniff; false on unreadable or short files. *)

@@ -38,32 +38,38 @@ let save t path =
 
 let is_ws = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false
 
-(* Tokenize on runs of whitespace, so tab-separated files, doubled
-   spaces, and trailing blanks all load. *)
-let split_ws line =
-  let n = String.length line in
-  let toks = ref [] and i = ref 0 in
-  while !i < n do
-    while !i < n && is_ws line.[!i] do
-      incr i
-    done;
-    if !i < n then begin
-      let j = ref !i in
-      while !j < n && not (is_ws line.[!j]) do
-        incr j
-      done;
-      toks := String.sub line !i (!j - !i) :: !toks;
-      i := !j
-    end
-  done;
-  List.rev !toks
+let rec skip_ws line i n = if i < n && is_ws line.[i] then skip_ws line (i + 1) n else i
+
+let rec skip_tok line i n =
+  if i < n && not (is_ws line.[i]) then skip_tok line (i + 1) n else i
+
+(* Parse the token [line[i..j)] as an int.  Fast path: a plain decimal
+   run (at most 18 digits, so no overflow) parsed in place with no
+   substring.  Anything else — signs, 0x/0o prefixes, underscores —
+   falls back to [int_of_string_opt] on a substring, preserving the
+   historical acceptance exactly. *)
+let parse_int line i j =
+  let rec digits k acc =
+    if k >= j then acc
+    else
+      let d = Char.code (String.unsafe_get line k) - 48 in
+      if d < 0 || d > 9 then min_int else digits (k + 1) ((acc * 10) + d)
+  in
+  if j - i > 0 && j - i <= 18 then
+    let v = digits i 0 in
+    if v >= 0 then Some v else int_of_string_opt (String.sub line i (j - i))
+  else int_of_string_opt (String.sub line i (j - i))
 
 let load path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let acc = ref [] in
+      (* Single pass into a growable edge buffer: no intermediate list,
+         no reversal — the only per-line allocation is [input_line]'s
+         string (and substrings on the error path). *)
+      let buf = ref (Array.make 1024 (Edge.make ~set:0 ~elt:0)) in
+      let count = ref 0 in
       let lineno = ref 0 in
       let malformed line why =
         failwith
@@ -73,25 +79,82 @@ let load path =
       (* Point at the offending token, not just the line: a million-edge
          file with one stray field is otherwise a needle hunt. *)
       let bad_token tok = Printf.sprintf "token %S is not an integer" tok in
+      let push e =
+        if !count = Array.length !buf then begin
+          let bigger = Array.make (2 * !count) e in
+          Array.blit !buf 0 bigger 0 !count;
+          buf := bigger
+        end;
+        !buf.(!count) <- e;
+        incr count
+      in
       (try
          while true do
            let line = input_line ic in
            incr lineno;
-           match split_ws line with
-           | [] -> ()
-           | [ s; e ] -> (
-               match (int_of_string_opt s, int_of_string_opt e) with
-               | Some s, Some e -> acc := Edge.make ~set:s ~elt:e :: !acc
-               | None, _ -> malformed line (bad_token s)
-               | _, None -> malformed line (bad_token e))
-           | toks ->
-               malformed line
-                 (Printf.sprintf "expected 2 fields, got %d" (List.length toks))
+           let n = String.length line in
+           let i0 = skip_ws line 0 n in
+           if i0 < n then begin
+             let j0 = skip_tok line i0 n in
+             let i1 = skip_ws line j0 n in
+             if i1 >= n then malformed line "expected 2 fields, got 1"
+             else begin
+               let j1 = skip_tok line i1 n in
+               let i2 = skip_ws line j1 n in
+               if i2 < n then begin
+                 (* Count the extra fields for the error message. *)
+                 let rec fields i acc =
+                   if i >= n then acc
+                   else fields (skip_ws line (skip_tok line i n) n) (acc + 1)
+                 in
+                 malformed line
+                   (Printf.sprintf "expected 2 fields, got %d" (fields i2 2))
+               end
+               else
+                 match parse_int line i0 j0 with
+                 | None -> malformed line (bad_token (String.sub line i0 (j0 - i0)))
+                 | Some s -> (
+                     match parse_int line i1 j1 with
+                     | None -> malformed line (bad_token (String.sub line i1 (j1 - i1)))
+                     | Some e -> push (Edge.make ~set:s ~elt:e))
+             end
+           end
          done
        with End_of_file -> ());
-      Array.of_list (List.rev !acc))
+      if !count = Array.length !buf then !buf else Array.sub !buf 0 !count)
 
 let max_ids t =
   Array.fold_left
     (fun (ms, me) (e : Edge.t) -> (max ms (e.set + 1), max me (e.elt + 1)))
     (0, 0) t
+
+let save_binary t ~n ~m path =
+  match Edge_file.write path t ~n ~m with
+  | Ok (_ : int) -> ()
+  | Error e ->
+      failwith
+        (Printf.sprintf "Stream_source.save_binary: %s: %s" path
+           (Edge_file.error_to_string e))
+
+let load_binary path =
+  match Edge_file.read path with
+  | Ok (edges, n, m) -> (edges, n, m)
+  | Error e ->
+      failwith
+        (Printf.sprintf "Stream_source.load_binary: %s: %s" path
+           (Edge_file.error_to_string e))
+
+let load_auto path =
+  if Edge_file.is_binary path then
+    let edges, _, _ = load_binary path in
+    edges
+  else load path
+
+let load_auto_dims path =
+  if Edge_file.is_binary path then
+    let edges, n, m = load_binary path in
+    (edges, m, n)
+  else
+    let t = load path in
+    let m, n = max_ids t in
+    (t, m, n)

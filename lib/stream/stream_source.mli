@@ -43,8 +43,28 @@ val load : string -> t
     leading/trailing whitespace (fields are split on runs of
     whitespace); raises [Failure] on malformed lines, naming the file,
     the 1-based line number, and the offending token (or field count)
-    so a single bad record in a large file is findable. *)
+    so a single bad record in a large file is findable.  Single pass
+    into a growable edge buffer — no intermediate list. *)
 
 val max_ids : t -> int * int
 (** [(max set id + 1, max element id + 1)] — a cheap (m, n) bound for
     loaded streams. *)
+
+val save_binary : t -> n:int -> m:int -> string -> unit
+(** Store in the binary columnar {!Edge_file} format with universe
+    bounds [n] (elements) and [m] (sets); raises [Failure] on i/o
+    errors, [Invalid_argument] if an id exceeds its bound. *)
+
+val load_binary : string -> t * int * int
+(** [(edges, n, m)] from a binary edge file; raises [Failure] with the
+    named {!Edge_file.error} rendering on any rejection. *)
+
+val load_auto : string -> t
+(** Dispatch on the file's magic bytes: binary files take the
+    columnar reader (no string parsing), anything else the text
+    {!load}. *)
+
+val load_auto_dims : string -> t * int * int
+(** Like {!load_auto}, returning [(t, m, n)] universe bounds alongside
+    — from the header for binary files (which may legitimately exceed
+    the ids actually present), from {!max_ids} for text. *)

@@ -17,6 +17,8 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("api-surface", Test_api_surface.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("golden-compat", Test_golden_compat.suite);
+      ("alloc", Test_alloc.suite);
       ("quality-stats", Test_quality_stats.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);

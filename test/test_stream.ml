@@ -255,6 +255,122 @@ let test_partition () =
       checkb (Printf.sprintf "%d shards: balanced" shards) true (mx - mn <= 1))
     [ 1; 2; 3; 5; 23 ]
 
+(* --- binary columnar edge format: round-trip + tamper matrix --- *)
+
+module Ef = Mkc_stream.Edge_file
+
+let with_tmp ext f =
+  let path = Filename.temp_file "mkc_edge" ext in
+  Fun.protect ~finally:(fun () -> Stdlib.Sys.remove path) (fun () -> f path)
+
+let sample_edges () =
+  Array.init 257 (fun i -> Edge.make ~set:(i * 7 mod 31) ~elt:(i * 13 mod 101))
+
+let write_sample path =
+  match Ef.write path (sample_edges ()) ~n:101 ~m:31 with
+  | Ok (_ : int) -> ()
+  | Error e -> Alcotest.failf "write failed: %s" (Ef.error_to_string e)
+
+let read_bytes path = In_channel.with_open_bin path In_channel.input_all
+
+let write_bytes path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let test_edge_file_roundtrip () =
+  with_tmp ".txt" @@ fun tpath ->
+  with_tmp ".mkce" @@ fun bpath ->
+  let edges = sample_edges () in
+  Src.save (Src.of_array edges) tpath;
+  let text = Src.load tpath in
+  Src.save_binary text ~n:101 ~m:31 bpath;
+  checkb "binary sniff" true (Ef.is_binary bpath);
+  checkb "text is not binary" false (Ef.is_binary tpath);
+  let bin, n, m = Src.load_binary bpath in
+  checki "header n" 101 n;
+  checki "header m" 31 m;
+  checkb "text->binary->read ≡ Stream_source.load" true
+    (Src.to_array bin = Src.to_array text);
+  (* and through the magic dispatcher *)
+  checkb "load_auto on binary" true (Src.to_array (Src.load_auto bpath) = edges);
+  checkb "load_auto on text" true (Src.to_array (Src.load_auto tpath) = edges);
+  let _, tm, tn = Src.load_auto_dims tpath in
+  checkb "text dims from max_ids" true (tm = 31 && tn = 101);
+  let _, bm, bn = Src.load_auto_dims bpath in
+  checkb "binary dims from header" true (bm = 31 && bn = 101)
+
+let test_edge_file_empty () =
+  with_tmp ".mkce" @@ fun bpath ->
+  (match Ef.write bpath [||] ~n:0 ~m:0 with
+  | Ok (_ : int) -> ()
+  | Error e -> Alcotest.failf "write failed: %s" (Ef.error_to_string e));
+  match Ef.read bpath with
+  | Ok (edges, 0, 0) -> checki "no edges" 0 (Array.length edges)
+  | Ok _ -> Alcotest.fail "wrong dims"
+  | Error e -> Alcotest.failf "read failed: %s" (Ef.error_to_string e)
+
+let test_edge_file_truncated () =
+  with_tmp ".mkce" @@ fun bpath ->
+  write_sample bpath;
+  let s = read_bytes bpath in
+  write_bytes bpath (String.sub s 0 (String.length s - 8));
+  (match Ef.read bpath with
+  | Error (Ef.Truncated _) -> ()
+  | Error e -> Alcotest.failf "expected Truncated, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated file accepted");
+  (* shorter than the header *)
+  write_bytes bpath (String.sub s 0 20);
+  match Ef.read bpath with
+  | Error (Ef.Truncated _) -> ()
+  | Error e -> Alcotest.failf "expected Truncated, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "header stub accepted"
+
+let test_edge_file_bad_magic () =
+  with_tmp ".mkce" @@ fun bpath ->
+  write_sample bpath;
+  let b = Bytes.of_string (read_bytes bpath) in
+  Bytes.set b 0 'X';
+  write_bytes bpath (Bytes.to_string b);
+  checkb "tampered magic is not binary" false (Ef.is_binary bpath);
+  match Ef.read bpath with
+  | Error (Ef.Bad_magic _) -> ()
+  | Error e -> Alcotest.failf "expected Bad_magic, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+
+let test_edge_file_bad_version () =
+  with_tmp ".mkce" @@ fun bpath ->
+  write_sample bpath;
+  let b = Bytes.of_string (read_bytes bpath) in
+  Bytes.set_int64_le b 8 9L;
+  write_bytes bpath (Bytes.to_string b);
+  match Ef.read bpath with
+  | Error (Ef.Bad_version 9) -> ()
+  | Error e -> Alcotest.failf "expected Bad_version 9, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+let test_edge_file_checksum_mismatch () =
+  with_tmp ".mkce" @@ fun bpath ->
+  write_sample bpath;
+  let b = Bytes.of_string (read_bytes bpath) in
+  (* flip a column byte, leaving the header checksum stale *)
+  Bytes.set b 51 (Char.chr (Char.code (Bytes.get b 51) lxor 1));
+  write_bytes bpath (Bytes.to_string b);
+  match Ef.read bpath with
+  | Error (Ef.Checksum_mismatch _) -> ()
+  | Error e ->
+      Alcotest.failf "expected Checksum_mismatch, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "corrupted column accepted"
+
+let test_edge_file_write_bounds () =
+  with_tmp ".mkce" @@ fun bpath ->
+  checkb "set id out of range rejected" true
+    (match Ef.write bpath [| Edge.make ~set:31 ~elt:0 |] ~n:101 ~m:31 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "element id out of range rejected" true
+    (match Ef.write bpath [| Edge.make ~set:0 ~elt:101 |] ~n:101 ~m:31 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "chunks: no empty final chunk" `Quick test_chunks_never_empty;
@@ -282,4 +398,13 @@ let suite =
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
     Alcotest.test_case "stats ucmn / max freq" `Quick test_stats_ucmn;
     Alcotest.test_case "stats contribution profile" `Quick test_stats_contribution_profile;
+    Alcotest.test_case "edge file round-trip" `Quick test_edge_file_roundtrip;
+    Alcotest.test_case "edge file empty stream" `Quick test_edge_file_empty;
+    Alcotest.test_case "edge file rejects truncation" `Quick test_edge_file_truncated;
+    Alcotest.test_case "edge file rejects bad magic" `Quick test_edge_file_bad_magic;
+    Alcotest.test_case "edge file rejects future version" `Quick
+      test_edge_file_bad_version;
+    Alcotest.test_case "edge file rejects checksum mismatch" `Quick
+      test_edge_file_checksum_mismatch;
+    Alcotest.test_case "edge file write bounds" `Quick test_edge_file_write_bounds;
   ]
