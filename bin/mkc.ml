@@ -7,7 +7,10 @@
      report      single-pass α-approximate k-cover reporting (Thm 3.2)
      greedy      offline full-memory greedy baseline
      merge       merge edge-partitioned shard checkpoints and finalize
-     lowerbound  play the §5 one-way DSJ communication game *)
+     lowerbound  play the §5 one-way DSJ communication game
+     top         live (or replayed) telemetry dashboard
+     telemetry-report / validate-telemetry
+                 summarize and verify --telemetry logs *)
 
 open Cmdliner
 
@@ -51,6 +54,14 @@ let pos_int ~what =
     | _ -> Error (`Msg (what ^ " must be a positive integer"))
   in
   Arg.conv (parse, Format.pp_print_int)
+
+let pos_float ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 -> Ok v
+    | _ -> Error (`Msg (what ^ " must be a positive number of seconds"))
+  in
+  Arg.conv (parse, Format.pp_print_float)
 
 let chunk_arg =
   Arg.(
@@ -153,17 +164,9 @@ let obs_term =
              ui.perfetto.dev or chrome://tracing).")
   in
   let progress =
-    let pos_float =
-      let parse s =
-        match float_of_string_opt s with
-        | Some v when v > 0.0 -> Ok v
-        | _ -> Error (`Msg "progress interval must be a positive number of seconds")
-      in
-      Arg.conv (parse, Format.pp_print_float)
-    in
     Arg.(
       value
-      & opt (some pos_float) None
+      & opt (some (pos_float ~what:"progress interval")) None
       & info [ "progress" ] ~docv:"SEC"
           ~doc:"Print an ingestion heartbeat to stderr every $(docv) seconds.")
   in
@@ -196,8 +199,8 @@ let read_file path =
     Format.eprintf "mkc: %s@." msg;
     exit 2
 
-let emit_metrics ?space o profiles =
-  let snap = Mkc_obs.Snapshot.capture ~profiles ?space Mkc_obs.Registry.global in
+let emit_metrics ?space ?(series = []) o profiles =
+  let snap = Mkc_obs.Snapshot.capture ~profiles ?space ~series Mkc_obs.Registry.global in
   Option.iter (fun file -> write_file file (Mkc_obs.Snapshot.to_string snap)) o.json;
   Option.iter (fun file -> write_file file (Mkc_obs.Export.prometheus snap)) o.prom;
   if o.show then print_string (Mkc_obs.Export.summary snap)
@@ -247,6 +250,154 @@ let progress_reporter ~total interval_s =
         dt
         (if dt > 0.0 then float_of_int edges /. dt else 0.0)
     end
+
+(* ---------- telemetry plumbing ---------- *)
+
+type telem_opts = { tfile : string option; thealth : string list; ttop : bool }
+
+let telem_term =
+  let tfile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Write a binary telemetry log to $(docv): one sample of the curated track set \
+             per $(b,--metrics-cadence) crossing, replayable with \
+             $(b,mkc telemetry-report), $(b,mkc validate-telemetry) and $(b,mkc top).")
+  in
+  let thealth =
+    Arg.(
+      value & opt_all string []
+      & info [ "health" ] ~docv:"RULE"
+          ~doc:
+            "Arm a health rule checked on every telemetry sample (repeatable): \
+             $(b,name=track>limit) or $(b,name=track<limit) (threshold), \
+             $(b,name=num/den>ppm) (ratio drift, parts-per-million), or \
+             $(b,name=stall:track:window) (no change over $(i,window) samples).  A \
+             trailing $(b,!) escalates the rule: its first firing aborts the run with \
+             exit 3, like $(b,--budget-strict).")
+  in
+  let ttop =
+    Arg.(
+      value & flag
+      & info [ "top" ]
+          ~doc:
+            "Repaint a live telemetry dashboard on stderr while the stream runs \
+             (throttled; ANSI rewrite on a tty) and print the final view after it.")
+  in
+  Term.(const (fun tfile thealth ttop -> { tfile; thealth; ttop }) $ tfile $ thealth $ ttop)
+
+let telemetry_wanted t = t.tfile <> None || t.thealth <> [] || t.ttop
+
+let parse_health_rules specs =
+  List.map
+    (fun spec ->
+      match Mkc_obs.Health.parse spec with
+      | Ok r -> r
+      | Error msg ->
+          Format.eprintf "mkc: --health %S: %s@." spec msg;
+          exit 2)
+    specs
+
+(* Ring rows retained for the live view; the log and the running
+   min/max/last summaries cover the whole run regardless. *)
+let telemetry_ring = 512
+
+(* Throttled repaint on stderr: on a tty the previous frame is erased
+   (cursor-up + erase-below); otherwise frames append, which stays
+   readable when redirected to a file. *)
+let top_painter ?budget_words ~violations series =
+  let interval_ns = 500_000_000 in
+  let last = ref 0 in
+  let prev_lines = ref 0 in
+  let tty = Unix.isatty Unix.stderr in
+  fun ~final ->
+    let now = Mkc_obs.Clock.now_ns () in
+    if final || now - !last >= interval_ns then begin
+      last := now;
+      let s = Mkc_obs.Top.render ?budget_words ~violations:(violations ()) series in
+      if tty && !prev_lines > 0 then Printf.eprintf "\027[%dA\027[0J" !prev_lines;
+      prev_lines := List.length (String.split_on_char '\n' s) - 1;
+      prerr_string s;
+      flush stderr
+    end
+
+type telemetry_rig = {
+  trecorder : Mkc_obs.Telemetry.Recorder.t;
+  tpaint : (final:bool -> unit) option;
+  tpath : string option;
+}
+
+let setup_telemetry topts ?budget_words ob est =
+  let probes =
+    Mkc_core.Telemetry_probes.build
+      ~breakdown:(fun () -> Mkc_stream.Sink.Observed.sampled_breakdown ob)
+      est
+  in
+  let tracks = Array.map fst probes in
+  let writer =
+    Option.map
+      (fun path ->
+        match Mkc_obs.Telemetry.Writer.create path ~tracks with
+        | Ok w -> w
+        | Error e ->
+            Format.eprintf "mkc: %s: %s@." path (Mkc_obs.Telemetry.error_to_string e);
+            exit 2)
+      topts.tfile
+  in
+  let recorder =
+    Mkc_obs.Telemetry.Recorder.create ?writer ~capacity:telemetry_ring probes
+  in
+  let series = Mkc_obs.Telemetry.Recorder.series recorder in
+  let engine =
+    match parse_health_rules topts.thealth with
+    | [] -> None
+    | rules -> (
+        (* Rule firings also land in the log as events, stamped with
+           the sample they fired on. *)
+        let on_event ~name ~value =
+          let n = Mkc_obs.Series.length series in
+          let at_edges = if n = 0 then 0 else Mkc_obs.Series.row_edges series (n - 1) in
+          Mkc_obs.Telemetry.Recorder.event recorder ~at_edges ~name ~value
+        in
+        try Some (Mkc_obs.Health.create ~on_event series rules)
+        with Invalid_argument msg ->
+          Format.eprintf "mkc: --health: %s@." msg;
+          exit 2)
+  in
+  let violations () =
+    match engine with Some e -> Mkc_obs.Health.violations e | None -> []
+  in
+  let paint =
+    if topts.ttop then Some (top_painter ?budget_words ~violations series) else None
+  in
+  Mkc_stream.Sink.Observed.set_on_sample ob (fun ~edges ~words:_ ->
+      Mkc_obs.Telemetry.Recorder.sample recorder ~at_edges:edges;
+      (match engine with Some e -> Mkc_obs.Health.check e | None -> ());
+      match paint with Some p -> p ~final:false | None -> ());
+  { trecorder = recorder; tpaint = paint; tpath = topts.tfile }
+
+let series_of_rig = function
+  | None -> []
+  | Some rg ->
+      Mkc_obs.Snapshot.tracks_of_series (Mkc_obs.Telemetry.Recorder.series rg.trecorder)
+
+(* [ok = false] on the abort paths: close (flush) the log so the
+   samples up to the abort survive, but skip the celebration. *)
+let finish_telemetry ~ok rig =
+  match rig with
+  | None -> ()
+  | Some rg ->
+      Mkc_obs.Telemetry.Recorder.close rg.trecorder;
+      if ok then begin
+        (match rg.tpaint with Some p -> p ~final:true | None -> ());
+        Option.iter
+          (fun path ->
+            Format.printf "wrote telemetry: %s (%d samples)@." path
+              (Mkc_obs.Series.total (Mkc_obs.Telemetry.Recorder.series rg.trecorder)))
+          rg.tpath
+      end
 
 let budget_exceeded_exit o exn =
   match exn with
@@ -380,8 +531,8 @@ let truncate_source src = function
       if edges >= Array.length arr then src
       else Mkc_stream.Stream_source.of_array (Array.sub arr 0 edges)
 
-let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt every resume
-    stop_after force_m force_n =
+let estimate path k alpha seed profile domains chunk oopts topts budget_strict ckpt every
+    resume stop_after force_m force_n =
   let src, m, n = load_stream path in
   let src = truncate_source src stop_after in
   let m = Option.value ~default:m force_m and n = Option.value ~default:n force_n in
@@ -389,6 +540,15 @@ let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt ev
   let est = Mkc_core.Estimate.create params in
   let want = metrics_wanted oopts in
   let tracing = oopts.trace <> None in
+  let telemetry_on = telemetry_wanted topts in
+  if telemetry_on && domains > 1 && ckpt = None && resume = None then begin
+    Format.eprintf
+      "mkc: --telemetry/--health/--top sample the single-domain sink; use --domains 1@.";
+    exit 2
+  end;
+  if topts.thealth <> [] then
+    (* Health counters live in the registry like every other metric. *)
+    Mkc_obs.Registry.set_enabled true;
   if want then Mkc_obs.Registry.set_enabled true;
   if tracing then Mkc_obs.Trace.set_enabled true;
   let budget =
@@ -401,6 +561,15 @@ let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt ev
   let total = Mkc_stream.Stream_source.length src in
   let notify = Option.map (fun sec -> progress_reporter ~total sec) oopts.progress in
   let profiles = ref [] in
+  let rig = ref None in
+  let attach ob =
+    if telemetry_on then
+      rig :=
+        Some
+          (setup_telemetry topts
+             ?budget_words:(Option.map Mkc_sketch.Space.Budget.budget budget)
+             ob est)
+  in
   let run () =
     if ckpt <> None || resume <> None then begin
       if domains > 1 then
@@ -410,12 +579,13 @@ let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt ev
         notify;
       let codec = Mkc_core.Estimate.codec params in
       let out =
-        if want || tracing || budget <> None then begin
+        if want || tracing || budget <> None || telemetry_on then begin
           let sm, ob =
             Mkc_stream.Sink.Observed.observe ~cadence:oopts.cadence ?budget
               Mkc_core.Estimate.sink est
           in
           if want then profiles := [ ("estimate", Mkc_stream.Sink.Observed.profile ob) ];
+          attach ob;
           (* Aim the codec at the inner sink and put each save's bytes on
              the space books — a held checkpoint is real space. *)
           let codec = Mkc_stream.Checkpoint.map_codec Mkc_stream.Sink.Observed.state codec in
@@ -461,12 +631,13 @@ let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt ev
           Mkc_core.Estimate.finalize est)
         src
     end
-    else if want || tracing || budget <> None then begin
+    else if want || tracing || budget <> None || telemetry_on then begin
       let sm, ob =
         Mkc_stream.Sink.Observed.observe ~cadence:oopts.cadence ?budget
           Mkc_core.Estimate.sink est
       in
       if want then profiles := [ ("estimate", Mkc_stream.Sink.Observed.profile ob) ];
+      attach ob;
       match notify with
       | Some notify ->
           let tm, tp = Mkc_stream.Sink.Tap.tap sm ob ~notify in
@@ -480,7 +651,19 @@ let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt ev
           Mkc_stream.Pipeline.run ~chunk tm tp src
       | None -> Mkc_stream.Pipeline.run ~chunk Mkc_core.Estimate.sink est src
   in
-  let r = try run () with e -> budget_exceeded_exit oopts e in
+  let r =
+    try run () with
+    | Mkc_obs.Health.Violation msg ->
+        finish_telemetry ~ok:false !rig;
+        Format.eprintf "mkc: health rule violated: %s@." msg;
+        (* Flush the trace for the same reason --budget-strict does:
+           the timeline up to the abort is the diagnosis. *)
+        emit_trace oopts;
+        exit 3
+    | e ->
+        finish_telemetry ~ok:false !rig;
+        budget_exceeded_exit oopts e
+  in
   Format.printf "stream: %d pairs, m=%d, n=%d@." (Mkc_stream.Stream_source.length src) m n;
   Format.printf "estimated optimal %d-cover coverage: %.0f@." k r.Mkc_core.Estimate.estimate;
   (match r.Mkc_core.Estimate.outcome with
@@ -490,10 +673,13 @@ let estimate path k alpha seed profile domains chunk oopts budget_strict ckpt ev
   | None -> Format.printf "no subroutine produced a feasible estimate@.");
   Format.printf "space: %d words@." (Mkc_core.Estimate.words est);
   Option.iter print_budget budget;
+  finish_telemetry ~ok:true !rig;
   if want then begin
     Mkc_core.Estimate.record_metrics est;
     Option.iter record_budget_gauges budget;
-    emit_metrics ?space:(Option.map space_of_budget budget) oopts (List.rev !profiles)
+    emit_metrics
+      ?space:(Option.map space_of_budget budget)
+      ~series:(series_of_rig !rig) oopts (List.rev !profiles)
   end;
   emit_trace oopts
 
@@ -502,7 +688,7 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"α-approximate coverage estimation (Theorem 3.1)")
     Term.(
       const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg $ obs_term $ budget_strict_arg $ checkpoint_arg
+      $ domains_arg $ chunk_arg $ obs_term $ telem_term $ budget_strict_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ stop_after_arg $ force_m_arg $ force_n_arg)
 
 (* ---------- report ---------- *)
@@ -754,7 +940,7 @@ let validate_checkpoint_cmd =
 let validate_snapshot file =
   match Mkc_obs.Snapshot.validate (read_file file) with
   | Ok snap ->
-      Format.printf "%s: valid %s snapshot (%d metrics, %d spans, %d profiles%s)@." file
+      Format.printf "%s: valid %s snapshot (%d metrics, %d spans, %d profiles%s%s)@." file
         snap.Mkc_obs.Snapshot.schema
         (List.length snap.Mkc_obs.Snapshot.metrics)
         (List.length snap.Mkc_obs.Snapshot.spans)
@@ -762,6 +948,9 @@ let validate_snapshot file =
         (match snap.Mkc_obs.Snapshot.space with
         | Some sp -> Printf.sprintf ", space headroom %.2f" sp.Mkc_obs.Snapshot.headroom
         | None -> "")
+        (match snap.Mkc_obs.Snapshot.series with
+        | [] -> ""
+        | tracks -> Printf.sprintf ", %d series tracks" (List.length tracks))
   | Error e ->
       Format.eprintf "%s: invalid snapshot: %s@." file e;
       exit 1
@@ -775,8 +964,191 @@ let validate_snapshot_cmd =
   in
   Cmd.v
     (Cmd.info "validate-snapshot"
-       ~doc:"Validate a metrics snapshot against the mkc-obs/2 schema (mkc-obs/1 accepted)")
+       ~doc:
+         "Validate a metrics snapshot against the mkc-obs/3 schema (mkc-obs/1 and \
+          mkc-obs/2 accepted read-only)")
     Term.(const validate_snapshot $ file)
+
+(* ---------- telemetry subcommands ---------- *)
+
+let telemetry_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Telemetry log file (from --telemetry).")
+
+let load_telemetry file =
+  match Mkc_obs.Telemetry.read file with
+  | Ok log -> log
+  | Error e ->
+      Format.eprintf "%s: invalid telemetry log: %s@." file
+        (Mkc_obs.Telemetry.error_to_string e);
+      exit 1
+
+let warn_torn file (log : Mkc_obs.Telemetry.log) =
+  Option.iter
+    (fun e ->
+      Format.eprintf "%s: warning: torn tail skipped: %s@." file
+        (Mkc_obs.Telemetry.error_to_string e))
+    log.torn
+
+(* Fold the log's events into sorted (name, (firings, total)) rows. *)
+let aggregate_events (log : Mkc_obs.Telemetry.log) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Mkc_obs.Telemetry.event) ->
+      let c, v = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl e.e_name) in
+      Hashtbl.replace tbl e.e_name (c + 1, v + e.e_value))
+    log.events;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let telemetry_report file =
+  let log = load_telemetry file in
+  warn_torn file log;
+  Format.printf "%s: %d tracks, %d samples, %d events@." file (Array.length log.tracks)
+    (List.length log.samples) (List.length log.events);
+  (* Raw integers, not human-scaled: this table is what round-trip
+     checks and scripts consume. *)
+  Format.printf "%-26s %8s %14s %14s %14s %14s %14s@." "track" "count" "min" "max" "last"
+    "p50" "p99";
+  List.iter
+    (fun (s : Mkc_obs.Telemetry.summary) ->
+      Format.printf "%-26s %8d %14d %14d %14d %14d %14d@." s.t_name s.t_count s.t_min
+        s.t_max s.t_last s.t_p50 s.t_p99)
+    (Mkc_obs.Telemetry.summarize log);
+  match aggregate_events log with
+  | [] -> ()
+  | events ->
+      Format.printf "events:@.";
+      List.iter
+        (fun (name, (count, total)) ->
+          Format.printf "  %-24s x%d (total %d)@." name count total)
+        events
+
+let telemetry_report_cmd =
+  Cmd.v
+    (Cmd.info "telemetry-report"
+       ~doc:
+         "Replay a --telemetry log into per-track min/max/last/p50/p99 summaries and an \
+          event digest")
+    Term.(const telemetry_report $ telemetry_file_arg)
+
+let validate_telemetry file against =
+  let log = load_telemetry file in
+  warn_torn file log;
+  (match against with
+  | None -> ()
+  | Some snapfile -> (
+      match Mkc_obs.Snapshot.validate (read_file snapfile) with
+      | Error e ->
+          Format.eprintf "%s: invalid snapshot: %s@." snapfile e;
+          exit 1
+      | Ok snap ->
+          if snap.Mkc_obs.Snapshot.series = [] then begin
+            Format.eprintf "%s: snapshot has no series section to check against@." snapfile;
+            exit 1
+          end;
+          let summaries = Mkc_obs.Telemetry.summarize log in
+          List.iter
+            (fun (tr : Mkc_obs.Snapshot.track) ->
+              match
+                List.find_opt
+                  (fun (s : Mkc_obs.Telemetry.summary) -> s.t_name = tr.tname)
+                  summaries
+              with
+              | None ->
+                  Format.eprintf "%s: track %S is in the snapshot but not the log@." file
+                    tr.tname;
+                  exit 1
+              | Some s ->
+                  let check what got expected =
+                    if got <> expected then begin
+                      Format.eprintf "%s: track %S %s mismatch: log %d, snapshot %d@."
+                        file tr.tname what got expected;
+                      exit 1
+                    end
+                  in
+                  check "count" s.t_count tr.tcount;
+                  check "min" s.t_min tr.tmin;
+                  check "max" s.t_max tr.tmax;
+                  check "last" s.t_last tr.tlast)
+            snap.Mkc_obs.Snapshot.series;
+          Format.printf "%s: matches all %d snapshot series tracks of %s exactly@." file
+            (List.length snap.Mkc_obs.Snapshot.series)
+            snapfile));
+  Format.printf "%s: valid telemetry log, version %d (%d tracks, %d samples, %d events%s)@."
+    file Mkc_obs.Telemetry.version (Array.length log.tracks) (List.length log.samples)
+    (List.length log.events)
+    (match log.torn with Some _ -> ", torn tail skipped" | None -> "")
+
+let validate_telemetry_cmd =
+  let against =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against-snapshot" ] ~docv:"SNAP"
+          ~doc:
+            "Also cross-check the log against the $(b,series) section of a \
+             $(b,--metrics-json) snapshot from the same run: every track's \
+             count/min/max/last must match the replayed log exactly.")
+  in
+  Cmd.v
+    (Cmd.info "validate-telemetry"
+       ~doc:
+         "Validate a --telemetry log (checksummed MKCTEL1 frames; a torn tail is \
+          reported but tolerated)")
+    Term.(const validate_telemetry $ telemetry_file_arg $ against)
+
+(* ---------- top ---------- *)
+
+let top file follow interval =
+  (* A torn tail is the normal mid-append state in follow mode; [read]
+     already tolerates it, so each poll sees the intact prefix. *)
+  let render_once () =
+    let log = load_telemetry file in
+    let violations =
+      List.filter_map
+        (fun (name, (_, total)) ->
+          match String.split_on_char '.' name with
+          | [ "health"; rule; "violations" ] -> Some (rule, total)
+          | _ -> None)
+        (aggregate_events log)
+    in
+    Mkc_obs.Top.render ~violations (Mkc_obs.Telemetry.replay log)
+  in
+  if not follow then print_string (render_once ())
+  else begin
+    let tty = Unix.isatty Unix.stdout in
+    let prev_lines = ref 0 in
+    while true do
+      let s = render_once () in
+      if tty && !prev_lines > 0 then Printf.printf "\027[%dA\027[0J" !prev_lines;
+      prev_lines := List.length (String.split_on_char '\n' s) - 1;
+      print_string s;
+      flush stdout;
+      Unix.sleepf interval
+    done
+  end
+
+let top_cmd =
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:"Keep polling the log and repainting until interrupted (live tail).")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt (pos_float ~what:"poll interval") 0.5
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Poll interval for $(b,--follow).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Render the telemetry dashboard from a --telemetry log (once, or live with \
+          $(b,--follow) while a run appends to it)")
+    Term.(const top $ telemetry_file_arg $ follow $ interval)
 
 (* ---------- validate-trace ---------- *)
 
@@ -819,4 +1191,7 @@ let () =
             validate_checkpoint_cmd;
             validate_snapshot_cmd;
             validate_trace_cmd;
+            top_cmd;
+            telemetry_report_cmd;
+            validate_telemetry_cmd;
           ]))

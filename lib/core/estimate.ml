@@ -189,6 +189,20 @@ let stats t =
       Array.to_list insts
       |> List.map (fun inst -> ((inst.z, inst.rep), Oracle.stats inst.oracle))
 
+(* Sum the per-instance oracle stats into one canonical table — the
+   sketch-health totals both [record_metrics] and the telemetry probes
+   read. *)
+let stats_totals t =
+  let totals = Hashtbl.create 32 in
+  List.iter
+    (fun ((_ : int * int), stats) ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace totals k (v + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+        stats)
+    (stats t);
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals [])
+
 let winners t =
   let tbl = Hashtbl.create 8 in
   List.iter
@@ -252,15 +266,8 @@ let record_metrics ?(registry = Mkc_obs.Registry.global) t =
   (* Sketch-health ratios, derived from the same stats the counters
      publish raw: memo hit ratio (top-level sampler_evals are exactly
      the misses) and the heavy-hitter recovery success rate. *)
-  let totals = Hashtbl.create 32 in
-  List.iter
-    (fun ((_ : int * int), stats) ->
-      List.iter
-        (fun (k, v) ->
-          Hashtbl.replace totals k (v + Option.value ~default:0 (Hashtbl.find_opt totals k)))
-        stats)
-    (stats t);
-  let tot k = Option.value ~default:0 (Hashtbl.find_opt totals k) in
+  let totals = stats_totals t in
+  let tot k = Option.value ~default:0 (List.assoc_opt k totals) in
   let memo_hits = tot "large_common.memo_hits" in
   Mkc_obs.Quality.record_ratio ~registry "estimate.quality.memo.hit_ratio" ~num:memo_hits
     ~den:(memo_hits + tot "large_common.sampler_evals");

@@ -63,6 +63,13 @@ val stats : t -> ((int * int) * (string * int) list) list
     ({!Oracle.stats}) — one entry per Figure 1 instance, in ladder
     order.  Empty on the trivial branch. *)
 
+val stats_totals : t -> (string * int) list
+(** {!stats} summed across all oracle instances, sorted by key — the
+    sketch-health totals ({!Oracle.stats} keys like
+    ["large_common.l0_occupancy"], ["large_set.f2_tracked"]) that
+    {!record_metrics} turns into ratios and the telemetry probes
+    sample mid-run.  Empty on the trivial branch. *)
+
 val winners : t -> (string * int) list
 (** Winner attribution, one vote per (z, rep) oracle instance: which
     subroutine ([large_common]/[large_set]/[small_set], or ["trivial"],

@@ -11,6 +11,8 @@
    restore/merge (see {!rebuild_defer}). *)
 type level_defer = {
   pend : int array; (* sid -> pending tracked delta *)
+  touched : int array; (* sids with [pend > 0], compact; reset on flush *)
+  mutable ntouched : int;
   seen : bool array; (* sid ever covered at this level *)
   mutable ever : int; (* number of [seen] sids *)
   mutable dirty : bool;
@@ -43,6 +45,8 @@ type repeat_state = {
      before any read of counter state (finalize, checkpoint encode,
      merge).  Final counter values are bit-for-bit the eager ones. *)
   cs_pending : int array; (* sid -> pending delta for both counters *)
+  cs_touched : int array; (* sids with [cs_pending > 0], compact *)
+  mutable cs_ntouched : int;
   mutable cs_dirty : bool;
   defer_small : level_defer array; (* per cntr_small level *)
   defer_large : level_defer array; (* per cntr_large level *)
@@ -92,7 +96,14 @@ let create (params : Params.t) ~w ~seed =
   let fallback_rate = min 1.0 (8.0 *. float_of_int (q / r2) /. float_of_int q) in
   let mk_defer cntr =
     Array.init (Mkc_sketch.F2_contributing.levels cntr) (fun _ ->
-        { pend = Array.make q 0; seen = Array.make q false; ever = 0; dirty = false })
+        {
+          pend = Array.make q 0;
+          touched = Array.make q 0;
+          ntouched = 0;
+          seen = Array.make q false;
+          ever = 0;
+          dirty = false;
+        })
   in
   let mk_repeat r =
     let sd = Mkc_hashing.Splitmix.fork seed r in
@@ -127,6 +138,8 @@ let create (params : Params.t) ~w ~seed =
       keepf_tab = Array.make q (-1);
       elem_memo = Mkc_sketch.Sampler.Memo.create ~slots:(min (max 16 p.Params.u) 65536);
       cs_pending = Array.make q 0;
+      cs_touched = Array.make q 0;
+      cs_ntouched = 0;
       cs_dirty = false;
       defer_small = mk_defer cntr_small;
       defer_large = mk_defer cntr_large;
@@ -240,22 +253,38 @@ let code_large_of rs sid =
    deferral invariant ([ever <= 2·cap], so no prune can fire during the
    bulk insert): the resulting table holds the same (id, count) multiset
    as an in-order replay, and nothing observable depends on slot
-   layout (dump/candidates/prune all canonicalize). *)
+   layout (dump/candidates/prune all canonicalize).  Only the sids in
+   [touched] are visited — flush cost is O(pending sids), not O(q), so
+   a mid-run space/telemetry sample on a mostly-clean repeat is
+   cheap. *)
 let flush_level hh d =
   if d.dirty then begin
     d.dirty <- false;
-    let pend = d.pend in
-    for sid = 0 to Array.length pend - 1 do
+    let pend = d.pend and touched = d.touched in
+    for i = 0 to d.ntouched - 1 do
+      let sid = Array.unsafe_get touched i in
       let c = Array.unsafe_get pend sid in
       if c > 0 then begin
         Array.unsafe_set pend sid 0;
         Mkc_sketch.F2_heavy_hitter.add_tracked hh sid c
       end
-    done
+    done;
+    d.ntouched <- 0
   end
 
 let flush_tracked cntr defer =
   Array.iteri (fun lvl d -> flush_level (Mkc_sketch.F2_contributing.level cntr lvl) d) defer
+
+(* Apply just the deferred tracked deltas — all that space accounting
+   needs.  A CountSketch row is a fixed [depth × width] block, so the
+   pending CS deltas cannot move [words]; only tracked-table occupancy
+   ([2·tn] per level) does.  The tracked flush is cap-bounded per level
+   (deferral stops at [ever > 2·cap]), so a cadence-driven words sample
+   costs O(levels · cap) instead of replaying every pending CS delta —
+   that replay waits for {!flush_pending} at the next value read. *)
+let flush_words rs =
+  flush_tracked rs.cntr_small rs.defer_small;
+  flush_tracked rs.cntr_large rs.defer_large
 
 (* Apply all deferred deltas (CountSketch halves and tracked halves).
    Must run before any read of counter state — candidate recovery,
@@ -264,8 +293,9 @@ let flush_tracked cntr defer =
 let flush_pending rs =
   if rs.cs_dirty then begin
     rs.cs_dirty <- false;
-    let pend = rs.cs_pending in
-    for sid = 0 to Array.length pend - 1 do
+    let pend = rs.cs_pending and touched = rs.cs_touched in
+    for i = 0 to rs.cs_ntouched - 1 do
+      let sid = Array.unsafe_get touched i in
       let c = Array.unsafe_get pend sid in
       if c > 0 then begin
         Array.unsafe_set pend sid 0;
@@ -274,7 +304,8 @@ let flush_pending rs =
         Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_large ~code:(code_large_of rs sid)
           sid c
       end
-    done
+    done;
+    rs.cs_ntouched <- 0
   end;
   flush_tracked rs.cntr_small rs.defer_small;
   flush_tracked rs.cntr_large rs.defer_large
@@ -290,6 +321,7 @@ let rebuild_defer rs =
       (fun lvl d ->
         let hh = Mkc_sketch.F2_contributing.level cntr lvl in
         Array.fill d.pend 0 (Array.length d.pend) 0;
+        d.ntouched <- 0;
         d.dirty <- false;
         Array.fill d.seen 0 (Array.length d.seen) false;
         d.ever <- 0;
@@ -341,8 +373,12 @@ let tracked_chunk cntr defer ~code_tab ~active ~na ~sid_cnt ~ins ~sids ~codes_j 
             Array.unsafe_set d.seen sid true;
             d.ever <- d.ever + 1
           end;
-          Array.unsafe_set d.pend sid
-            (Array.unsafe_get d.pend sid + Array.unsafe_get sid_cnt sid)
+          let p = Array.unsafe_get d.pend sid in
+          if p = 0 then begin
+            Array.unsafe_set d.touched d.ntouched sid;
+            d.ntouched <- d.ntouched + 1
+          end;
+          Array.unsafe_set d.pend sid (p + Array.unsafe_get sid_cnt sid)
         end
       done;
       d.dirty <- true
@@ -462,11 +498,15 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
       if !in_sample_edges > 0 then begin
         let na = !na in
         rs.cs_dirty <- true;
-        let pend = rs.cs_pending in
+        let pend = rs.cs_pending and touched = rs.cs_touched in
         for a = 0 to na - 1 do
           let sid = Array.unsafe_get active a in
-          Array.unsafe_set pend sid
-            (Array.unsafe_get pend sid + Array.unsafe_get sid_cnt sid)
+          let p = Array.unsafe_get pend sid in
+          if p = 0 then begin
+            Array.unsafe_set touched rs.cs_ntouched sid;
+            rs.cs_ntouched <- rs.cs_ntouched + 1
+          end;
+          Array.unsafe_set pend sid (p + Array.unsafe_get sid_cnt sid)
         done;
         tracked_chunk rs.cntr_small rs.defer_small ~code_tab:rs.code_small ~active ~na
           ~sid_cnt ~ins ~sids ~codes_j:csmall ~set_idx ~elt_idx ~len;
@@ -598,6 +638,7 @@ let restore_repeat rs j =
      pending deltas from any pre-restore feeding must not survive into
      the restored state. *)
   Array.fill rs.cs_pending 0 (Array.length rs.cs_pending) 0;
+  rs.cs_ntouched <- 0;
   rs.cs_dirty <- false;
   let* sj = Ck.J.field "cntr_small" j in
   let* () = Ck.Sketch_io.restore_f2c rs.cntr_small sj in
@@ -672,6 +713,14 @@ let merge_into ~dst src =
   dst.st_l0_updates <- dst.st_l0_updates + src.st_l0_updates
 
 let words_breakdown t =
+  (* Apply deferred tracked deltas first: the accumulators are
+     uncounted scratch, so an unflushed repeat would under-report the
+     tracker words a per-edge run pays at the same edge.  Safe at any
+     chunk boundary — the deferral invariant is maintained
+     chunk-by-chunk, so an early flush replays exactly the inserts a
+     later one would.  Pending CS deltas are left parked: they cannot
+     change any [words] term (see {!flush_words}). *)
+  Array.iter flush_words t.repeats;
   let sampler = ref 0 and partition = ref 0 and f2 = ref 0 and l0 = ref 0 in
   Array.iter
     (fun rs ->
@@ -696,6 +745,11 @@ let words_breakdown t =
 let words t = List.fold_left (fun acc (_, w) -> acc + w) 0 (words_breakdown t)
 
 let stats t =
+  (* Same flush as [words_breakdown]: mid-run [f2_tracked] must count
+     deferred insertions the tracker already owns logically.  The
+     tracked flush also settles [f2_tracked]/[f2_prunes]; pending CS
+     deltas touch neither. *)
+  Array.iter flush_words t.repeats;
   [
     ("elem_sampler_evals", t.st_elem_sampler_evals);
     ("fallback_sampler_evals", t.st_fallback_sampler_evals);

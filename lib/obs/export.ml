@@ -1,8 +1,22 @@
+(* Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; we map
+   every other character to '_' and prefix a '_' when the first
+   character is a digit (dropping it would collide "2xx" with "xx"). *)
 let sanitize name =
-  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_') name
+  let mapped =
+    String.map
+      (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  if mapped = "" then "_"
+  else match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
 
+(* Prometheus exposition spells the IEEE specials "NaN" / "+Inf" /
+   "-Inf"; %g would print "nan"/"inf", which scrapers reject. *)
 let num f =
-  if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
   else Printf.sprintf "%g" f
 
 let prometheus (s : Snapshot.t) =

@@ -1,0 +1,60 @@
+(** Declarative health rules over {!Series} tracks — the PR-4 space
+    watchdog generalized.  A rule watches one or two tracks and fires
+    on each committed sample that violates it:
+
+    - [Threshold]: a track crosses a fixed limit ([>] or [<]);
+    - [Ratio_drift]: the ratio of two tracks (in parts-per-million)
+      exceeds a limit — e.g. space.words vs. its budget, or minor GC
+      words vs. edges;
+    - [Stall]: a track fails to change over a window of consecutive
+      samples while the stream keeps advancing.
+
+    Each firing bumps a [health.<rule>.violations] counter in the
+    metric registry, invokes [on_event] (the CLI wires this to the
+    telemetry log), and — for a rule marked [escalate] — raises
+    {!Violation}, mirroring [--budget-strict]. *)
+
+type cmp = Gt | Lt
+
+type kind =
+  | Threshold of { track : string; cmp : cmp; limit : int }
+  | Ratio_drift of { num : string; den : string; max_ppm : int }
+  | Stall of { track : string; window : int }
+
+type rule = { name : string; kind : kind; escalate : bool }
+
+exception Violation of string
+(** Raised by {!check} when an escalating rule fires; the payload
+    names the rule and the offending values. *)
+
+val parse : string -> (rule, string) result
+(** Parse the CLI rule syntax (a trailing ['!'] marks escalation):
+    - ["name=track>limit"], ["name=track<limit"] — threshold;
+    - ["name=num/den>ppm"] — ratio drift, limit in ppm;
+    - ["name=stall:track:window"] — stall over [window] samples. *)
+
+val rule_to_string : rule -> string
+(** Render a rule back into {!parse} syntax. *)
+
+type engine
+
+val create :
+  ?registry:Registry.t ->
+  ?on_event:(name:string -> value:int -> unit) ->
+  Series.t ->
+  rule list ->
+  engine
+(** Resolve each rule's tracks against the series ([Invalid_argument]
+    on an unknown track, naming it) and return an engine watching it.
+    [registry] defaults to {!Registry.global}. *)
+
+val check : engine -> unit
+(** Examine the latest committed sample; call once after each
+    [Series.commit].  No-op until the series has a sample.  Raises
+    {!Violation} if an escalating rule fires (after counting and
+    emitting the event). *)
+
+val violations : engine -> (string * int) list
+(** Total firings per rule, in rule order — independent of the
+    registry's global on/off switch, so [mkc top] can render them
+    even with metrics disabled. *)

@@ -1,0 +1,109 @@
+type t = {
+  names : string array;
+  nt : int;
+  cap : int;
+  data : int array; (* cap × nt ring, row-major *)
+  ns : int array; (* cap *)
+  edges : int array; (* cap *)
+  staging : int array; (* nt *)
+  mins : int array; (* nt, running over all commits *)
+  maxs : int array;
+  lasts : int array;
+  mutable len : int; (* retained rows *)
+  mutable next : int; (* ring write cursor *)
+  mutable total : int; (* rows ever committed *)
+}
+
+let create ~capacity ~tracks =
+  if capacity < 1 then invalid_arg "Series.create: capacity must be >= 1";
+  let nt = Array.length tracks in
+  if nt = 0 then invalid_arg "Series.create: no tracks";
+  let seen = Hashtbl.create nt in
+  Array.iter
+    (fun name ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Series.create: duplicate track %S" name);
+      Hashtbl.add seen name ())
+    tracks;
+  {
+    names = Array.copy tracks;
+    nt;
+    cap = capacity;
+    data = Array.make (capacity * nt) 0;
+    ns = Array.make capacity 0;
+    edges = Array.make capacity 0;
+    staging = Array.make nt 0;
+    mins = Array.make nt 0;
+    maxs = Array.make nt 0;
+    lasts = Array.make nt 0;
+    len = 0;
+    next = 0;
+    total = 0;
+  }
+
+let tracks t = Array.copy t.names
+let ntracks t = t.nt
+let capacity t = t.cap
+
+let index t name =
+  let rec go i = if i >= t.nt then None else if t.names.(i) = name then Some i else go (i + 1) in
+  go 0
+
+let index_exn t name =
+  match index t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Series: unknown track %S" name)
+
+let stage t i v =
+  if i < 0 || i >= t.nt then invalid_arg "Series.stage: track index out of range";
+  t.staging.(i) <- v
+
+let commit t ~at_ns ~at_edges =
+  let base = t.next * t.nt in
+  Array.blit t.staging 0 t.data base t.nt;
+  t.ns.(t.next) <- at_ns;
+  t.edges.(t.next) <- at_edges;
+  if t.total = 0 then begin
+    Array.blit t.staging 0 t.mins 0 t.nt;
+    Array.blit t.staging 0 t.maxs 0 t.nt
+  end
+  else
+    for i = 0 to t.nt - 1 do
+      let v = Array.unsafe_get t.staging i in
+      if v < Array.unsafe_get t.mins i then Array.unsafe_set t.mins i v;
+      if v > Array.unsafe_get t.maxs i then Array.unsafe_set t.maxs i v
+    done;
+  Array.blit t.staging 0 t.lasts 0 t.nt;
+  t.next <- (t.next + 1) mod t.cap;
+  if t.len < t.cap then t.len <- t.len + 1;
+  t.total <- t.total + 1
+
+let length t = t.len
+let total t = t.total
+
+(* Physical slot of logical row [i] (0 = oldest retained). *)
+let slot t i =
+  if i < 0 || i >= t.len then invalid_arg "Series: row out of range";
+  if t.len < t.cap then i else (t.next + i) mod t.cap
+
+let get t ~row ~track =
+  if track < 0 || track >= t.nt then invalid_arg "Series.get: track index out of range";
+  t.data.((slot t row * t.nt) + track)
+
+let row_ns t i = t.ns.(slot t i)
+let row_edges t i = t.edges.(slot t i)
+
+let check_track t i =
+  if i < 0 || i >= t.nt then invalid_arg "Series: track index out of range"
+
+let last t i =
+  check_track t i;
+  t.lasts.(i)
+
+let min_of t i =
+  check_track t i;
+  t.mins.(i)
+
+let max_of t i =
+  check_track t i;
+  t.maxs.(i)

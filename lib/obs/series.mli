@@ -1,0 +1,61 @@
+(** Fixed-capacity ring-buffered time series over a declared track set.
+
+    A series is created once with its track names and capacity; after
+    that, taking a sample is pure flat-array arithmetic — stage one
+    int per track, then {!commit} stamps the row with its time and
+    edge coordinates.  Nothing allocates on the sample path, matching
+    the flat-memory discipline of the sketches the series watches.
+
+    The ring retains the last [capacity] rows for live rendering
+    ([mkc top]); running [min]/[max]/[last] per track cover the whole
+    history, so evicted rows still inform the summary. *)
+
+type t
+
+val create : capacity:int -> tracks:string array -> t
+(** Fresh series.  Raises [Invalid_argument] if [capacity < 1], the
+    track set is empty, or a track name repeats. *)
+
+val tracks : t -> string array
+(** The declared track names, in staging-index order.  The returned
+    array is a copy. *)
+
+val ntracks : t -> int
+val capacity : t -> int
+
+val index : t -> string -> int option
+(** Staging index of a track name, or [None] if undeclared. *)
+
+val index_exn : t -> string -> int
+(** Like {!index} but raises [Invalid_argument] naming the track. *)
+
+val stage : t -> int -> int -> unit
+(** [stage t i v] sets track [i]'s value for the next {!commit}.
+    Unstaged tracks keep their previous row's value. *)
+
+val commit : t -> at_ns:int -> at_edges:int -> unit
+(** Seal the staged row at the given coordinates.  O(ntracks), zero
+    allocation.  Overwrites the oldest row once the ring is full. *)
+
+val length : t -> int
+(** Rows currently retained (≤ capacity). *)
+
+val total : t -> int
+(** Rows ever committed (≥ {!length}). *)
+
+val get : t -> row:int -> track:int -> int
+(** [get t ~row ~track] reads a retained row; [row] 0 is the oldest
+    retained, [length t - 1] the newest.  Raises [Invalid_argument]
+    out of range. *)
+
+val row_ns : t -> int -> int
+val row_edges : t -> int -> int
+
+val last : t -> int -> int
+(** Most recently committed value of a track (0 before any commit). *)
+
+val min_of : t -> int -> int
+(** Running minimum over all commits (0 before any commit). *)
+
+val max_of : t -> int -> int
+(** Running maximum over all commits (0 before any commit). *)

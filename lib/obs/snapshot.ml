@@ -19,16 +19,20 @@ type space = {
   samples : int;
 }
 
+type track = { tname : string; tcount : int; tmin : int; tmax : int; tlast : int }
+
 type t = {
   schema : string;
   created_ns : int;
   space : space option;
+  series : track list;
   metrics : metric list;
   spans : Span.span list;
   profiles : profile list;
 }
 
-let schema_version = "mkc-obs/2"
+let schema_version = "mkc-obs/3"
+let schema_v2 = "mkc-obs/2"
 let schema_v1 = "mkc-obs/1"
 
 let headroom_of ~budget_words ~peak_words =
@@ -43,7 +47,21 @@ let hist_of_metric (h : Metric.Histogram.t) =
     hbuckets = Metric.Histogram.nonzero_buckets h;
   }
 
-let capture ?spans ?(profiles = []) ?space ?now_ns registry =
+let tracks_of_series s =
+  let n = Series.total s in
+  if n = 0 then []
+  else
+    Array.to_list (Series.tracks s)
+    |> List.mapi (fun i tname ->
+           {
+             tname;
+             tcount = n;
+             tmin = Series.min_of s i;
+             tmax = Series.max_of s i;
+             tlast = Series.last s i;
+           })
+
+let capture ?spans ?(profiles = []) ?space ?(series = []) ?now_ns registry =
   let spans = match spans with Some s -> s | None -> Span.recent () in
   let now_ns = match now_ns with Some t -> t | None -> Clock.now_ns () in
   let metrics =
@@ -71,7 +89,7 @@ let capture ?spans ?(profiles = []) ?space ?now_ns registry =
         })
       profiles
   in
-  { schema = schema_version; created_ns = now_ns; space; metrics; spans; profiles }
+  { schema = schema_version; created_ns = now_ns; space; series; metrics; spans; profiles }
 
 (* ---------- emission ---------- *)
 
@@ -131,11 +149,24 @@ let json_of_space s =
       ("samples", Json.Int s.samples);
     ]
 
+let json_of_track tr =
+  Json.Object
+    [
+      ("name", Json.String tr.tname);
+      ("count", Json.Int tr.tcount);
+      ("min", Json.Int tr.tmin);
+      ("max", Json.Int tr.tmax);
+      ("last", Json.Int tr.tlast);
+    ]
+
 let to_json t =
   Json.Object
     (("schema", Json.String t.schema)
      :: ("created_ns", Json.Int t.created_ns)
      :: (match t.space with None -> [] | Some s -> [ ("space", json_of_space s) ])
+    @ (match t.series with
+      | [] -> []
+      | trs -> [ ("series", Json.Array (List.map json_of_track trs)) ])
     @ [
         ("metrics", Json.Array (List.map json_of_metric t.metrics));
         ("spans", Json.Array (List.map json_of_span t.spans));
@@ -250,12 +281,24 @@ let space_of_json j =
     Error (ctx ^ ": peak over budget but no overshoot recorded")
   else Ok { budget_words; peak_words; headroom; overshoots; samples }
 
+let track_of_json j =
+  let* tname = field "series track" "name" Json.to_string_opt j in
+  let ctx = Printf.sprintf "series track %S" tname in
+  let* tcount = field ctx "count" Json.to_int j in
+  let* tmin = field ctx "min" Json.to_int j in
+  let* tmax = field ctx "max" Json.to_int j in
+  let* tlast = field ctx "last" Json.to_int j in
+  if tcount < 1 then Error (ctx ^ ": a recorded track needs count >= 1")
+  else if tmin > tmax then Error (ctx ^ ": min above max")
+  else if tlast < tmin || tlast > tmax then Error (ctx ^ ": last outside [min, max]")
+  else Ok { tname; tcount; tmin; tmax; tlast }
+
 let of_json j =
   let* schema = field "snapshot" "schema" Json.to_string_opt j in
-  if schema <> schema_version && schema <> schema_v1 then
+  if schema <> schema_version && schema <> schema_v2 && schema <> schema_v1 then
     Error
-      (Printf.sprintf "snapshot: schema %S, expected %S (or legacy %S)" schema schema_version
-         schema_v1)
+      (Printf.sprintf "snapshot: schema %S, expected %S (or legacy %S / %S)" schema
+         schema_version schema_v2 schema_v1)
   else
     let* created_ns = field "snapshot" "created_ns" Json.to_int j in
     let* space =
@@ -267,13 +310,25 @@ let of_json j =
           let* s = space_of_json sj in
           Ok (Some s)
     in
+    let* series =
+      match Json.member "series" j with
+      | None -> Ok []
+      | Some _ when schema <> schema_version ->
+          Error (Printf.sprintf "snapshot: %S has no \"series\" section" schema)
+      | Some sj -> (
+          match Json.to_list sj with
+          | None -> Error "snapshot: mistyped \"series\" section"
+          | Some raw ->
+              let* trs = map_result track_of_json raw in
+              if trs = [] then Error "snapshot: empty \"series\" section" else Ok trs)
+    in
     let* raw_metrics = list_field "snapshot" "metrics" j in
     let* metrics = map_result metric_of_json raw_metrics in
     let* raw_spans = list_field "snapshot" "spans" j in
     let* spans = map_result span_of_json raw_spans in
     let* raw_profiles = list_field "snapshot" "profiles" j in
     let* profiles = map_result profile_of_json raw_profiles in
-    Ok { schema; created_ns; space; metrics; spans; profiles }
+    Ok { schema; created_ns; space; series; metrics; spans; profiles }
 
 let validate s =
   let* j = Json.parse s in

@@ -1,15 +1,17 @@
 (** Versioned, machine-readable snapshot of an observability state:
-    merged metrics, recent spans, and space-over-stream profiles.
+    merged metrics, recent spans, space-over-stream profiles, and
+    (since "mkc-obs/3") per-track telemetry series summaries.
 
-    The JSON schema is {!schema_version} ("mkc-obs/2", which adds an
-    optional space-watchdog section); {!of_json} re-validates every
-    field, so consumers (CI, [bench]) fail loudly on drift instead of
-    silently mis-parsing.  Legacy {!schema_v1} ("mkc-obs/1") snapshots
-    are still accepted read-only, so old CI artifacts stay loadable;
-    the parsed [schema] field says which version was read.  Emission
-    order is deterministic (metrics sorted by name, spans by start
-    time), so snapshots taken under an injected {!Clock} source are
-    golden-test stable. *)
+    The JSON schema is {!schema_version} ("mkc-obs/3", which adds an
+    optional [series] section of per-track min/max/last summaries);
+    {!of_json} re-validates every field, so consumers (CI, [bench])
+    fail loudly on drift instead of silently mis-parsing.  Legacy
+    {!schema_v2} ("mkc-obs/2") and {!schema_v1} ("mkc-obs/1")
+    snapshots are still accepted read-only, so old CI artifacts stay
+    loadable; the parsed [schema] field says which version was read.
+    Emission order is deterministic (metrics sorted by name, spans by
+    start time), so snapshots taken under an injected {!Clock} source
+    are golden-test stable. *)
 
 type hist = {
   hcount : int;
@@ -32,37 +34,57 @@ type space = {
   samples : int;  (** total watchdog samples *)
 }
 
+type track = {
+  tname : string;  (** telemetry track name, e.g. ["space.words"] *)
+  tcount : int;  (** samples committed (≥ 1 for a recorded track) *)
+  tmin : int;
+  tmax : int;
+  tlast : int;  (** final committed value — what a replayed telemetry
+                    log must reproduce exactly *)
+}
+
 type t = {
   schema : string;
   created_ns : int;
   space : space option;  (** absent on legacy v1 snapshots *)
+  series : track list;  (** empty when absent; v3-only *)
   metrics : metric list;
   spans : Span.span list;
   profiles : profile list;
 }
 
 val schema_version : string
-(** Emission schema, ["mkc-obs/2"]. *)
+(** Emission schema, ["mkc-obs/3"]. *)
+
+val schema_v2 : string
+(** Legacy schema ["mkc-obs/2"], accepted by {!of_json} read-only
+    (its snapshots cannot carry a [series] section). *)
 
 val schema_v1 : string
 (** Legacy schema ["mkc-obs/1"], accepted by {!of_json} read-only (its
-    snapshots cannot carry a [space] section). *)
+    snapshots can carry neither [space] nor [series]). *)
 
 val headroom_of : budget_words:int -> peak_words:int -> float
 (** [peak / budget], or [0.] when the budget is degenerate ([<= 0]) —
     the exact value validation demands of a [space] section. *)
 
+val tracks_of_series : Series.t -> track list
+(** Summarize a live telemetry {!Series} into snapshot tracks (empty
+    when no sample was ever committed), for {!capture}'s [series]
+    argument. *)
+
 val capture :
   ?spans:Span.span list ->
   ?profiles:(string * Space_profile.t) list ->
   ?space:space ->
+  ?series:track list ->
   ?now_ns:int ->
   Registry.t ->
   t
 (** Merge-read the registry (plus the given spans/profiles and
-    optional space-watchdog verdict) into a snapshot.  [spans]
-    defaults to [Span.recent ()]; [now_ns] defaults to
-    {!Clock.now_ns}.  Always stamps {!schema_version}. *)
+    optional space-watchdog verdict and telemetry-series summaries)
+    into a snapshot.  [spans] defaults to [Span.recent ()]; [now_ns]
+    defaults to {!Clock.now_ns}.  Always stamps {!schema_version}. *)
 
 val to_json : t -> Json.t
 val to_string : t -> string

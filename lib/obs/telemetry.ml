@@ -1,0 +1,373 @@
+(* Append-only binary telemetry log.  See the .mli for the layout.
+
+   Framing mirrors Edge_file: little-endian int64 fields, FNV-1a 64
+   checksums, and a named error for every rejection.  The reader adds
+   one twist — a torn final frame (a crash mid-append) yields the
+   intact prefix plus a named [torn] error rather than a failure,
+   because telemetry is most valuable for runs that died. *)
+
+type error =
+  | Bad_magic of string
+  | Bad_version of int
+  | Truncated of string
+  | Checksum_mismatch of { expected : string; got : string }
+  | Malformed of string
+  | Io_error of string
+
+let magic = "MKCTEL1\n"
+let version = 1
+
+let error_to_string = function
+  | Bad_magic s -> Printf.sprintf "not a telemetry log (magic %S, expected %S)" s magic
+  | Bad_version v ->
+      Printf.sprintf "unsupported telemetry log version %d (this build reads %d)" v version
+  | Truncated msg -> Printf.sprintf "truncated telemetry log: %s" msg
+  | Checksum_mismatch { expected; got } ->
+      Printf.sprintf "checksum mismatch: frame says %s, payload hashes to %s" got expected
+  | Malformed msg -> Printf.sprintf "malformed telemetry log: %s" msg
+  | Io_error msg -> Printf.sprintf "i/o error: %s" msg
+
+(* Same FNV-1a 64 as Edge_file and the checkpoint envelope. *)
+let fnv1a64 b ~pos ~len =
+  let h = ref 0xCBF29CE484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h 0x100000001B3L
+  done;
+  !h
+
+let hex64 v = Printf.sprintf "%016Lx" v
+let kind_directory = 1
+let kind_sample = 2
+let kind_event = 3
+
+type sample = { s_ns : int; s_edges : int; values : int array }
+type event = { e_ns : int; e_edges : int; e_name : string; e_value : int }
+
+type log = {
+  tracks : string array;
+  samples : sample list;
+  events : event list;
+  torn : error option;
+}
+
+module Writer = struct
+  type t = {
+    oc : out_channel;
+    ntracks : int;
+    w_tracks : string array;
+    scratch : Bytes.t; (* one full sample frame: 16-byte header + payload *)
+    mutable closed : bool;
+  }
+
+  let frame oc payload =
+    let len = Bytes.length payload in
+    let head = Bytes.create 16 in
+    Bytes.set_int64_le head 0 (Int64.of_int len);
+    Bytes.set_int64_le head 8 (fnv1a64 payload ~pos:0 ~len);
+    output_bytes oc head;
+    output_bytes oc payload
+
+  let directory_payload tracks =
+    let b = Buffer.create 256 in
+    let i64 v =
+      let s = Bytes.create 8 in
+      Bytes.set_int64_le s 0 (Int64.of_int v);
+      Buffer.add_bytes b s
+    in
+    i64 kind_directory;
+    i64 (Array.length tracks);
+    Array.iter
+      (fun name ->
+        i64 (String.length name);
+        Buffer.add_string b name)
+      tracks;
+    Buffer.to_bytes b
+
+  let create path ~tracks =
+    let nt = Array.length tracks in
+    if nt = 0 then invalid_arg "Telemetry.Writer.create: no tracks";
+    match open_out_bin path with
+    | exception Sys_error msg -> Error (Io_error msg)
+    | oc ->
+        let head = Bytes.create 16 in
+        Bytes.blit_string magic 0 head 0 8;
+        Bytes.set_int64_le head 8 (Int64.of_int version);
+        output_bytes oc head;
+        frame oc (directory_payload tracks);
+        let sample_payload = 24 + (8 * nt) in
+        let scratch = Bytes.create (16 + sample_payload) in
+        Bytes.set_int64_le scratch 0 (Int64.of_int sample_payload);
+        Bytes.set_int64_le scratch 16 (Int64.of_int kind_sample);
+        Ok { oc; ntracks = nt; w_tracks = Array.copy tracks; scratch; closed = false }
+
+  let sample t ~at_ns ~at_edges values =
+    if Array.length values <> t.ntracks then
+      invalid_arg "Telemetry.Writer.sample: value count does not match the directory";
+    (* Header and kind are pre-filled in [scratch]; only the payload
+       checksum and the coordinates/values change per sample. *)
+    Bytes.set_int64_le t.scratch 24 (Int64.of_int at_ns);
+    Bytes.set_int64_le t.scratch 32 (Int64.of_int at_edges);
+    for i = 0 to t.ntracks - 1 do
+      Bytes.set_int64_le t.scratch (40 + (8 * i)) (Int64.of_int (Array.unsafe_get values i))
+    done;
+    let plen = Bytes.length t.scratch - 16 in
+    Bytes.set_int64_le t.scratch 8 (fnv1a64 t.scratch ~pos:16 ~len:plen);
+    output_bytes t.oc t.scratch
+
+  let event t ~at_ns ~at_edges ~name ~value =
+    let nlen = String.length name in
+    let payload = Bytes.create (40 + nlen) in
+    Bytes.set_int64_le payload 0 (Int64.of_int kind_event);
+    Bytes.set_int64_le payload 8 (Int64.of_int at_ns);
+    Bytes.set_int64_le payload 16 (Int64.of_int at_edges);
+    Bytes.set_int64_le payload 24 (Int64.of_int value);
+    Bytes.set_int64_le payload 32 (Int64.of_int nlen);
+    Bytes.blit_string name 0 payload 40 nlen;
+    frame t.oc payload
+
+  let flush t = flush t.oc
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      close_out_noerr t.oc
+    end
+end
+
+(* ---------- reading ---------- *)
+
+let ( let* ) = Result.bind
+
+let checked_to_int name v =
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then Error (Malformed (Printf.sprintf "%s %Ld out of range" name v))
+  else Ok i
+
+let parse_directory payload plen =
+  if plen < 16 then Error (Malformed "directory frame too short")
+  else
+    let* nt = checked_to_int "track count" (Bytes.get_int64_le payload 8) in
+    if nt < 1 then Error (Malformed "directory declares no tracks")
+    else begin
+      let tracks = Array.make nt "" in
+      let rec go i pos =
+        if i = nt then
+          if pos = plen then Ok tracks
+          else Error (Malformed "trailing bytes after the track directory")
+        else if pos + 8 > plen then Error (Malformed "directory track length cut short")
+        else
+          let* len = checked_to_int "track name length" (Bytes.get_int64_le payload pos) in
+          if len < 0 || pos + 8 + len > plen then
+            Error (Malformed "directory track name cut short")
+          else begin
+            tracks.(i) <- Bytes.sub_string payload (pos + 8) len;
+            go (i + 1) (pos + 8 + len)
+          end
+      in
+      go 0 16
+    end
+
+let parse_sample payload plen ~ntracks =
+  if plen <> 24 + (8 * ntracks) then
+    Error
+      (Malformed
+         (Printf.sprintf "sample frame is %d bytes, directory of %d tracks needs %d" plen
+            ntracks
+            (24 + (8 * ntracks))))
+  else
+    let* s_ns = checked_to_int "sample ns" (Bytes.get_int64_le payload 8) in
+    let* s_edges = checked_to_int "sample edges" (Bytes.get_int64_le payload 16) in
+    let values = Array.make ntracks 0 in
+    let rec go i =
+      if i = ntracks then Ok { s_ns; s_edges; values }
+      else
+        let* v = checked_to_int "sample value" (Bytes.get_int64_le payload (24 + (8 * i))) in
+        values.(i) <- v;
+        go (i + 1)
+    in
+    go 0
+
+let parse_event payload plen =
+  if plen < 40 then Error (Malformed "event frame too short")
+  else
+    let* e_ns = checked_to_int "event ns" (Bytes.get_int64_le payload 8) in
+    let* e_edges = checked_to_int "event edges" (Bytes.get_int64_le payload 16) in
+    let* e_value = checked_to_int "event value" (Bytes.get_int64_le payload 24) in
+    let* nlen = checked_to_int "event name length" (Bytes.get_int64_le payload 32) in
+    if nlen < 0 || 40 + nlen <> plen then Error (Malformed "event name length disagrees with frame")
+    else Ok { e_ns; e_edges; e_name = Bytes.sub_string payload 40 nlen; e_value }
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let file_len = in_channel_length ic in
+          let data = Bytes.create file_len in
+          let* () =
+            match really_input ic data 0 file_len with
+            | () -> Ok ()
+            | exception End_of_file -> Error (Io_error "file shrank during read")
+          in
+          let* () =
+            if file_len < 16 then
+              Error (Truncated (Printf.sprintf "%d bytes, need 16 for the header" file_len))
+            else Ok ()
+          in
+          let got_magic = Bytes.sub_string data 0 8 in
+          let* () = if String.equal got_magic magic then Ok () else Error (Bad_magic got_magic) in
+          let* ver = checked_to_int "version" (Bytes.get_int64_le data 8) in
+          let* () = if ver = version then Ok () else Error (Bad_version ver) in
+          (* Walk the frames.  A frame that extends past EOF is a torn
+             tail: keep everything before it and name the tear. *)
+          let rec go pos ~tracks ~samples ~events =
+            let finish torn =
+              match tracks with
+              | None -> Error (Malformed "log carries no track directory")
+              | Some tracks ->
+                  Ok { tracks; samples = List.rev samples; events = List.rev events; torn }
+            in
+            if pos = file_len then finish None
+            else if pos + 16 > file_len then
+              finish
+                (Some
+                   (Truncated
+                      (Printf.sprintf "torn frame header at byte %d (%d of 16 bytes)" pos
+                         (file_len - pos))))
+            else
+              let* plen = checked_to_int "frame length" (Bytes.get_int64_le data pos) in
+              if plen < 8 then Error (Malformed (Printf.sprintf "frame of %d bytes at byte %d" plen pos))
+              else if pos + 16 + plen > file_len then
+                finish
+                  (Some
+                     (Truncated
+                        (Printf.sprintf "torn frame at byte %d (%d of %d payload bytes)" pos
+                           (file_len - pos - 16) plen)))
+              else
+                let stored_crc = Bytes.get_int64_le data (pos + 8) in
+                let crc = fnv1a64 data ~pos:(pos + 16) ~len:plen in
+                if not (Int64.equal crc stored_crc) then
+                  Error (Checksum_mismatch { expected = hex64 crc; got = hex64 stored_crc })
+                else
+                  let payload = Bytes.sub data (pos + 16) plen in
+                  let* kind = checked_to_int "frame kind" (Bytes.get_int64_le payload 0) in
+                  let next = pos + 16 + plen in
+                  if kind = kind_directory then
+                    if tracks <> None then Error (Malformed "second track directory")
+                    else
+                      let* tr = parse_directory payload plen in
+                      go next ~tracks:(Some tr) ~samples ~events
+                  else if tracks = None then
+                    Error (Malformed "first frame is not a track directory")
+                  else if kind = kind_sample then
+                    let ntracks = Array.length (Option.get tracks) in
+                    let* s = parse_sample payload plen ~ntracks in
+                    go next ~tracks ~samples:(s :: samples) ~events
+                  else if kind = kind_event then
+                    let* e = parse_event payload plen in
+                    go next ~tracks ~samples ~events:(e :: events)
+                  else Error (Malformed (Printf.sprintf "unknown frame kind %d" kind))
+          in
+          go 16 ~tracks:None ~samples:[] ~events:[])
+
+(* ---------- summaries ---------- *)
+
+type summary = {
+  t_name : string;
+  t_count : int;
+  t_min : int;
+  t_max : int;
+  t_last : int;
+  t_p50 : int;
+  t_p99 : int;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let summarize log =
+  let n = List.length log.samples in
+  Array.to_list log.tracks
+  |> List.mapi (fun i t_name ->
+         if n = 0 then
+           { t_name; t_count = 0; t_min = 0; t_max = 0; t_last = 0; t_p50 = 0; t_p99 = 0 }
+         else begin
+           let vals = Array.make n 0 in
+           List.iteri (fun j s -> vals.(j) <- s.values.(i)) log.samples;
+           let t_last = vals.(n - 1) in
+           Array.sort compare vals;
+           {
+             t_name;
+             t_count = n;
+             t_min = vals.(0);
+             t_max = vals.(n - 1);
+             t_last;
+             t_p50 = quantile vals 0.5;
+             t_p99 = quantile vals 0.99;
+           }
+         end)
+
+let replay ?capacity log =
+  let n = List.length log.samples in
+  let capacity = match capacity with Some c -> c | None -> max 1 n in
+  let s = Series.create ~capacity ~tracks:log.tracks in
+  List.iter
+    (fun smp ->
+      Array.iteri (fun i v -> Series.stage s i v) smp.values;
+      Series.commit s ~at_ns:smp.s_ns ~at_edges:smp.s_edges)
+    log.samples;
+  s
+
+(* ---------- live recording ---------- *)
+
+module Recorder = struct
+  type probe = string * (at_ns:int -> at_edges:int -> int)
+
+  type t = {
+    series : Series.t;
+    writer : Writer.t option;
+    probes : probe array;
+    vals : int array; (* reusable sample row *)
+  }
+
+  let create ?writer ~capacity probes =
+    let names = Array.map fst probes in
+    (match writer with
+    | Some (w : Writer.t) when w.Writer.w_tracks <> names ->
+        invalid_arg "Telemetry.Recorder.create: writer directory does not match the probes"
+    | _ -> ());
+    {
+      series = Series.create ~capacity ~tracks:names;
+      writer;
+      probes;
+      vals = Array.make (Array.length probes) 0;
+    }
+
+  let series t = t.series
+
+  let sample t ~at_edges =
+    let at_ns = Clock.now_ns () in
+    for i = 0 to Array.length t.probes - 1 do
+      let _, eval = Array.unsafe_get t.probes i in
+      let v = eval ~at_ns ~at_edges in
+      Array.unsafe_set t.vals i v;
+      Series.stage t.series i v
+    done;
+    Series.commit t.series ~at_ns ~at_edges;
+    match t.writer with None -> () | Some w -> Writer.sample w ~at_ns ~at_edges t.vals
+
+  let event t ~at_edges ~name ~value =
+    match t.writer with
+    | None -> ()
+    | Some w -> Writer.event w ~at_ns:(Clock.now_ns ()) ~at_edges ~name ~value
+
+  let close t = match t.writer with None -> () | Some w -> Writer.close w
+end

@@ -1,0 +1,119 @@
+(** Append-only binary telemetry log.
+
+    Layout:
+
+    {v
+      offset 0   magic   "MKCTEL1\n" (8 bytes)
+      offset 8   version int64 LE (currently 1)
+      then       frames, each:
+                   payload_len  int64 LE
+                   checksum     int64 LE — FNV-1a 64 over the payload
+                   payload      payload_len bytes
+    v}
+
+    The first frame must be a track directory; after that, sample
+    frames carry one int64 per directory track plus the (ns, edges)
+    coordinates, and event frames carry a named counter increment
+    (health-rule violations, checkpoint saves, …).
+
+    Error handling mirrors [Edge_file]: every rejection is a named
+    variant, never a silent partial load.  The one deliberate
+    exception is a {e torn tail}: a final frame cut short by a crash
+    mid-append.  The reader keeps the intact prefix and reports the
+    tear as a named error in [log.torn] instead of failing, so a
+    telemetry file is useful evidence precisely when the run it
+    describes died. *)
+
+type error =
+  | Bad_magic of string
+  | Bad_version of int
+  | Truncated of string
+  | Checksum_mismatch of { expected : string; got : string }
+  | Malformed of string
+  | Io_error of string
+
+val error_to_string : error -> string
+
+val magic : string
+val version : int
+
+type sample = { s_ns : int; s_edges : int; values : int array }
+type event = { e_ns : int; e_edges : int; e_name : string; e_value : int }
+
+type log = {
+  tracks : string array;
+  samples : sample list; (* oldest first *)
+  events : event list; (* oldest first *)
+  torn : error option; (* a skipped torn final frame, if any *)
+}
+
+module Writer : sig
+  type t
+
+  val create : string -> tracks:string array -> (t, error) result
+  (** Open [path] for append-from-scratch and write the header and
+      track directory.  Raises [Invalid_argument] on an empty track
+      set. *)
+
+  val sample : t -> at_ns:int -> at_edges:int -> int array -> unit
+  (** Append one sample frame.  The value array must have exactly one
+      entry per directory track ([Invalid_argument] otherwise).  Zero
+      allocation per call: the frame is assembled in a reusable
+      scratch buffer. *)
+
+  val event : t -> at_ns:int -> at_edges:int -> name:string -> value:int -> unit
+  val flush : t -> unit
+  val close : t -> unit
+end
+
+val read : string -> (log, error) result
+(** Load and verify a telemetry log.  Corruption {e inside} the file
+    (bad checksum, malformed frame with more data after it) is a hard
+    error; a torn final frame is skipped and reported in [torn]. *)
+
+type summary = {
+  t_name : string;
+  t_count : int;
+  t_min : int;
+  t_max : int;
+  t_last : int;
+  t_p50 : int;
+  t_p99 : int;
+}
+
+val summarize : log -> summary list
+(** Per-track summary over all samples, in directory order.  Tracks
+    with no samples report all-zero fields with [t_count = 0]. *)
+
+val quantile : int array -> float -> int
+(** [quantile sorted q] with [sorted] ascending: the smallest element
+    whose rank covers fraction [q] of the data (0 on empty input). *)
+
+val replay : ?capacity:int -> log -> Series.t
+(** Rebuild a {!Series} from a log's samples (capacity defaults to
+    the sample count, min 1), for rendering a finished run with
+    [Top.render]. *)
+
+module Recorder : sig
+  (** Glue between a live run and the series/log: a fixed probe set
+      evaluated on each [Sink.Observed] cadence sample. *)
+
+  type probe = string * (at_ns:int -> at_edges:int -> int)
+
+  type t
+
+  val create : ?writer:Writer.t -> capacity:int -> probe array -> t
+  (** The probe names become the series tracks (and must match the
+      writer's directory when a writer is given). *)
+
+  val series : t -> Series.t
+
+  val sample : t -> at_edges:int -> unit
+  (** Evaluate every probe at [Clock.now_ns ()], commit the row, and
+      append it to the log (when writing). *)
+
+  val event : t -> at_edges:int -> name:string -> value:int -> unit
+  (** Forward a named event to the log (when writing). *)
+
+  val close : t -> unit
+end

@@ -60,6 +60,16 @@ module Observed = struct
        process pays for, so it joins the breakdown under its own key
        and the budget watchdog sees it. *)
     mutable ckpt_words : int;
+    (* Sample fan-out: the telemetry recorder (and anything else that
+       wants the cadence heartbeat) hooks in here.  Called after the
+       profile point is recorded but before the budget watchdog, so a
+       strict-mode abort still leaves the final sample in the log. *)
+    mutable on_sample : (edges:int -> words:int -> unit) option;
+    (* The breakdown the most recent [sample] recorded — so the
+       telemetry probes riding [on_sample] can read the walk the sample
+       already paid for instead of re-walking (and re-flushing) every
+       sketch.  Empty until the first sample. *)
+    mutable last_bd : (string * int) list;
   }
 
   let default_cadence = 65536
@@ -70,17 +80,23 @@ module Observed = struct
 
   let sample (type s r) (t : (s, r) st) =
     let (module M) = t.inner in
-    let words = total_words t in
+    (* One walk serves both numbers: every sink's [words] is the sum of
+       its [words_breakdown] (the S contract — words split by
+       component), so the total falls out of the component walk. *)
     let breakdown =
       let inner = M.words_breakdown t.state in
-      if t.ckpt_words > 0 then ("checkpoint", t.ckpt_words) :: inner else inner
+      canonical_breakdown
+        (if t.ckpt_words > 0 then ("checkpoint", t.ckpt_words) :: inner else inner)
     in
-    Mkc_obs.Space_profile.record t.profile ~at_edges:t.edges ~words
-      ~breakdown:(canonical_breakdown breakdown);
+    let words = List.fold_left (fun acc (_, w) -> acc + w) 0 breakdown in
+    t.last_bd <- breakdown;
+    Mkc_obs.Space_profile.record t.profile ~at_edges:t.edges ~words ~breakdown;
     if Mkc_obs.Trace.enabled () then
       Mkc_obs.Trace.counter "space.words" ~at_ns:(Mkc_obs.Clock.now_ns ()) words;
+    (match t.on_sample with None -> () | Some f -> f ~edges:t.edges ~words);
     (* Watchdog last: in strict mode [observe] raises on overshoot, and
-       the profile point above should survive to tell the story. *)
+       the profile point (and telemetry sample) above should survive to
+       tell the story. *)
     match t.budget with None -> () | Some b -> Mkc_sketch.Space.Budget.observe b words
 
   let wrap ?(cadence = default_cadence) ?budget inner state =
@@ -93,10 +109,13 @@ module Observed = struct
       edges = 0;
       next_at = cadence;
       ckpt_words = 0;
+      on_sample = None;
+      last_bd = [];
     }
 
   let profile t = t.profile
   let state t = t.state
+  let set_on_sample t f = t.on_sample <- Some f
 
   let note_checkpoint t ~words =
     if words < 0 then invalid_arg "Sink.Observed.note_checkpoint: negative words";
@@ -140,6 +159,9 @@ module Observed = struct
     let inner = M.words_breakdown t.state in
     canonical_breakdown
       (if t.ckpt_words > 0 then ("checkpoint", t.ckpt_words) :: inner else inner)
+
+  let sampled_breakdown (type s r) (t : (s, r) st) =
+    match t.last_bd with [] -> words_breakdown t | bd -> bd
 
   let sink (type s r) () : ((s, r) st, r) sink =
     (module struct

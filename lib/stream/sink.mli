@@ -129,6 +129,23 @@ module Observed : sig
 
   val profile : ('s, 'r) st -> Mkc_obs.Space_profile.t
 
+  val words : ('s, 'r) st -> int
+  (** The observed totals — the inner sink's {!S.words} plus any
+      {!note_checkpoint} words: exactly what each profile sample and
+      budget check sees. *)
+
+  val words_breakdown : ('s, 'r) st -> (string * int) list
+  (** Canonicalized observed breakdown (inner breakdown plus the
+      ["checkpoint"] key when checkpoint words are held). *)
+
+  val sampled_breakdown : ('s, 'r) st -> (string * int) list
+  (** The breakdown the most recent sample recorded — the walk (and
+      deferred-accumulator flush) that sample already paid for.  Inside
+      a {!set_on_sample} callback this equals {!words_breakdown} at
+      zero cost; the telemetry probes read it so a cadence sample walks
+      the sketches exactly once.  Before the first sample it falls back
+      to a fresh {!words_breakdown}. *)
+
   val state : ('s, 'r) st -> 's
   (** The wrapped sink's state — e.g. to aim a {!Checkpoint.codec} at
       the inner sink ([Checkpoint.map_codec Observed.state codec]). *)
@@ -144,6 +161,14 @@ module Observed : sig
   val sample : ('s, 'r) st -> unit
   (** Record a sample now — for drivers that finalize through the
       original typed handle rather than the wrapper. *)
+
+  val set_on_sample : ('s, 'r) st -> (edges:int -> words:int -> unit) -> unit
+  (** Register a cadence fan-out callback, invoked on every sample
+      (cadence crossings and the finalize sample) after the profile
+      point is recorded and before the budget watchdog runs — so a
+      strict-mode abort still delivers the final sample.  This is how
+      [--telemetry] ties a {!Mkc_obs.Telemetry.Recorder} to the
+      existing sampling cadence.  Last registration wins. *)
 
   type observed_any = {
     osink : any;  (** drive this instead of the original *)

@@ -136,23 +136,27 @@ let save_binary t ~n ~m path =
         (Printf.sprintf "Stream_source.save_binary: %s: %s" path
            (Edge_file.error_to_string e))
 
-let load_binary path =
+(* Every binary rejection is re-raised as "<caller>: <path>: <named
+   error>" — the caller context tells the operator which entry point
+   tripped, and the path survives even when the underlying
+   [Edge_file.error] (magic, version, checksum, …) doesn't carry it. *)
+let read_binary_or_fail ~ctx path =
   match Edge_file.read path with
   | Ok (edges, n, m) -> (edges, n, m)
   | Error e ->
-      failwith
-        (Printf.sprintf "Stream_source.load_binary: %s: %s" path
-           (Edge_file.error_to_string e))
+      failwith (Printf.sprintf "%s: %s: %s" ctx path (Edge_file.error_to_string e))
+
+let load_binary path = read_binary_or_fail ~ctx:"Stream_source.load_binary" path
 
 let load_auto path =
   if Edge_file.is_binary path then
-    let edges, _, _ = load_binary path in
+    let edges, _, _ = read_binary_or_fail ~ctx:"Stream_source.load_auto" path in
     edges
   else load path
 
 let load_auto_dims path =
   if Edge_file.is_binary path then
-    let edges, n, m = load_binary path in
+    let edges, n, m = read_binary_or_fail ~ctx:"Stream_source.load_auto" path in
     (edges, m, n)
   else
     let t = load path in

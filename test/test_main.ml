@@ -21,5 +21,8 @@ let () =
       ("alloc", Test_alloc.suite);
       ("quality-stats", Test_quality_stats.suite);
       ("obs", Test_obs.suite);
+      ("series", Test_series.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("health", Test_health.suite);
       ("trace", Test_trace.suite);
     ]

@@ -10,10 +10,13 @@
         profile's final point equals words_breakdown exactly;
      4. run_parallel and sequential ingestion agree metric-for-metric
         on the invariant counters;
-     5. the mkc-obs/2 JSON snapshot is byte-stable under an injected
+     5. the mkc-obs/3 JSON snapshot is byte-stable under an injected
         clock and survives a parse→validate round trip, while tampered
-        snapshots are rejected; legacy mkc-obs/1 snapshots still load
-        (read-only) and re-emit byte-identically. *)
+        snapshots are rejected; legacy mkc-obs/1 and mkc-obs/2
+        snapshots still load (read-only) and re-emit byte-identically;
+     6. the Prometheus exposition handles hostile metric names and
+        non-finite gauge values, and bucket counts stay monotone under
+        histogram merges. *)
 
 module Edge = Mkc_stream.Edge
 module Ss = Mkc_stream.Set_system
@@ -331,15 +334,26 @@ let golden_body =
    \"profiles\":[{\"name\":\"p\",\"cadence\":2,\
    \"points\":[{\"at_edges\":2,\"words\":3,\"breakdown\":[[\"a\",1],[\"b\",2]]}]}]}"
 
-let golden = "{\"schema\":\"mkc-obs/2\",\"created_ns\":42," ^ golden_body
+let golden = "{\"schema\":\"mkc-obs/3\",\"created_ns\":42," ^ golden_body
 
 (* The PR-2 era emission, byte for byte: still accepted read-only. *)
 let golden_v1 = "{\"schema\":\"mkc-obs/1\",\"created_ns\":42," ^ golden_body
 
-let golden_space =
+(* Likewise the PR-4..6 era emission (space section, no series). *)
+let golden_v2 =
   "{\"schema\":\"mkc-obs/2\",\"created_ns\":42,\
    \"space\":{\"budget_words\":8,\"peak_words\":4,\"headroom\":0.5,\
    \"overshoots\":0,\"samples\":3}," ^ golden_body
+
+let golden_space =
+  "{\"schema\":\"mkc-obs/3\",\"created_ns\":42,\
+   \"space\":{\"budget_words\":8,\"peak_words\":4,\"headroom\":0.5,\
+   \"overshoots\":0,\"samples\":3}," ^ golden_body
+
+let golden_series =
+  "{\"schema\":\"mkc-obs/3\",\"created_ns\":42,\
+   \"series\":[{\"name\":\"space.words\",\"count\":3,\"min\":1,\"max\":9,\"last\":4},\
+   {\"name\":\"pipeline.edges\",\"count\":3,\"min\":2,\"max\":6,\"last\":6}]," ^ golden_body
 
 let golden_snapshot () =
   let r = Obs.Registry.create () in
@@ -361,6 +375,12 @@ let golden_space_record =
     samples = 3;
   }
 
+let golden_series_tracks =
+  [
+    { Obs.Snapshot.tname = "space.words"; tcount = 3; tmin = 1; tmax = 9; tlast = 4 };
+    { Obs.Snapshot.tname = "pipeline.edges"; tcount = 3; tmin = 2; tmax = 6; tlast = 6 };
+  ]
+
 let test_snapshot_golden () =
   with_metrics (fun () ->
       checks "byte-stable emission" golden
@@ -369,7 +389,12 @@ let test_snapshot_golden () =
         { (golden_snapshot ()) with Obs.Snapshot.space = Some golden_space_record }
       in
       checks "byte-stable emission with a space section" golden_space
-        (Obs.Snapshot.to_string with_space))
+        (Obs.Snapshot.to_string with_space);
+      let with_series =
+        { (golden_snapshot ()) with Obs.Snapshot.series = golden_series_tracks }
+      in
+      checks "byte-stable emission with a series section" golden_series
+        (Obs.Snapshot.to_string with_series))
 
 let test_snapshot_round_trip () =
   with_metrics (fun () ->
@@ -385,11 +410,18 @@ let test_snapshot_round_trip () =
           checks "re-emission is a fixpoint" s (Obs.Snapshot.to_string snap));
       match Obs.Snapshot.validate golden_space with
       | Error e -> Alcotest.failf "space snapshot rejected: %s" e
-      | Ok snap ->
+      | Ok snap -> (
           checkb "space section parsed" true
             (snap.Obs.Snapshot.space = Some golden_space_record);
           checks "space re-emission is a fixpoint" golden_space
-            (Obs.Snapshot.to_string snap)
+            (Obs.Snapshot.to_string snap);
+          match Obs.Snapshot.validate golden_series with
+          | Error e -> Alcotest.failf "series snapshot rejected: %s" e
+          | Ok snap ->
+              checkb "series section parsed" true
+                (snap.Obs.Snapshot.series = golden_series_tracks);
+              checks "series re-emission is a fixpoint" golden_series
+                (Obs.Snapshot.to_string snap))
 
 let test_snapshot_accepts_v1 () =
   with_metrics (fun () ->
@@ -402,6 +434,17 @@ let test_snapshot_accepts_v1 () =
           (* Re-emission keeps the v1 stamp, so reading and re-writing an
              old CI artifact is the identity, not a silent upgrade. *)
           checks "v1 re-emission is a fixpoint" golden_v1 (Obs.Snapshot.to_string snap))
+
+let test_snapshot_accepts_v2 () =
+  with_metrics (fun () ->
+      match Obs.Snapshot.validate golden_v2 with
+      | Error e -> Alcotest.failf "legacy v2 snapshot rejected: %s" e
+      | Ok snap ->
+          checks "parsed schema says v2" Obs.Snapshot.schema_v2 snap.Obs.Snapshot.schema;
+          checkb "v2 space section survives" true
+            (snap.Obs.Snapshot.space = Some golden_space_record);
+          checkb "v2 has no series section" true (snap.Obs.Snapshot.series = []);
+          checks "v2 re-emission is a fixpoint" golden_v2 (Obs.Snapshot.to_string snap))
 
 (* First-occurrence substring replacement (avoids a Str dependency). *)
 let replace_once ~sub ~by s =
@@ -427,7 +470,7 @@ let test_snapshot_rejects_tampering () =
     | Ok _ -> Alcotest.failf "validator accepted %s" what
     | Error _ -> ()
   in
-  reject "a foreign schema" (replace_once ~sub:"mkc-obs/2" ~by:"mkc-obs/3" golden);
+  reject "a foreign schema" (replace_once ~sub:"mkc-obs/3" ~by:"mkc-obs/4" golden);
   (* histogram bucket counts no longer sum to count *)
   reject "a bucket-sum mismatch"
     (replace_once ~sub:"\"buckets\":[[1,1]]" ~by:"\"buckets\":[[1,2]]" golden);
@@ -435,9 +478,25 @@ let test_snapshot_rejects_tampering () =
   reject "a breakdown-sum mismatch"
     (replace_once ~sub:"[\"b\",2]" ~by:"[\"b\",7]" golden);
   reject "truncated JSON" (String.sub golden 0 (String.length golden - 1));
-  (* the space section is v2-only: a v1 stamp with one is a forgery *)
+  (* the space section is v2+: a v1 stamp with one is a forgery *)
   reject "a v1 snapshot carrying a space section"
-    (replace_once ~sub:"mkc-obs/2" ~by:"mkc-obs/1" golden_space);
+    (replace_once ~sub:"mkc-obs/3" ~by:"mkc-obs/1" golden_space);
+  (* likewise the series section is v3-only *)
+  reject "a v2 snapshot carrying a series section"
+    (replace_once ~sub:"mkc-obs/3" ~by:"mkc-obs/2" golden_series);
+  reject "an empty series array"
+    (replace_once
+       ~sub:
+         "\"series\":[{\"name\":\"space.words\",\"count\":3,\"min\":1,\"max\":9,\"last\":4},\
+          {\"name\":\"pipeline.edges\",\"count\":3,\"min\":2,\"max\":6,\"last\":6}]"
+       ~by:"\"series\":[]" golden_series);
+  (* min ≤ last ≤ max is the summary invariant a replay must satisfy *)
+  reject "a series track whose last escapes [min, max]"
+    (replace_once ~sub:"\"max\":9,\"last\":4" ~by:"\"max\":9,\"last\":19" golden_series);
+  reject "a series track with min > max"
+    (replace_once ~sub:"\"min\":1,\"max\":9" ~by:"\"min\":10,\"max\":9" golden_series);
+  reject "a series track with zero count"
+    (replace_once ~sub:"\"count\":3,\"min\":1" ~by:"\"count\":0,\"min\":1" golden_series);
   (* headroom must equal peak/budget exactly *)
   reject "a headroom that disagrees with peak/budget"
     (replace_once ~sub:"\"headroom\":0.5" ~by:"\"headroom\":0.25" golden_space);
@@ -471,6 +530,100 @@ let test_json_parse () =
   checkb "non-integral float is not an int" true
     (Obs.Json.to_int (Obs.Json.Float 3.5) = None)
 
+(* --- Prometheus exposition: hostile names, specials, monotone buckets --- *)
+
+let snapshot_of_metrics metrics =
+  {
+    Obs.Snapshot.schema = Obs.Snapshot.schema_version;
+    created_ns = 42;
+    space = None;
+    series = [];
+    metrics;
+    spans = [];
+    profiles = [];
+  }
+
+let prom_lines metrics =
+  String.split_on_char '\n' (Obs.Export.prometheus (snapshot_of_metrics metrics))
+
+let test_prometheus_sanitize () =
+  let counter name v = { Obs.Snapshot.mname = name; mvalue = Obs.Snapshot.Counter v } in
+  let lines = prom_lines [ counter "mkc.estimate-rate" 3 ] in
+  checkb "dots and dashes map to underscores" true
+    (List.mem "mkc_estimate_rate 3" lines);
+  (* A leading digit is illegal in a Prometheus name; dropping it would
+     collide "2xx" with "xx", so it gains a '_' prefix instead. *)
+  let lines = prom_lines [ counter "2xx" 1; counter "xx" 2 ] in
+  checkb "leading digit is prefixed" true (List.mem "_2xx 1" lines);
+  checkb "plain name untouched" true (List.mem "xx 2" lines);
+  let lines = prom_lines [ counter "" 7 ] in
+  checkb "empty name becomes a bare underscore" true (List.mem "_ 7" lines);
+  let lines = prom_lines [ counter "héllo wörld" 1 ] in
+  (* 'é'/'ö' are two UTF-8 bytes each, hence two underscores *)
+  checkb "non-ASCII bytes all map to underscores" true
+    (List.mem "h__llo_w__rld 1" lines)
+
+let test_prometheus_specials () =
+  let gauge name v = { Obs.Snapshot.mname = name; mvalue = Obs.Snapshot.Gauge v } in
+  let lines =
+    prom_lines
+      [ gauge "g_nan" Float.nan; gauge "g_pinf" Float.infinity;
+        gauge "g_ninf" Float.neg_infinity; gauge "g_int" 3.0; gauge "g_frac" 0.25 ]
+  in
+  checkb "NaN spelled canonically" true (List.mem "g_nan NaN" lines);
+  checkb "+Inf spelled canonically" true (List.mem "g_pinf +Inf" lines);
+  checkb "-Inf spelled canonically" true (List.mem "g_ninf -Inf" lines);
+  checkb "integral gauges print as integers" true (List.mem "g_int 3" lines);
+  checkb "fractional gauges keep their fraction" true (List.mem "g_frac 0.25" lines);
+  (* scrapers reject C-locale spellings *)
+  List.iter
+    (fun l ->
+      checkb "no lowercase nan/inf leaks" false
+        (contains ~sub:" nan" l || contains ~sub:" inf" l || contains ~sub:" -inf" l))
+    lines
+
+(* Cumulative bucket counts must be nondecreasing and end at _count —
+   including for a histogram produced by merging shards with disjoint
+   bucket support. *)
+let test_prometheus_bucket_monotone () =
+  let hist_metric h =
+    {
+      Obs.Snapshot.mname = "lat";
+      mvalue =
+        Obs.Snapshot.Histogram
+          {
+            Obs.Snapshot.hcount = h.H.count;
+            hsum = h.H.sum;
+            hmin = h.H.vmin;
+            hmax = h.H.vmax;
+            hbuckets = H.nonzero_buckets h;
+          };
+    }
+  in
+  let merged = H.merge (hist_of [ 1.0; 1.5; 100.0 ]) (hist_of [ 3.0; 4.0; 1000.0 ]) in
+  let lines = prom_lines [ hist_metric merged ] in
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if String.length l > 11 && String.sub l 0 11 = "lat_bucket{" then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+              Some (int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+          | None -> None
+        else None)
+      lines
+  in
+  checkb "at least the +Inf bucket plus one finite bucket" true
+    (List.length bucket_counts >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  checkb "cumulative counts are nondecreasing" true (monotone bucket_counts);
+  checki "+Inf bucket equals the total count" merged.H.count
+    (List.nth bucket_counts (List.length bucket_counts - 1));
+  checkb "_count line matches" true (List.mem "lat_count 6" lines)
+
 (* --- Stream_source.load: malformed input names the line --- *)
 
 let load_failure content =
@@ -494,6 +647,109 @@ let test_load_error_line_number () =
   let msg = load_failure "0 1 2\n" in
   checkb "reports a field-count mismatch" true
     (contains ~sub:"expected 2 fields, got 3" msg)
+
+(* --- Stream_source.load_auto: binary rejections name the path --- *)
+
+let with_binary_stream mutate k =
+  let path = Filename.temp_file "mkc_obs_edge" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let edges = Array.init 64 (fun i -> Edge.make ~set:(i mod 8) ~elt:(i mod 16)) in
+      (match Mkc_stream.Edge_file.write path edges ~n:16 ~m:8 with
+      | Ok (_ : int) -> ()
+      | Error e ->
+          Alcotest.failf "setup write: %s" (Mkc_stream.Edge_file.error_to_string e));
+      mutate path;
+      k path)
+
+let patch_byte path ~pos f =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  let pos = if pos < 0 then len + pos else pos in
+  Bytes.set b pos (f (Bytes.get b pos));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let truncate_file path keep =
+  let ic = open_in_bin path in
+  let b = Bytes.create keep in
+  really_input ic b 0 keep;
+  close_in ic;
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let load_auto_failure mutate =
+  with_binary_stream mutate (fun path ->
+      match Src.load_auto path with
+      | (_ : Src.t) -> Alcotest.fail "corrupt binary stream loaded"
+      | exception Failure msg ->
+          (* every binary rejection must say which file and which loader *)
+          checkb "failure names the loader" true
+            (contains ~sub:"Stream_source.load_auto" msg);
+          checkb "failure names the file path" true (contains ~sub:path msg);
+          msg)
+
+let test_load_auto_rejection_matrix () =
+  with_binary_stream
+    (fun _ -> ())
+    (fun path -> checki "intact binary stream loads" 64 (Src.length (Src.load_auto path)));
+  (* byte 8 is the format version (int64 LE) *)
+  let msg = load_auto_failure (fun p -> patch_byte p ~pos:8 (fun _ -> '\xff')) in
+  checkb "bad version is named" true (contains ~sub:"version" msg);
+  (* a header cut short (but past the 8-byte magic sniff) *)
+  let msg = load_auto_failure (fun p -> truncate_file p 20) in
+  checkb "truncated header is named" true (contains ~sub:"truncated" msg);
+  (* intact header, columns cut short *)
+  let msg = load_auto_failure (fun p -> truncate_file p 700) in
+  checkb "truncated columns are named" true (contains ~sub:"truncated" msg);
+  (* same length, one flipped column byte: the body checksum catches it *)
+  let msg =
+    load_auto_failure (fun p ->
+        patch_byte p ~pos:(-1) (fun c -> Char.chr (Char.code c lxor 1)))
+  in
+  checkb "flipped column byte is named" true (contains ~sub:"checksum" msg);
+  (* a column value outside the declared universe bound *)
+  let msg = load_auto_failure (fun p -> patch_byte p ~pos:48 (fun _ -> '\xee')) in
+  checkb "out-of-range id or checksum damage is named" true
+    (contains ~sub:"checksum" msg || contains ~sub:"out of range" msg
+    || contains ~sub:"malformed" msg)
+
+(* --- Mid-run space accounting is exact at chunk boundaries --- *)
+
+let test_midrun_words_exact () =
+  (* The deferred CountSketch/tracked accumulators are flushed on every
+     words/words_breakdown read, so a batched run's mid-stream space
+     sample must equal the per-edge run's at the same boundary — this
+     is what makes the telemetry space.words track exact, not laggy. *)
+  let src, params = instance () in
+  let edges = Src.to_array src in
+  let total = Array.length edges in
+  let chunk = 97 in
+  let batched = E.create params and peredge = E.create params in
+  let pos = ref 0 in
+  while !pos < total do
+    let len = min chunk (total - !pos) in
+    E.feed_batch batched edges ~pos:!pos ~len;
+    for i = !pos to !pos + len - 1 do
+      E.feed peredge edges.(i)
+    done;
+    pos := !pos + len;
+    checki
+      (Printf.sprintf "words agree at edge %d" !pos)
+      (E.words peredge) (E.words batched);
+    checkb
+      (Printf.sprintf "breakdowns agree at edge %d" !pos)
+      true
+      (E.words_breakdown peredge = E.words_breakdown batched)
+  done;
+  checkb "reading words mid-run perturbed nothing" true
+    (fingerprint (E.finalize batched) = fingerprint (E.finalize peredge))
 
 let suite =
   [
@@ -519,10 +775,20 @@ let suite =
     Alcotest.test_case "snapshot: validate round trip" `Quick test_snapshot_round_trip;
     Alcotest.test_case "snapshot: accepts legacy mkc-obs/1" `Quick
       test_snapshot_accepts_v1;
+    Alcotest.test_case "snapshot: accepts legacy mkc-obs/2" `Quick
+      test_snapshot_accepts_v2;
     Alcotest.test_case "snapshot: rejects tampering" `Quick
       test_snapshot_rejects_tampering;
     Alcotest.test_case "json: parse/print round trip" `Quick test_json_parse;
+    Alcotest.test_case "prometheus: name sanitization" `Quick test_prometheus_sanitize;
+    Alcotest.test_case "prometheus: NaN/Inf spellings" `Quick test_prometheus_specials;
+    Alcotest.test_case "prometheus: merged buckets stay monotone" `Quick
+      test_prometheus_bucket_monotone;
     Alcotest.test_case "stream_source: malformed line number" `Quick
       test_load_error_line_number;
+    Alcotest.test_case "stream_source: binary rejection matrix names the path" `Quick
+      test_load_auto_rejection_matrix;
+    Alcotest.test_case "estimate: mid-run words exact at chunk boundaries" `Quick
+      test_midrun_words_exact;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_observed_equals_bare ]

@@ -1,0 +1,123 @@
+(* Mkc_obs.Series — the fixed-capacity ring-buffered time series under
+   [--telemetry] and [mkc top].
+
+   Claims checked here:
+   1. Construction validates capacity >= 1, a non-empty track set, and
+      distinct track names.
+   2. stage/commit semantics: a committed row carries the staged
+      values plus its (ns, edges) coordinates; unstaged tracks keep
+      the previous row's value.
+   3. The ring retains the newest [capacity] rows (row 0 = oldest
+      retained) while [total] keeps counting every commit.
+   4. Running min/max/last summarize the WHOLE history, including
+      evicted rows.
+   5. The sample path (stage + commit) does not allocate — the
+      zero-allocation discipline the hot path tests demand of feed
+      also holds for the telemetry tap riding on it. *)
+
+module Series = Mkc_obs.Series
+
+let tracks3 = [| "a"; "b"; "c" |]
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_create_validation () =
+  check_invalid "capacity 0" (fun () ->
+      ignore (Series.create ~capacity:0 ~tracks:tracks3));
+  check_invalid "capacity negative" (fun () ->
+      ignore (Series.create ~capacity:(-3) ~tracks:tracks3));
+  check_invalid "no tracks" (fun () -> ignore (Series.create ~capacity:4 ~tracks:[||]));
+  check_invalid "duplicate track" (fun () ->
+      ignore (Series.create ~capacity:4 ~tracks:[| "x"; "y"; "x" |]));
+  let s = Series.create ~capacity:4 ~tracks:tracks3 in
+  Alcotest.(check int) "ntracks" 3 (Series.ntracks s);
+  Alcotest.(check int) "capacity" 4 (Series.capacity s);
+  Alcotest.(check (array string)) "tracks copy" tracks3 (Series.tracks s);
+  (* the returned array is a copy: mutating it must not corrupt the series *)
+  (Series.tracks s).(0) <- "smashed";
+  Alcotest.(check (option int)) "index a" (Some 0) (Series.index s "a");
+  Alcotest.(check (option int)) "index c" (Some 2) (Series.index s "c");
+  Alcotest.(check (option int)) "index unknown" None (Series.index s "nope");
+  check_invalid "index_exn unknown" (fun () -> ignore (Series.index_exn s "nope"))
+
+let test_stage_commit () =
+  let s = Series.create ~capacity:8 ~tracks:tracks3 in
+  Alcotest.(check int) "empty length" 0 (Series.length s);
+  Alcotest.(check int) "empty total" 0 (Series.total s);
+  Alcotest.(check int) "last before any commit" 0 (Series.last s 0);
+  Series.stage s 0 10;
+  Series.stage s 1 20;
+  Series.stage s 2 30;
+  Series.commit s ~at_ns:1000 ~at_edges:64;
+  Alcotest.(check int) "row 0 track a" 10 (Series.get s ~row:0 ~track:0);
+  Alcotest.(check int) "row 0 track c" 30 (Series.get s ~row:0 ~track:2);
+  Alcotest.(check int) "row_ns" 1000 (Series.row_ns s 0);
+  Alcotest.(check int) "row_edges" 64 (Series.row_edges s 0);
+  (* Second commit stages only track b: a and c must carry over. *)
+  Series.stage s 1 25;
+  Series.commit s ~at_ns:2000 ~at_edges:128;
+  Alcotest.(check int) "carried a" 10 (Series.get s ~row:1 ~track:0);
+  Alcotest.(check int) "staged b" 25 (Series.get s ~row:1 ~track:1);
+  Alcotest.(check int) "carried c" 30 (Series.get s ~row:1 ~track:2);
+  Alcotest.(check int) "length" 2 (Series.length s);
+  Alcotest.(check int) "total" 2 (Series.total s);
+  check_invalid "get row out of range" (fun () -> ignore (Series.get s ~row:2 ~track:0));
+  check_invalid "get track out of range" (fun () -> ignore (Series.get s ~row:0 ~track:3))
+
+let test_ring_eviction () =
+  let s = Series.create ~capacity:3 ~tracks:[| "v" |] in
+  for i = 1 to 5 do
+    Series.stage s 0 (10 * i);
+    Series.commit s ~at_ns:(1000 * i) ~at_edges:(100 * i)
+  done;
+  Alcotest.(check int) "length capped" 3 (Series.length s);
+  Alcotest.(check int) "total keeps counting" 5 (Series.total s);
+  (* Rows 1 and 2 were evicted; row 0 is now the 3rd commit. *)
+  Alcotest.(check int) "oldest retained value" 30 (Series.get s ~row:0 ~track:0);
+  Alcotest.(check int) "newest value" 50 (Series.get s ~row:2 ~track:0);
+  Alcotest.(check int) "oldest retained ns" 3000 (Series.row_ns s 0);
+  Alcotest.(check int) "newest edges" 500 (Series.row_edges s 2)
+
+let test_running_summary_covers_evicted () =
+  let s = Series.create ~capacity:2 ~tracks:[| "v" |] in
+  let feed v = Series.stage s 0 v; Series.commit s ~at_ns:v ~at_edges:v in
+  (* max (90) and min (-7) both fall out of the 2-row window by the end *)
+  List.iter feed [ 5; 90; -7; 12; 8 ];
+  Alcotest.(check int) "length" 2 (Series.length s);
+  Alcotest.(check int) "last" 8 (Series.last s 0);
+  Alcotest.(check int) "min covers evicted" (-7) (Series.min_of s 0);
+  Alcotest.(check int) "max covers evicted" 90 (Series.max_of s 0)
+
+(* Claim 5: the sample path is allocation-free.  Same idiom as
+   test_alloc.ml: warm everything up, settle the GC, then measure the
+   minor-words delta across a burst of samples. *)
+let test_commit_zero_alloc () =
+  let s = Series.create ~capacity:64 ~tracks:tracks3 in
+  let burst n =
+    for i = 1 to n do
+      Series.stage s 0 i;
+      Series.stage s 1 (2 * i);
+      Series.stage s 2 (i land 7);
+      Series.commit s ~at_ns:i ~at_edges:(i * 10)
+    done
+  in
+  burst 100;
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  burst 10_000;
+  let delta = Gc.minor_words () -. before in
+  let per_sample = delta /. 10_000. in
+  if per_sample > 0.1 then
+    Alcotest.failf "stage+commit allocates %.3f words/sample (want 0)" per_sample
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "stage/commit semantics" `Quick test_stage_commit;
+    Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "min/max/last cover evicted history" `Quick
+      test_running_summary_covers_evicted;
+    Alcotest.test_case "zero allocation per sample" `Quick test_commit_zero_alloc;
+  ]
