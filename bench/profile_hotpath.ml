@@ -3,7 +3,10 @@
    same instance mix as Estimate.create) and reports ns/edge plus
    minor-heap words/edge, so hashing vs update vs GC costs are
    attributable — the flat-memory engine's "zero words per edge"
-   promise is a line item here, not a guess.
+   promise is a line item here, not a guess.  A pool section drives the
+   persistent domain-pool executor over the same edges and reports the
+   pipelining attribution (plan-build overlap ns/edge, per-worker
+   queue-wait, idle fractions) from Pool.stats.
 
    [run] profiles the BENCH_pipeline workload and writes
    PROFILE_hotpath.json; [run_smoke] is the CI-sized variant (same
@@ -35,7 +38,7 @@ let time_alloc rows name ~edges f =
     r.words_per_edge;
   rows := r :: !rows
 
-let write_json path ~label ~edges ~instances rows =
+let write_json path ~label ~edges ~instances ?pool_json rows =
   let oc = open_out path in
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
@@ -52,7 +55,11 @@ let write_json path ~label ~edges ~instances rows =
            r.name r.seconds r.ns_per_edge r.words_per_edge
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string b "  ]\n}\n";
+  Buffer.add_string b "  ],\n";
+  (match pool_json with
+  | Some pj -> Buffer.add_string b (Printf.sprintf "  \"pool\": %s\n" pj)
+  | None -> Buffer.add_string b "  \"pool\": null\n");
+  Buffer.add_string b "}\n";
   output_string oc (Buffer.contents b);
   close_out oc;
   pr "wrote %s@." path
@@ -215,6 +222,77 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed ~max_edges () =
       Mkc_core.Large_set.feed_planned ls plan ~red edges ~pos ~len);
   planned_row "small_set" (fun (_, _, ss) plan ~red ~pos ~len ->
       Mkc_core.Small_set.feed_planned ss plan ~red edges ~pos ~len);
+  (* pool path: the persistent-executor drive of a full Estimate over
+     the same edges, attributed from Pool.stats — how much plan-build
+     work the coordinator hid behind worker replay, how long tickets
+     sat in the mailboxes, and what fraction of the window wall each
+     worker spent idle.  On a single-core host the idle fractions
+     measure time-sharing, not queue design; read them next to
+     [domains_recommended]. *)
+  let module PL = Mkc_stream.Pipeline in
+  let pool_recommended = Domain.recommended_domain_count () in
+  let pool_domains = max 2 (min 4 pool_recommended) in
+  let psrc = Mkc_stream.Stream_source.of_array edges in
+  let e_pool = Mkc_core.Estimate.create params in
+  let pool = PL.Pool.create ~domains:pool_domains () in
+  (* ~8 coordinator windows, so plan-build genuinely overlaps worker
+     replay instead of degenerating to one window = no pipeline *)
+  let pool_chunk = max 1024 (nedges / (8 * pool_domains)) in
+  time_alloc
+    (Printf.sprintf "pool parallel (%d dom)" pool_domains)
+    ~edges:nedges
+    (fun () ->
+      PL.feed_all_parallel ~pool ~chunk:pool_chunk
+        ~costs:(Mkc_core.Estimate.shard_costs e_pool)
+        (Mkc_core.Estimate.shards e_pool) psrc);
+  let ps = PL.Pool.stats pool in
+  PL.Pool.shutdown pool;
+  let fe = float_of_int nedges in
+  let plan_build_npe = float_of_int ps.PL.Pool.plan_build_ns /. fe in
+  let plan_overlap_npe = float_of_int ps.PL.Pool.plan_overlap_ns /. fe in
+  let overlap_frac =
+    if ps.PL.Pool.plan_build_ns = 0 then 0.0
+    else
+      float_of_int ps.PL.Pool.plan_overlap_ns
+      /. float_of_int ps.PL.Pool.plan_build_ns
+  in
+  let wall = float_of_int (max 1 ps.PL.Pool.window_wall_ns) in
+  let idle_frac busy = Float.max 0.0 (1.0 -. (float_of_int busy /. wall)) in
+  pr "  pool: %d windows, plan build %.1f ns/edge (%.1f ns/edge overlapped, %.0f%%)@."
+    ps.PL.Pool.windows plan_build_npe plan_overlap_npe (100.0 *. overlap_frac);
+  Array.iteri
+    (fun i busy ->
+      pr "  pool worker %d: queue-wait %.1f ns/edge, idle %.0f%%@." (i + 1)
+        (float_of_int ps.PL.Pool.worker_wait_ns.(i) /. fe)
+        (100.0 *. idle_frac busy))
+    ps.PL.Pool.worker_busy_ns;
+  let pool_json =
+    let wb = Buffer.create 256 in
+    Buffer.add_string wb
+      (Printf.sprintf
+         "{ \"domains\": %d, \"domains_recommended\": %d, \"windows\": %d,\n\
+         \    \"plan_build_ns_per_edge\": %.2f, \"plan_overlap_ns_per_edge\": %.2f, \
+          \"plan_overlap_fraction\": %.4f,\n\
+         \    \"coord_busy_ns\": %d, \"window_wall_ns\": %d, \"rebalances\": %d,\n\
+         \    \"workers\": ["
+         pool_domains pool_recommended ps.PL.Pool.windows plan_build_npe
+         plan_overlap_npe overlap_frac ps.PL.Pool.coord_busy_ns
+         ps.PL.Pool.window_wall_ns ps.PL.Pool.rebalances);
+    Array.iteri
+      (fun i busy ->
+        Buffer.add_string wb
+          (Printf.sprintf
+             "%s\n      { \"worker\": %d, \"busy_ns\": %d, \"queue_wait_ns\": %d, \
+              \"queue_wait_ns_per_edge\": %.2f, \"idle_fraction\": %.4f }"
+             (if i = 0 then "" else ",")
+             (i + 1) busy
+             ps.PL.Pool.worker_wait_ns.(i)
+             (float_of_int ps.PL.Pool.worker_wait_ns.(i) /. fe)
+             (idle_frac busy)))
+      ps.PL.Pool.worker_busy_ns;
+    Buffer.add_string wb "\n    ] }";
+    Buffer.contents wb
+  in
   (* micro: primitive throughputs over 1e6 ops *)
   let ops = 1_000_000 in
   let xs = Array.init ops (fun i -> (i * 2654435761) land 0xFFFFFF) in
@@ -245,7 +323,7 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed ~max_edges () =
         Mkc_sketch.Count_sketch.add cs xs.(i) 1
       done);
   ignore !acc;
-  write_json json_out ~label ~edges:nedges ~instances (List.rev !rows);
+  write_json json_out ~label ~edges:nedges ~instances ~pool_json (List.rev !rows);
   pr "@."
 
 let run () =

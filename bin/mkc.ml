@@ -45,7 +45,22 @@ let domains_arg =
     & info [ "domains" ] ~docv:"D"
         ~doc:
           "Ingestion domains. With D > 1 the independent oracle instances are \
-           sharded across D domains; results are identical to a sequential run.")
+           bin-packed across a persistent pool of D domains; results are \
+           identical to a sequential run.")
+
+let schedule_arg =
+  let schedule_conv =
+    Arg.enum
+      [ ("static", Mkc_stream.Pipeline.Static); ("adaptive", Mkc_stream.Pipeline.Adaptive) ]
+  in
+  Arg.(
+    value & opt schedule_conv Mkc_stream.Pipeline.Static
+    & info [ "schedule" ] ~docv:"MODE"
+        ~doc:
+          "Shard scheduling across domains: $(b,static) bin-packs once from \
+           profiled cost hints; $(b,adaptive) re-packs between chunk windows \
+           from measured per-shard busy time.  Only meaningful with \
+           --domains > 1; never changes results.")
 
 let pos_int ~what =
   let parse s =
@@ -531,8 +546,8 @@ let truncate_source src = function
       if edges >= Array.length arr then src
       else Mkc_stream.Stream_source.of_array (Array.sub arr 0 edges)
 
-let estimate path k alpha seed profile domains chunk oopts topts budget_strict ckpt every
-    resume stop_after force_m force_n =
+let estimate path k alpha seed profile domains schedule chunk oopts topts budget_strict
+    ckpt every resume stop_after force_m force_n =
   let src, m, n = load_stream path in
   let src = truncate_source src stop_after in
   let m = Option.value ~default:m force_m and n = Option.value ~default:n force_n in
@@ -541,7 +556,7 @@ let estimate path k alpha seed profile domains chunk oopts topts budget_strict c
   let want = metrics_wanted oopts in
   let tracing = oopts.trace <> None in
   let telemetry_on = telemetry_wanted topts in
-  if telemetry_on && domains > 1 && ckpt = None && resume = None then begin
+  if telemetry_on && domains > 1 then begin
     Format.eprintf
       "mkc: --telemetry/--health/--top sample the single-domain sink; use --domains 1@.";
     exit 2
@@ -571,9 +586,43 @@ let estimate path k alpha seed profile domains chunk oopts topts budget_strict c
              ob est)
   in
   let run () =
-    if ckpt <> None || resume <> None then begin
-      if domains > 1 then
-        Format.eprintf "mkc: --checkpoint/--resume drive a single domain; ignoring --domains@.";
+    if (ckpt <> None || resume <> None) && domains > 1 then begin
+      (* Pool-backed checkpoint/resume: saves land on chunk-window
+         boundaries (chunk × domains edges), where every worker is
+         quiescent.  Shards are re-derived from the restored estimator,
+         so a resumed run matches the uninterrupted one bit for bit. *)
+      Option.iter
+        (fun _ -> Format.eprintf "mkc: --progress is not reported in checkpoint mode; ignoring@.")
+        notify;
+      let codec = Mkc_core.Estimate.codec params in
+      let final_samples = ref [] in
+      let wrap_shards st =
+        let shards = Mkc_core.Estimate.shards st in
+        if not want then shards
+        else
+          Array.mapi
+            (fun i s ->
+              let ob = Mkc_stream.Sink.Observed.observe_any ~cadence:oopts.cadence s in
+              profiles := (Printf.sprintf "shard%d" i, ob.Mkc_stream.Sink.Observed.oprofile) :: !profiles;
+              final_samples := ob.Mkc_stream.Sink.Observed.osample :: !final_samples;
+              ob.Mkc_stream.Sink.Observed.osink)
+            shards
+      in
+      let out =
+        Mkc_stream.Pipeline.run_parallel_resumable ~domains ~schedule
+          ~costs:(Mkc_core.Estimate.shard_costs est) ~chunk ~every ?resume
+          ?checkpoint:ckpt codec est ~shards:wrap_shards
+          ~finalize:(fun st ->
+            List.iter (fun sample -> sample ()) !final_samples;
+            (match budget with
+            | Some b -> Mkc_sketch.Space.Budget.observe b (Mkc_core.Estimate.words st)
+            | None -> ());
+            Mkc_core.Estimate.finalize st)
+          src
+      in
+      match out with Ok r -> r | Error e -> ckpt_error_exit "checkpoint" e
+    end
+    else if ckpt <> None || resume <> None then begin
       Option.iter
         (fun _ -> Format.eprintf "mkc: --progress is not reported in checkpoint mode; ignoring@.")
         notify;
@@ -622,7 +671,8 @@ let estimate path k alpha seed profile domains chunk oopts topts budget_strict c
               ob.Mkc_stream.Sink.Observed.osink)
             shards
       in
-      Mkc_stream.Pipeline.run_parallel ~domains ~chunk ~shards
+      Mkc_stream.Pipeline.run_parallel ~domains ~schedule
+        ~costs:(Mkc_core.Estimate.shard_costs est) ~chunk ~shards
         ~finalize:(fun () ->
           List.iter (fun sample -> sample ()) !final_samples;
           (match budget with
@@ -688,12 +738,13 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"α-approximate coverage estimation (Theorem 3.1)")
     Term.(
       const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg $ obs_term $ telem_term $ budget_strict_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg $ stop_after_arg $ force_m_arg $ force_n_arg)
+      $ domains_arg $ schedule_arg $ chunk_arg $ obs_term $ telem_term $ budget_strict_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ stop_after_arg $ force_m_arg
+      $ force_n_arg)
 
 (* ---------- report ---------- *)
 
-let report path k alpha seed profile domains chunk oopts =
+let report path k alpha seed profile domains schedule chunk oopts =
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let rep = Mkc_core.Report.create params in
@@ -723,7 +774,8 @@ let report path k alpha seed profile domains chunk oopts =
               ob.Mkc_stream.Sink.Observed.osink)
             shards
       in
-      Mkc_stream.Pipeline.run_parallel ~domains ~chunk ~shards
+      Mkc_stream.Pipeline.run_parallel ~domains ~schedule
+        ~costs:(Mkc_core.Report.shard_costs rep) ~chunk ~shards
         ~finalize:(fun () ->
           List.iter (fun sample -> sample ()) !final_samples;
           Mkc_core.Report.finalize rep)
@@ -765,7 +817,7 @@ let report_cmd =
     (Cmd.info "report" ~doc:"α-approximate k-cover reporting (Theorem 3.2)")
     Term.(
       const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ chunk_arg $ obs_term)
+      $ domains_arg $ schedule_arg $ chunk_arg $ obs_term)
 
 (* ---------- greedy ---------- *)
 

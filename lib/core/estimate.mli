@@ -139,3 +139,9 @@ val shards : t -> Mkc_stream.Sink.any array
     {!Mkc_stream.Pipeline.feed_all_parallel}) leaves this estimator in
     exactly the state of edge-by-edge {!feed}; then {!finalize} as
     usual.  Empty on the trivial branch, which ignores the stream. *)
+
+val shard_costs : t -> float array
+(** Static relative per-edge feed costs, index-aligned with {!shards}
+    (universe reduction + the instance's {!Oracle.cost_hint}).  Seeds
+    {!Mkc_stream.Pipeline.feed_all_parallel}'s cost-aware bin packing;
+    empty on the trivial branch. *)

@@ -47,6 +47,17 @@ let feed_planned t plan ~red edges ~pos ~len =
   Large_set.feed_planned t.large_set plan ~red edges ~pos ~len;
   Option.iter (fun ss -> Small_set.feed_planned ss plan ~red edges ~pos ~len) t.small_set
 
+(* Relative per-edge feed cost of this oracle's subroutine mix, in
+   units of one Large_common feed.  The weights come from
+   PROFILE_hotpath.json's planned-path ns/edge on the planted shape
+   (large_common 282, large_set 6105, small_set 2134 per 16 instances):
+   Large_set's per-edge heap/sketch work dominates everywhere, and
+   Small_set only exists outside the heavy regime (sα < 2k).  Static
+   seeds for the pool scheduler's bin packing — only ratios matter. *)
+let cost_hint t =
+  let ls = 21.6 and ss = 7.6 in
+  1.0 +. ls +. (match t.small_set with None -> 0.0 | Some _ -> ss)
+
 let clamp (p : Params.t) outcome =
   (* No k-cover can exceed the universe size, so cap subroutine
      estimates at |U| — inverse-sampling scale-ups may overshoot. *)

@@ -58,3 +58,7 @@ val shards : t -> Mkc_stream.Sink.any array
 (** The underlying estimator's independent oracle instances, for
     {!Mkc_stream.Pipeline.feed_all_parallel}; see
     {!Estimate.shards}. *)
+
+val shard_costs : t -> float array
+(** Static scheduling cost hints, index-aligned with {!shards}; see
+    {!Estimate.shard_costs}. *)

@@ -25,6 +25,27 @@ let cached fetch =
   let assoc ~at_ns key = Option.value ~default:0 (List.assoc_opt key (get ~at_ns)) in
   (get, assoc)
 
+(* Pool-executor tracks read the global registry, where the pipeline's
+   coordinator publishes cumulative values once per chunk window; they
+   hold 0 until the first parallel drive (single-domain runs never set
+   them). *)
+let reg_int name ~at_ns:(_ : int) ~at_edges:(_ : int) =
+  match Mkc_obs.Registry.read Mkc_obs.Registry.global name with
+  | Some (Mkc_obs.Registry.Counter n) -> n
+  | Some (Mkc_obs.Registry.Gauge g) -> int_of_float g
+  | _ -> 0
+
+let pool_tracks =
+  List.map
+    (fun name -> (name, reg_int name))
+    [
+      "pipeline.domain_busy_ns";
+      "pipeline.pool.plan_build_ns";
+      "pipeline.pool.plan_overlap_ns";
+      "pipeline.pool.queue_wait_ns";
+      "pipeline.pool.rebalances";
+    ]
+
 let build ~breakdown est : probe array =
   let bd_all, bd = cached breakdown in
   let _, totals = cached (fun () -> Estimate.stats_totals est) in
@@ -87,4 +108,5 @@ let build ~breakdown est : probe array =
           fun ~at_ns ~at_edges:(_ : int) ->
             let hits = tot "large_common.memo_hits" ~at_ns in
             ppm ~num:hits ~den:(hits + tot "large_common.sampler_evals" ~at_ns) );
-      ])
+      ]
+    @ pool_tracks)

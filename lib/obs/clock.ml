@@ -1,17 +1,36 @@
 let wall () = int_of_float (Unix.gettimeofday () *. 1e9)
 let source = ref wall
 
+(* The source is versioned: installing a new one (set_source /
+   use_wall_clock) bumps the epoch, and each domain's high-water mark
+   resets on first read under the new epoch.  Without this, a
+   deterministic test source could never be observed after any real
+   wall-clock reading on the same domain — the clamp would pin every
+   reading at the old wall-clock value. *)
+let epoch = Atomic.make 0
+
+type cell = { mutable ep : int; mutable hw : int }
+
 (* Per-domain high-water mark: clamping is domain-local, so no domain
    ever observes its own clock running backwards, without any
    cross-domain synchronization on the hot path. *)
-let last : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let last : cell Domain.DLS.key = Domain.DLS.new_key (fun () -> { ep = -1; hw = 0 })
 
 let now_ns () =
   let raw = !source () in
-  let hw = Domain.DLS.get last in
-  let v = if raw > !hw then raw else !hw in
-  hw := v;
-  v
+  let c = Domain.DLS.get last in
+  let e = Atomic.get epoch in
+  if c.ep <> e then begin
+    c.ep <- e;
+    c.hw <- raw
+  end
+  else if raw > c.hw then c.hw <- raw;
+  c.hw
 
-let set_source f = source := f
-let use_wall_clock () = source := wall
+let set_source f =
+  source := f;
+  Atomic.incr epoch
+
+let use_wall_clock () =
+  source := wall;
+  Atomic.incr epoch

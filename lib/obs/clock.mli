@@ -13,7 +13,10 @@ val now_ns : unit -> int
 
 val set_source : (unit -> int) -> unit
 (** Replace the raw time source (returns nanoseconds).  Affects every
-    domain; per-domain monotonic clamping still applies on top. *)
+    domain; per-domain monotonic clamping still applies on top, but is
+    reset per source installation — readings under the new source are
+    never clamped against the old source's values.  Swap sources only
+    at quiescence (no concurrent readers). *)
 
 val use_wall_clock : unit -> unit
 (** Restore the default [Unix.gettimeofday]-backed source. *)

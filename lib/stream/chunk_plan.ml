@@ -71,6 +71,30 @@ let create () =
     stamp = 0;
   }
 
+(* Pre-size every buffer for [chunk]-edge builds so the first windows of
+   a run pay no growth reallocation — the pool driver's double-buffered
+   scratch pair is created at the window width once per run. *)
+let rec pow2_at_least' n acc = if acc >= n then acc else pow2_at_least' n (acc * 2)
+
+let create_sized ~chunk =
+  if chunk < 1 then invalid_arg "Chunk_plan.create_sized: chunk must be >= 1";
+  let t = create () in
+  let slots = pow2_at_least' (2 * chunk) init_slots in
+  t.set_idx <- Array.make chunk 0;
+  t.elt_idx <- Array.make chunk 0;
+  t.sets <- Array.make chunk 0;
+  t.set_count <- Array.make chunk 0;
+  t.elts <- Array.make chunk 0;
+  t.smask <- slots - 1;
+  t.skey <- Array.make slots 0;
+  t.sval <- Array.make slots 0;
+  t.sstamp <- Array.make slots 0;
+  t.emask <- slots - 1;
+  t.ekey <- Array.make slots 0;
+  t.eval <- Array.make slots 0;
+  t.estamp <- Array.make slots 0;
+  t
+
 let ensure a n = if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) 0
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)

@@ -17,6 +17,12 @@ type t
 
 val create : unit -> t
 
+val create_sized : chunk:int -> t
+(** A plan whose scratch is pre-grown for [chunk]-edge builds, so the
+    first windows of a run pay no reallocation — used for the pool
+    driver's double-buffered scratch pair.  Raises [Invalid_argument]
+    if [chunk < 1]. *)
+
 val build : t -> Edge.t array -> pos:int -> len:int -> unit
 (** Scan [edges.(pos .. pos+len-1)] and (re)fill the plan. *)
 

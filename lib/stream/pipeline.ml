@@ -14,6 +14,21 @@ module Obs = struct
   let sink_feed_edges = Mkc_obs.Registry.counter r "pipeline.sink_feed_edges"
   let domain_busy_ns = Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.domain_busy_ns"
   let domains_used = Mkc_obs.Registry.gauge ~mode:`Max r "pipeline.domains"
+
+  (* Pool-executor instruments: per-run values set by the coordinator at
+     the end of a drive ([rebalances] accumulates).  All on the global
+     registry, so they surface in snapshots, durable telemetry and [mkc
+     top] without extra plumbing. *)
+  let pool_plan_build_ns =
+    Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.pool.plan_build_ns"
+
+  let pool_plan_overlap_ns =
+    Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.pool.plan_overlap_ns"
+
+  let pool_queue_wait_ns =
+    Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.pool.queue_wait_ns"
+
+  let pool_rebalances = Mkc_obs.Registry.counter r "pipeline.pool.rebalances"
 end
 
 let run_seq (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
@@ -70,81 +85,451 @@ let feed_all ?(chunk = default_chunk) ?(start = 0) sinks src =
           Array.iter (fun s -> Sink.Any.feed_planned s plan edges ~pos ~len) sinks))
     src
 
-let feed_all_parallel ?domains ?(chunk = default_chunk) ?(start = 0) sinks src =
-  let domains =
-    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
-  in
-  let domains = min domains (Array.length sinks) in
-  if domains <= 1 then feed_all ~chunk ~start sinks src
-  else begin
-    (* Round-robin sharding: sink i belongs to group (i mod domains), so
-       no two workers ever touch the same mutable sink state.  The
-       coordinator makes the single chunking pass over the stream and
-       builds ONE Chunk_plan per chunk; the plan is read-only once built,
-       so every group replays its sinks against the same tables.  Chunks
-       are widened by the domain count: relative to the batched driver
-       the grouping pass costs the same O(edges) total, but each distinct
-       id's hash decisions are made once per [chunk × domains]-edge
-       window instead of once per [chunk]-edge window — strictly less
-       hash work, which is what lets this driver beat {!feed_all} even
-       when the domains time-share a single core.  Group 0 runs on the
-       coordinator's domain; groups 1.. each get a fresh worker domain
-       per chunk (a handful of spawns per stream, joined before the next
-       chunk so sinks never see chunks out of order). *)
-    let nsinks = Array.length sinks in
-    let dchunk = chunk * domains in
-    let groups =
-      Array.init domains (fun g ->
-          let mine = ref [] in
-          Array.iteri (fun i s -> if i mod domains = g then mine := s :: !mine) sinks;
-          Array.of_list (List.rev !mine))
+(* {1 Persistent worker-domain pool}
+
+   The parallel executor.  Domains are spawned ONCE per pool (not per
+   chunk window, as the pre-pool driver did) and fed through per-worker
+   single-slot mailboxes: the coordinator publishes a window ticket
+   under the worker's mutex, the worker replays its assigned sinks
+   against the shared read-only plan, and flips the mailbox back to
+   [Idle].  All cross-domain publication — the plan contents, the edge
+   slice bounds, the per-shard timings flowing back — rides the mailbox
+   mutex acquire/release pairs, which is the entirety of the memory-
+   model argument: a worker never reads a plan except through a
+   [dispatch] that happened-after the coordinator built it, and the
+   coordinator never reads [shard_ns]/worker stats except through an
+   [await] that happened-after the worker wrote them. *)
+
+type schedule = Static | Adaptive
+
+module Pool = struct
+  type ticket = {
+    sinks : Sink.any array;
+    assign : int array;  (* sink indices this worker owns for the window *)
+    plan : Chunk_plan.t;
+    edges : Edge.t array;
+    tpos : int;
+    tlen : int;
+    shard_ns : int array;  (* per-sink ns this window; disjoint writes *)
+    dispatch_ns : int;
+  }
+
+  type msg = Idle | Work of ticket | Quit
+
+  type worker = {
+    mu : Mutex.t;
+    cv : Condition.t;  (* coordinator -> worker: mailbox refilled *)
+    done_cv : Condition.t;  (* worker -> coordinator: back to Idle *)
+    mutable msg : msg;
+    (* Cumulative over the pool's lifetime (satellite of the adaptive
+       scheduler: signals must not reset per window).  Written by the
+       worker domain, read by the coordinator only after an [await]. *)
+    mutable busy_ns : int;
+    mutable wait_ns : int;  (* dispatch -> pick-up queue latency *)
+    mutable windows_run : int;
+  }
+
+  type t = {
+    slots : int;  (* worker count + 1 coordinator slot *)
+    workers : worker array;  (* length slots - 1 *)
+    handles : unit Domain.t array;
+    mutable shut : bool;
+    (* Coordinator-owned drive statistics, accumulated across drives. *)
+    mutable windows : int;
+    mutable plan_build_ns : int;
+    mutable plan_overlap_ns : int;
+    mutable window_wall_ns : int;
+    mutable coord_busy_ns : int;
+    mutable rebalances : int;
+  }
+
+  type stats = {
+    domains : int;
+    windows : int;
+    plan_build_ns : int;
+    plan_overlap_ns : int;
+    window_wall_ns : int;
+    coord_busy_ns : int;
+    worker_busy_ns : int array;
+    worker_wait_ns : int array;
+    rebalances : int;
+  }
+
+  let feed_assigned (k : ticket) =
+    let nassign = Array.length k.assign in
+    for j = 0 to nassign - 1 do
+      let i = Array.unsafe_get k.assign j in
+      let s0 = Mkc_obs.Clock.now_ns () in
+      Sink.Any.feed_planned k.sinks.(i) k.plan k.edges ~pos:k.tpos ~len:k.tlen;
+      k.shard_ns.(i) <- Mkc_obs.Clock.now_ns () - s0
+    done
+
+  let worker_loop (w : worker) =
+    let rec next () =
+      Mutex.lock w.mu;
+      let rec recv () =
+        match w.msg with
+        | Idle ->
+            Condition.wait w.cv w.mu;
+            recv ()
+        | Work k -> Some k
+        | Quit -> None
+      in
+      let job = recv () in
+      Mutex.unlock w.mu;
+      match job with
+      | None -> ()
+      | Some k ->
+          let t0 = Mkc_obs.Clock.now_ns () in
+          w.wait_ns <- w.wait_ns + max 0 (t0 - k.dispatch_ns);
+          feed_assigned k;
+          let t1 = Mkc_obs.Clock.now_ns () in
+          Mkc_obs.Span.record "pipeline.domain" ~start_ns:t0 ~dur_ns:(t1 - t0);
+          w.busy_ns <- w.busy_ns + (t1 - t0);
+          w.windows_run <- w.windows_run + 1;
+          Mutex.lock w.mu;
+          w.msg <- Idle;
+          Condition.signal w.done_cv;
+          Mutex.unlock w.mu;
+          next ()
     in
-    let plan = Chunk_plan.create () in
-    let busy_ns = ref 0 in
-    let cum = ref 0 in
-    Stream_source.chunks ~chunk:dchunk ~start
-      (fun edges ~pos ~len ->
-        chunk_instrumented ~nsinks ~len ~cum (fun () ->
-            Chunk_plan.build plan edges ~pos ~len;
-            let feed_group mine =
-              Array.iter (fun s -> Sink.Any.feed_planned s plan edges ~pos ~len) mine
-            in
-            let timed_group g =
-              (* Busy time per worker per chunk: the span gives the
-                 utilization split; durs are summed by the coordinator
-                 (workers return theirs through [Domain.join]) into the
-                 single `Sum gauge below. *)
-              let t0 = Mkc_obs.Clock.now_ns () in
-              feed_group groups.(g);
-              let dur = Mkc_obs.Clock.now_ns () - t0 in
-              Mkc_obs.Span.record "pipeline.domain" ~start_ns:t0 ~dur_ns:dur;
-              dur
-            in
-            if Mkc_obs.Registry.enabled () || Mkc_obs.Trace.enabled () then begin
-              let workers =
-                Array.init (domains - 1) (fun i ->
-                    Domain.spawn (fun () -> timed_group (i + 1)))
-              in
-              busy_ns := !busy_ns + timed_group 0;
-              Array.iter (fun w -> busy_ns := !busy_ns + Domain.join w) workers
-            end
-            else begin
-              let workers =
-                Array.init (domains - 1) (fun i ->
-                    Domain.spawn (fun () -> feed_group groups.(i + 1)))
-              in
-              feed_group groups.(0);
-              Array.iter Domain.join workers
-            end))
-      src;
-    if Mkc_obs.Registry.enabled () then begin
-      Mkc_obs.Registry.set Obs.domain_busy_ns (float_of_int !busy_ns);
-      Mkc_obs.Registry.set Obs.domains_used (float_of_int domains)
+    next ()
+
+  let create ?domains () =
+    let slots =
+      match domains with
+      | Some d -> max 1 d
+      | None -> max 1 (Domain.recommended_domain_count ())
+    in
+    let workers =
+      Array.init (slots - 1) (fun _ ->
+          {
+            mu = Mutex.create ();
+            cv = Condition.create ();
+            done_cv = Condition.create ();
+            msg = Idle;
+            busy_ns = 0;
+            wait_ns = 0;
+            windows_run = 0;
+          })
+    in
+    let handles = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
+    {
+      slots;
+      workers;
+      handles;
+      shut = false;
+      windows = 0;
+      plan_build_ns = 0;
+      plan_overlap_ns = 0;
+      window_wall_ns = 0;
+      coord_busy_ns = 0;
+      rebalances = 0;
+    }
+
+  let size t = t.slots
+
+  let dispatch (w : worker) k =
+    Mutex.lock w.mu;
+    w.msg <- Work k;
+    Condition.signal w.cv;
+    Mutex.unlock w.mu
+
+  let await (w : worker) =
+    Mutex.lock w.mu;
+    let rec wait () =
+      match w.msg with
+      | Idle | Quit -> ()
+      | Work _ ->
+          Condition.wait w.done_cv w.mu;
+          wait ()
+    in
+    wait ();
+    Mutex.unlock w.mu
+
+  let shutdown t =
+    if not t.shut then begin
+      t.shut <- true;
+      Array.iter await t.workers;
+      Array.iter
+        (fun w ->
+          Mutex.lock w.mu;
+          w.msg <- Quit;
+          Condition.signal w.cv;
+          Mutex.unlock w.mu)
+        t.workers;
+      Array.iter Domain.join t.handles
     end
+
+  let with_pool ?domains f =
+    let t = create ?domains () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  (* Call at quiescence (between drives / after a drive): worker fields
+     were published by the final [await] of the last window. *)
+  let stats t =
+    {
+      domains = t.slots;
+      windows = t.windows;
+      plan_build_ns = t.plan_build_ns;
+      plan_overlap_ns = t.plan_overlap_ns;
+      window_wall_ns = t.window_wall_ns;
+      coord_busy_ns = t.coord_busy_ns;
+      worker_busy_ns = Array.map (fun w -> w.busy_ns) t.workers;
+      worker_wait_ns = Array.map (fun w -> w.wait_ns) t.workers;
+      rebalances = t.rebalances;
+    }
+end
+
+(* Longest-processing-time bin packing: shards sorted by descending
+   cost, each placed on the least-loaded slot.  Slot 0 (the
+   coordinator) starts pre-loaded with [coord_bias] — the plan-build
+   work it will do while the workers feed — so the packing naturally
+   gives the coordinator a lighter sink group.  Ties break on index, so
+   the assignment is a pure function of (slots, bias, costs). *)
+let lpt ~slots ~coord_bias costs =
+  let nc = Array.length costs in
+  let order = Array.init nc Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare costs.(b) costs.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  let load = Array.make slots 0.0 in
+  load.(0) <- coord_bias;
+  let buckets = Array.make slots [] in
+  Array.iter
+    (fun i ->
+      let best = ref 0 in
+      for s = 1 to slots - 1 do
+        if load.(s) < load.(!best) then best := s
+      done;
+      load.(!best) <- load.(!best) +. costs.(i);
+      buckets.(!best) <- i :: buckets.(!best))
+    order;
+  (* Feed order within a slot is ascending sink index — immaterial for
+     results (sinks are independent) but keeps replay order stable. *)
+  Array.map (fun b -> Array.of_list (List.sort compare b)) buckets
+
+(* Fraction of the per-window work that is plan building, from
+   PROFILE_hotpath.json (~180 of ~9700 ns/edge on the planted shape):
+   the static coordinator bias before any measurement exists. *)
+let static_plan_fraction = 0.02
+
+(* The pipelined window loop.  Per window W the coordinator:
+   dispatches W's tickets to the workers, builds window W+1's plan into
+   the other half of a double-buffered scratch pair (overlapping the
+   workers' replay — the tentpole pipelining), feeds its own sink
+   group, then awaits the workers.  Windows are barriered, so every
+   sink sees the full stream in order no matter which domain runs it —
+   the bit-for-bit-vs-[run_seq] invariant.  [on_window] (checkpoint
+   hook) runs between windows, while every worker is quiescent. *)
+let pool_drive ?pool ?slots_cap ?(schedule = Static) ?costs
+    ?(chunk = default_chunk) ?(start = 0) ?on_window sinks src =
+  let nsinks = Array.length sinks in
+  let slots =
+    match pool with
+    | None -> 1
+    | Some p ->
+        let cap = match slots_cap with Some c -> c | None -> Pool.size p in
+        max 1 (min (min (Pool.size p) cap) nsinks)
+  in
+  let dchunk = chunk * slots in
+  let wins = Stream_source.windows ~chunk:dchunk ~start src in
+  let nwin = Array.length wins in
+  if nwin > 0 then begin
+    let n = Stream_source.length src in
+    let edges = Stream_source.backing src in
+    let sized = min dchunk (n - start) in
+    let plans =
+      [|
+        Chunk_plan.create_sized ~chunk:sized;
+        (if nwin > 1 then Chunk_plan.create_sized ~chunk:sized
+         else Chunk_plan.create ());
+      |]
+    in
+    let est =
+      match costs with
+      | None -> Array.make nsinks 1.0
+      | Some c ->
+          if Array.length c <> nsinks then
+            invalid_arg "Pipeline: costs length must equal the sink count";
+          Array.map (fun x -> Float.max x 1e-9) c
+    in
+    let total = Array.fold_left ( +. ) 0.0 est in
+    let coord_bias = ref (static_plan_fraction *. total) in
+    let assign = ref (lpt ~slots ~coord_bias:!coord_bias est) in
+    let shard_ns = Array.make nsinks 0 in
+    let measured = ref false in
+    let plan_build_ns = ref 0 in
+    let plan_overlap_ns = ref 0 in
+    let plan_last_ns = ref 0.0 in
+    let coord_busy_ns = ref 0 in
+    let rebalances = ref 0 in
+    let busy0, wait0 =
+      match pool with
+      | None -> ([||], [||])
+      | Some p ->
+          ( Array.map (fun (w : Pool.worker) -> w.Pool.busy_ns) p.Pool.workers,
+            Array.map (fun (w : Pool.worker) -> w.Pool.wait_ns) p.Pool.workers )
+    in
+    let cum = ref 0 in
+    let parity = ref 0 in
+    (* Window 0's plan is the only one built on the critical path; every
+       later build overlaps the previous window's replay. *)
+    let p0, l0 = wins.(0) in
+    let tb = Mkc_obs.Clock.now_ns () in
+    Chunk_plan.build plans.(0) edges ~pos:p0 ~len:l0;
+    plan_build_ns := Mkc_obs.Clock.now_ns () - tb;
+    let loop_t0 = Mkc_obs.Clock.now_ns () in
+    for w = 0 to nwin - 1 do
+      let pos, len = wins.(w) in
+      let plan = plans.(!parity) in
+      chunk_instrumented ~nsinks ~len ~cum (fun () ->
+          (match pool with
+          | Some p when slots > 1 ->
+              let dns = Mkc_obs.Clock.now_ns () in
+              for s = 1 to slots - 1 do
+                Pool.dispatch
+                  p.Pool.workers.(s - 1)
+                  {
+                    Pool.sinks;
+                    assign = (!assign).(s);
+                    plan;
+                    edges;
+                    tpos = pos;
+                    tlen = len;
+                    shard_ns;
+                    dispatch_ns = dns;
+                  }
+              done
+          | _ -> ());
+          if w + 1 < nwin then begin
+            let pos', len' = wins.(w + 1) in
+            let t0 = Mkc_obs.Clock.now_ns () in
+            Chunk_plan.build plans.(1 - !parity) edges ~pos:pos' ~len:len';
+            let d = Mkc_obs.Clock.now_ns () - t0 in
+            plan_build_ns := !plan_build_ns + d;
+            if slots > 1 then plan_overlap_ns := !plan_overlap_ns + d;
+            plan_last_ns := float_of_int d
+          end;
+          let t0 = Mkc_obs.Clock.now_ns () in
+          Pool.feed_assigned
+            {
+              Pool.sinks;
+              assign = (!assign).(0);
+              plan;
+              edges;
+              tpos = pos;
+              tlen = len;
+              shard_ns;
+              dispatch_ns = t0;
+            };
+          let d = Mkc_obs.Clock.now_ns () - t0 in
+          Mkc_obs.Span.record "pipeline.domain" ~start_ns:t0 ~dur_ns:d;
+          coord_busy_ns := !coord_busy_ns + d;
+          match pool with
+          | Some p when slots > 1 ->
+              for s = 1 to slots - 1 do
+                Pool.await p.Pool.workers.(s - 1)
+              done
+          | _ -> ());
+      (match on_window with
+      | Some f -> f ~next:(pos + len) ~window:w
+      | None -> ());
+      (if schedule = Adaptive && slots > 1 then begin
+         (* Refine per-shard cost estimates from the measured window.
+            The first measurement replaces the static seed wholesale
+            (unit scales differ); later ones are smoothed so one noisy
+            window cannot thrash the packing. *)
+         (if not !measured then begin
+            for i = 0 to nsinks - 1 do
+              est.(i) <- Float.max (float_of_int shard_ns.(i)) 1.0
+            done;
+            coord_bias := Float.max !plan_last_ns 1.0;
+            measured := true
+          end
+          else begin
+            for i = 0 to nsinks - 1 do
+              est.(i) <- (0.5 *. est.(i)) +. (0.5 *. float_of_int shard_ns.(i))
+            done;
+            coord_bias := (0.5 *. !coord_bias) +. (0.5 *. !plan_last_ns)
+          end);
+         let assign' = lpt ~slots ~coord_bias:!coord_bias est in
+         if assign' <> !assign then begin
+           incr rebalances;
+           assign := assign';
+           if Mkc_obs.Registry.enabled () then
+             Mkc_obs.Registry.incr Obs.pool_rebalances
+         end
+       end);
+      (* Publish the cumulative pool signals once per window — between
+         windows the workers are quiescent (the [await] above is the
+         happens-before edge), so the sums are exact, and telemetry
+         samples firing mid-run read live values instead of zeros. *)
+      (if Mkc_obs.Registry.enabled () then begin
+         let worker_busy = ref 0 and worker_wait = ref 0 in
+         (match pool with
+         | None -> ()
+         | Some p ->
+             Array.iteri
+               (fun i (wk : Pool.worker) ->
+                 worker_busy := !worker_busy + (wk.Pool.busy_ns - busy0.(i));
+                 worker_wait := !worker_wait + (wk.Pool.wait_ns - wait0.(i)))
+               p.Pool.workers);
+         Mkc_obs.Registry.set Obs.domain_busy_ns
+           (float_of_int (!coord_busy_ns + !worker_busy));
+         Mkc_obs.Registry.set Obs.domains_used (float_of_int slots);
+         Mkc_obs.Registry.set Obs.pool_plan_build_ns (float_of_int !plan_build_ns);
+         Mkc_obs.Registry.set Obs.pool_plan_overlap_ns
+           (float_of_int !plan_overlap_ns);
+         Mkc_obs.Registry.set Obs.pool_queue_wait_ns (float_of_int !worker_wait);
+         if Mkc_obs.Trace.enabled () then
+           Mkc_obs.Trace.counter "pipeline.pool.queue_wait_ns"
+             ~at_ns:(Mkc_obs.Clock.now_ns ()) !worker_wait
+       end);
+      parity := 1 - !parity
+    done;
+    let window_wall_ns = Mkc_obs.Clock.now_ns () - loop_t0 in
+    match pool with
+    | None -> ()
+    | Some p ->
+        p.Pool.windows <- p.Pool.windows + nwin;
+        p.Pool.plan_build_ns <- p.Pool.plan_build_ns + !plan_build_ns;
+        p.Pool.plan_overlap_ns <- p.Pool.plan_overlap_ns + !plan_overlap_ns;
+        p.Pool.window_wall_ns <- p.Pool.window_wall_ns + window_wall_ns;
+        p.Pool.coord_busy_ns <- p.Pool.coord_busy_ns + !coord_busy_ns;
+        p.Pool.rebalances <- p.Pool.rebalances + !rebalances
   end
 
-let run_parallel ?domains ?chunk ?start ~shards ~finalize src =
-  feed_all_parallel ?domains ?chunk ?start shards src;
+let feed_all_parallel ?pool ?domains ?schedule ?costs ?(chunk = default_chunk)
+    ?(start = 0) sinks src =
+  match pool with
+  | Some p ->
+      (* [domains] given with an explicit pool is a cap, not a resize:
+         excess workers simply see no tickets for this drive. *)
+      let slots =
+        match domains with
+        | Some d -> min d (Pool.size p)
+        | None -> Pool.size p
+      in
+      if min slots (Array.length sinks) <= 1 then feed_all ~chunk ~start sinks src
+      else pool_drive ~pool:p ?slots_cap:domains ?schedule ?costs ~chunk ~start sinks src
+  | None ->
+      let d =
+        match domains with
+        | Some d -> d
+        | None -> Domain.recommended_domain_count ()
+      in
+      let d = min d (Array.length sinks) in
+      if d <= 1 then feed_all ~chunk ~start sinks src
+      else
+        Pool.with_pool ~domains:d (fun p ->
+            pool_drive ~pool:p ?schedule ?costs ~chunk ~start sinks src)
+
+let run_parallel ?pool ?domains ?schedule ?costs ?chunk ?start ~shards ~finalize
+    src =
+  feed_all_parallel ?pool ?domains ?schedule ?costs ?chunk ?start shards src;
   finalize ()
 
 (* {1 Crash-resume and shard-merge drivers} *)
@@ -216,6 +601,84 @@ let run_resumable (type s r) ?(chunk = default_chunk)
      merges exactly these. *)
   let* () = save_at n in
   Ok (M.finalize sink)
+
+(* Checkpoint/resume over the pool executor.  Saves land on WINDOW
+   boundaries ([chunk × slots] edges) — the points where every worker
+   is quiescent, so [codec.encode state] reads fully-published sink
+   state.  Shards are (re)derived from the typed state AFTER a restore,
+   mirroring the CLI's resume flow; a resumed run re-windows the suffix
+   on the same grid (same [chunk], same effective domain count), so
+   results, [words] and every work counter match the uninterrupted
+   run's bit for bit. *)
+let run_parallel_resumable (type s r) ?pool ?domains ?schedule ?costs
+    ?(chunk = default_chunk) ?(every = default_checkpoint_every) ?resume
+    ?checkpoint ?on_save (codec : s Checkpoint.codec) (state : s)
+    ~(shards : s -> Sink.any array) ~(finalize : s -> r) src :
+    (r, Checkpoint.error) result =
+  if every < 1 then
+    invalid_arg "Pipeline.run_parallel_resumable: every must be >= 1";
+  let ( let* ) = Result.bind in
+  let* start =
+    match resume with
+    | None -> Ok 0
+    | Some path ->
+        let* env =
+          Checkpoint.load ~expect_kind:codec.kind ~expect_seed:codec.seed ~path ()
+        in
+        let* () =
+          match codec.restore state env.Checkpoint.payload with
+          | Ok () -> Ok ()
+          | Error msg -> Error (Checkpoint.Payload_rejected msg)
+        in
+        Ok env.Checkpoint.pos
+  in
+  let n = Stream_source.length src in
+  let* () =
+    if start > n then
+      Error
+        (Checkpoint.Malformed
+           (Printf.sprintf "resume position %d beyond stream length %d" start n))
+    else Ok ()
+  in
+  let save_at pos =
+    match checkpoint with
+    | None -> Ok ()
+    | Some path ->
+        let env =
+          { Checkpoint.kind = codec.kind; pos; seed = codec.seed;
+            payload = codec.encode state }
+        in
+        let* bytes = Checkpoint.save ~path env in
+        (match on_save with
+        | Some f -> f ~pos ~bytes ~words:(Checkpoint.words_of_bytes bytes)
+        | None -> ());
+        Ok ()
+  in
+  let sinks = shards state in
+  let failure = ref None in
+  let on_window ~next ~window =
+    if !failure = None && next < n && (window + 1) mod every = 0 then
+      match save_at next with Ok () -> () | Error e -> failure := Some e
+  in
+  (match pool with
+  | Some p ->
+      pool_drive ~pool:p ?slots_cap:domains ?schedule ?costs ~chunk ~start
+        ~on_window sinks src
+  | None ->
+      let d =
+        match domains with
+        | Some d -> d
+        | None -> Domain.recommended_domain_count ()
+      in
+      let d = min d (Array.length sinks) in
+      if d <= 1 then pool_drive ?schedule ?costs ~chunk ~start ~on_window sinks src
+      else
+        Pool.with_pool ~domains:d (fun p ->
+            pool_drive ~pool:p ?schedule ?costs ~chunk ~start ~on_window sinks
+              src));
+  let* () = match !failure with None -> Ok () | Some e -> Error e in
+  let* () = save_at n in
+  Ok (finalize state)
 
 let merge_shards ~merge first rest =
   Array.iter (fun s -> merge first s) rest;

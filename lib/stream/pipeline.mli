@@ -9,17 +9,20 @@
       per-edge dispatch once per chunk;
     - {!feed_all_parallel} / {!run_parallel} — batched AND sharded:
       mutually independent sinks (e.g. {!Mkc_core.Estimate.shards}'s
-      z-guess × repeat oracle instances) are distributed round-robin
-      over OCaml 5 domains; the coordinator builds one shared read-only
-      {!Chunk_plan} per (widened) chunk and the domains replay their
-      sink groups against it concurrently.
+      z-guess × repeat oracle instances) are bin-packed by cost over a
+      persistent {!Pool} of OCaml 5 domains; the coordinator builds one
+      shared read-only {!Chunk_plan} per (widened) chunk window —
+      pipelined one window ahead of the workers — and each worker
+      replays its sink group against it.
 
     Determinism of the parallel driver: every sink is owned by exactly
-    one group and sees the full stream in order (workers are joined
-    before the next chunk starts), and no mutable state is shared
-    between sinks, so the final state of each sink — and hence any
-    finalize result — is identical to the sequential drivers'.
-    Parallelism changes wall-clock only, never output.
+    one slot per window and sees the full stream in order (windows are
+    barriered — workers are awaited before the next window is
+    dispatched), and no mutable state is shared between sinks, so the
+    final state of each sink — and hence any finalize result — is
+    identical to the sequential drivers', regardless of domain count,
+    scheduling mode, or how shards were packed.  Parallelism and
+    scheduling change wall-clock only, never output.
 
     Observability: when {!Mkc_obs.Registry.enabled} is on, the chunked
     drivers record a [pipeline.chunk] span per chunk and bump the
@@ -58,25 +61,101 @@ val feed_all : ?chunk:int -> ?start:int -> Sink.any array -> Stream_source.t -> 
     packed sinks share state with the typed handles used to build
     them. *)
 
+(** {1 The persistent worker-domain pool} *)
+
+type schedule =
+  | Static  (** bin-pack once from static cost hints; never re-pack *)
+  | Adaptive
+      (** re-pack between windows from measured per-shard busy-ns
+          (first window replaces the static seed, later windows are
+          exponentially smoothed so one noisy window cannot thrash the
+          packing) *)
+
+module Pool : sig
+  (** A set of worker domains spawned once and reused across chunk
+      windows (and across drives): the per-window cost is a mutex
+      handshake per worker, not a [Domain.spawn]/[join] pair.  One
+      coordinator slot (the calling domain) plus [domains - 1]
+      workers, each with a single-slot ticket mailbox.
+
+      A pool is owned by the domain that created it; only that domain
+      may drive or shut it down. *)
+
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** Spawn [domains - 1] worker domains (default
+      [Domain.recommended_domain_count ()]; [domains <= 1] makes a
+      worker-less pool that drives everything on the coordinator). *)
+
+  val size : t -> int
+  (** Slot count including the coordinator ([domains] as created). *)
+
+  val shutdown : t -> unit
+  (** Quiesce and join every worker.  Idempotent. *)
+
+  val with_pool : ?domains:int -> (t -> 'a) -> 'a
+  (** [create], run, then {!shutdown} (also on exceptions). *)
+
+  (** Drive statistics, accumulated over the pool's lifetime.  Worker
+      arrays are indexed by worker (slot - 1); busy/wait are cumulative
+      per worker — they never reset between windows or drives, which is
+      what makes them usable as scheduler signals. *)
+  type stats = {
+    domains : int;
+    windows : int;  (** chunk windows dispatched *)
+    plan_build_ns : int;  (** total plan-build time *)
+    plan_overlap_ns : int;
+        (** the part of [plan_build_ns] spent while workers were
+            replaying the previous window — the pipelining win *)
+    window_wall_ns : int;  (** wall time inside the window loops *)
+    coord_busy_ns : int;  (** coordinator sink-feeding time *)
+    worker_busy_ns : int array;
+    worker_wait_ns : int array;  (** dispatch → pick-up queue latency *)
+    rebalances : int;  (** adaptive re-packings that changed the plan *)
+  }
+
+  val stats : t -> stats
+  (** Read at quiescence (between drives). *)
+end
+
 val feed_all_parallel :
-  ?domains:int -> ?chunk:int -> ?start:int -> Sink.any array -> Stream_source.t -> unit
-(** Like {!feed_all}, but the sinks are sharded round-robin across
-    [domains] OCaml domains (default
-    [Domain.recommended_domain_count ()], capped by the number of
-    sinks).  The coordinator chunks the stream once at [chunk × domains]
-    edges, builds a single {!Chunk_plan} per chunk, and the domains
-    replay their sink groups against the shared read-only plan
-    concurrently (workers join before the next chunk).  Relative to
-    {!feed_all} this pays the same one grouping pass over the stream
-    but makes every per-distinct-id hash decision once per
-    [domains]×-wider window — strictly less hash work, so the driver
-    wins even when the domains time-share a single core.  Requires the
-    sinks to be pairwise independent — no shared mutable state — which
-    holds for all shard arrays exposed by this library.  With
-    [domains <= 1] this is exactly {!feed_all}. *)
+  ?pool:Pool.t ->
+  ?domains:int ->
+  ?schedule:schedule ->
+  ?costs:float array ->
+  ?chunk:int ->
+  ?start:int ->
+  Sink.any array ->
+  Stream_source.t ->
+  unit
+(** Like {!feed_all}, but the sinks are bin-packed (LPT, slot 0 biased
+    by the coordinator's plan-build work) across the slots of a
+    {!Pool} — [pool] if given (with [domains] as an optional cap),
+    else a transient pool of [domains] slots (default
+    [Domain.recommended_domain_count ()]), capped by the number of
+    sinks.  The coordinator windows the stream once at
+    [chunk × slots] edges and pipelines: while the workers replay
+    window [W] against its shared read-only {!Chunk_plan}, the
+    coordinator builds window [W+1]'s plan into the other half of a
+    double-buffered scratch pair, then feeds its own (lighter) sink
+    group and awaits the workers.  Relative to {!feed_all} this pays
+    the same one grouping pass over the stream but makes every
+    per-distinct-id hash decision once per [slots]×-wider window —
+    strictly less hash work, so the driver wins even when the domains
+    time-share a single core.  [costs] (per-sink relative weights,
+    e.g. {!Mkc_core.Estimate.shard_costs}) seeds the packing;
+    [schedule] (default {!Static}) controls whether measured busy-ns
+    re-pack it between windows.  Requires the sinks to be pairwise
+    independent — no shared mutable state — which holds for all shard
+    arrays exposed by this library.  With an effective slot count of 1
+    this is exactly {!feed_all}. *)
 
 val run_parallel :
+  ?pool:Pool.t ->
   ?domains:int ->
+  ?schedule:schedule ->
+  ?costs:float array ->
   ?chunk:int ->
   ?start:int ->
   shards:Sink.any array ->
@@ -89,7 +168,8 @@ val run_parallel :
     [Estimate.finalize est] after driving [Estimate.shards est]).
     [start] skips a stream prefix — resume a parallel run by restoring
     the typed handle from a checkpoint, re-deriving the shards, and
-    driving from the checkpointed position. *)
+    driving from the checkpointed position (or use
+    {!run_parallel_resumable}, which does exactly that). *)
 
 val default_checkpoint_every : int
 (** 8 chunks between checkpoints in {!run_resumable}. *)
@@ -121,6 +201,36 @@ val run_resumable :
     re-chunks the suffix on the same grid as the uninterrupted run —
     results, [words] and every work counter match bit for bit (the
     [test_checkpoint] differential harness enforces this). *)
+
+val run_parallel_resumable :
+  ?pool:Pool.t ->
+  ?domains:int ->
+  ?schedule:schedule ->
+  ?costs:float array ->
+  ?chunk:int ->
+  ?every:int ->
+  ?resume:string ->
+  ?checkpoint:string ->
+  ?on_save:(pos:int -> bytes:int -> words:int -> unit) ->
+  's Checkpoint.codec ->
+  's ->
+  shards:('s -> Sink.any array) ->
+  finalize:('s -> 'r) ->
+  Stream_source.t ->
+  ('r, Checkpoint.error) result
+(** {!run_resumable} over the pool executor: restore [state] from
+    [resume] if given, derive the shard sinks from the (restored)
+    typed state via [shards], drive them through a {!Pool} (same
+    [pool]/[domains]/[schedule]/[costs] contract as
+    {!feed_all_parallel}), saving every [every] chunk WINDOWS
+    ([chunk × slots] edges — the points where all workers are
+    quiescent) and once at end-of-stream, then [finalize state].
+
+    Resuming with the same [chunk] and effective domain count
+    re-windows the suffix on the same grid, so a resumed run matches
+    the uninterrupted one bit for bit — and since the work counters
+    are window-grid-independent, results also match {!run_seq} and the
+    single-domain {!run_resumable} regardless of grid. *)
 
 val merge_shards : merge:('s -> 's -> unit) -> 's -> 's array -> 's
 (** [merge_shards ~merge first rest] folds every state in [rest] into

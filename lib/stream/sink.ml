@@ -70,6 +70,12 @@ module Observed = struct
        already paid for instead of re-walking (and re-flushing) every
        sketch.  Empty until the first sample. *)
     mutable last_bd : (string * int) list;
+    (* Cumulative ns spent inside the inner sink's batch feeds, over the
+       wrapper's whole lifetime — never reset per window, so scheduler
+       and [mkc top] signals reading it see a monotone series, not a
+       sawtooth.  Timed around [feed_batch]/[feed_planned] only; the
+       per-edge [feed] path stays clock-free. *)
+    mutable busy_ns : int;
   }
 
   let default_cadence = 65536
@@ -111,10 +117,12 @@ module Observed = struct
       ckpt_words = 0;
       on_sample = None;
       last_bd = [];
+      busy_ns = 0;
     }
 
   let profile t = t.profile
   let state t = t.state
+  let busy_ns t = t.busy_ns
   let set_on_sample t f = t.on_sample <- Some f
 
   let note_checkpoint t ~words =
@@ -138,12 +146,16 @@ module Observed = struct
 
   let feed_batch (type s r) (t : (s, r) st) edges ~pos ~len =
     let (module M) = t.inner in
+    let t0 = Mkc_obs.Clock.now_ns () in
     M.feed_batch t.state edges ~pos ~len;
+    t.busy_ns <- t.busy_ns + (Mkc_obs.Clock.now_ns () - t0);
     bump t len
 
   let feed_planned (type s r) (t : (s, r) st) plan edges ~pos ~len =
     let (module M) = t.inner in
+    let t0 = Mkc_obs.Clock.now_ns () in
     M.feed_planned t.state plan edges ~pos ~len;
+    t.busy_ns <- t.busy_ns + (Mkc_obs.Clock.now_ns () - t0);
     bump t len
 
   let finalize (type s r) (t : (s, r) st) =
@@ -185,13 +197,19 @@ module Observed = struct
     osink : any;
     oprofile : Mkc_obs.Space_profile.t;
     osample : unit -> unit;
+    obusy_ns : unit -> int;
   }
 
   let observe_any ?cadence ?budget packed =
     match packed with
     | Any (m, s) ->
         let sm, t = observe ?cadence ?budget m s in
-        { osink = Any (sm, t); oprofile = t.profile; osample = (fun () -> sample t) }
+        {
+          osink = Any (sm, t);
+          oprofile = t.profile;
+          osample = (fun () -> sample t);
+          obusy_ns = (fun () -> t.busy_ns);
+        }
 end
 
 (* A transparent progress tap: forwards everything to the inner sink

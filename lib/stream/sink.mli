@@ -150,6 +150,13 @@ module Observed : sig
   (** The wrapped sink's state — e.g. to aim a {!Checkpoint.codec} at
       the inner sink ([Checkpoint.map_codec Observed.state codec]). *)
 
+  val busy_ns : ('s, 'r) st -> int
+  (** Cumulative ns spent inside the inner sink's batch feeds
+      ([feed_batch]/[feed_planned]) over the wrapper's whole lifetime —
+      monotone, never reset per window, so the adaptive scheduler and
+      [mkc top] read a stable signal.  The per-edge [feed] path is not
+      timed. *)
+
   val note_checkpoint : ('s, 'r) st -> words:int -> unit
   (** Record the size of the most recent serialized checkpoint.  The
       words join {!S.words} and appear under a ["checkpoint"] breakdown
@@ -175,6 +182,7 @@ module Observed : sig
     oprofile : Mkc_obs.Space_profile.t;
     osample : unit -> unit;
         (** record a final sample before finalizing out-of-band *)
+    obusy_ns : unit -> int;  (** {!busy_ns} of the wrapped shard *)
   }
 
   val observe_any : ?cadence:int -> ?budget:Mkc_sketch.Space.Budget.t -> any -> observed_any

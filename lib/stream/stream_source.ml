@@ -22,6 +22,18 @@ let chunks ?(chunk = 8192) ?(start = 0) f t =
     pos := !pos + len
   done
 
+let windows ?(chunk = 8192) ?(start = 0) t =
+  if chunk < 1 then invalid_arg "Stream_source.windows: chunk must be >= 1";
+  let n = Array.length t in
+  if start < 0 || start > n then
+    invalid_arg "Stream_source.windows: start out of range";
+  let nwin = (n - start + chunk - 1) / chunk in
+  Array.init nwin (fun w ->
+      let pos = start + (w * chunk) in
+      (pos, min chunk (n - pos)))
+
+let backing t = t
+
 let partition ~shards t =
   if shards < 1 then invalid_arg "Stream_source.partition: shards must be >= 1";
   let n = Array.length t in

@@ -25,6 +25,18 @@ val chunks :
     with an empty chunk.  [start] (default 0) skips a prefix — the
     resume primitive; [start = length t] yields no chunks at all. *)
 
+val windows : ?chunk:int -> ?start:int -> t -> (int * int) array
+(** The [(pos, len)] grid that {!chunks} would walk, precomputed — the
+    window table a pipelined driver indexes to build window W+1's plan
+    while W is still being replayed.  Same guarantees as {!chunks}:
+    every window has [len >= 1] and [start = length t] yields the empty
+    array. *)
+
+val backing : t -> Edge.t array
+(** Zero-copy view of the backing edge array, for drivers that pair it
+    with {!windows}.  Read-only: callers must not mutate or retain it
+    past the stream's lifetime.  Unlike {!to_array}, no copy is made. *)
+
 val partition : shards:int -> t -> t array
 (** Edge-partition into [shards] contiguous sub-streams of near-equal
     size (sizes differ by at most one; concatenation in order is the

@@ -25,4 +25,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("health", Test_health.suite);
       ("trace", Test_trace.suite);
+      ("pool", Test_pool.suite);
     ]
