@@ -166,12 +166,18 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
   let dt_tel2 = telemetry_redrive () in
   let dt_batch3, fp_batch3 = batched_redrive () in
   let dt_tel3 = telemetry_redrive () in
-  let timings =
+  (* Every timed draw per mode, kept (not just the min): repeats and
+     best/median land in the JSON and the run ledger, because the
+     sentinel's noise band is exactly this best-vs-median spread. *)
+  let draws =
     List.map
-      (fun ((name, dt) as t) ->
-        if name = "batched" then (name, Float.min dt (Float.min dt_batch2 dt_batch3)) else t)
+      (fun (name, dt) ->
+        if name = "batched" then (name, [ dt; dt_batch2; dt_batch3 ]) else (name, [ dt ]))
       timings
-    @ [ ("telemetry", Float.min dt_tel (Float.min dt_tel2 dt_tel3)) ]
+    @ [ ("telemetry", [ dt_tel; dt_tel2; dt_tel3 ]) ]
+  in
+  let timings =
+    List.map (fun (name, ds) -> (name, List.fold_left Float.min infinity ds)) draws
   in
   (* The log must round-trip, untorn, with its final space.words sample
      equal to the sink's observed words — the durable log and the live
@@ -199,13 +205,11 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
   in
   let sm, ob = Mkc_stream.Sink.Observed.observe ~cadence:65536 ~budget E.sink e_obs in
   let obs_any = Mkc_stream.Sink.pack sm ob in
-  let timings =
-    timings
-    @ [
-        time_ingest "instrumented" (fun () ->
-            Mkc_stream.Pipeline.feed_all [| obs_any |] src);
-      ]
+  let t_instrumented =
+    time_ingest "instrumented" (fun () -> Mkc_stream.Pipeline.feed_all [| obs_any |] src)
   in
+  let timings = timings @ [ t_instrumented ] in
+  let draws = draws @ [ (fst t_instrumented, [ snd t_instrumented ]) ] in
   let r_obs = E.finalize e_obs in
   Mkc_stream.Sink.Observed.sample ob;
   E.record_metrics e_obs;
@@ -240,6 +244,32 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
   let snapshot =
     Mkc_obs.Snapshot.capture ~profiles:[ ("estimate", profile) ] ~space
       Mkc_obs.Registry.global
+  in
+  (* Harvested while the registry is still live: the instrumented
+     drive's latency digests and quality gauges, bound for the run
+     ledger below. *)
+  let reg_dump = Mkc_obs.Registry.dump Mkc_obs.Registry.global in
+  let run_digests =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Mkc_obs.Registry.Histogram h when h.Mkc_obs.Metric.Histogram.count > 0 ->
+            Some (name, Mkc_obs.Metric.Histogram.digest h)
+        | _ -> None)
+      reg_dump
+  in
+  let has_substring s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+    go 0
+  in
+  let run_quality =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Mkc_obs.Registry.Gauge g when has_substring name ".quality." -> Some (name, g)
+        | _ -> None)
+      reg_dump
   in
   Mkc_obs.Registry.set_enabled false;
   let results =
@@ -277,6 +307,25 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
       (fun (mode, seconds) ->
         { mode; seconds; edges_per_sec = float_of_int edges /. seconds })
       timings
+  in
+  (* Repeat statistics per mode: best (= the headline number above),
+     ceil-rank median, and the repeat count — the sentinel's
+     noise-band inputs. *)
+  let mode_stats =
+    List.map
+      (fun (mode, ds) ->
+        let sorted = List.sort compare ds in
+        let nrep = List.length sorted in
+        let best = List.hd sorted in
+        let median = List.nth sorted ((nrep - 1) / 2) in
+        {
+          Mkc_obs.Ledger.ms_mode = mode;
+          ms_repeats = nrep;
+          ms_best_s = best;
+          ms_median_s = median;
+          ms_edges_per_sec = float_of_int edges /. best;
+        })
+      draws
   in
   List.iter
     (fun t ->
@@ -319,13 +368,15 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
        evals_batched evals_seq eval_ratio);
   Buffer.add_string b "  \"modes\": [\n";
   List.iteri
-    (fun i t ->
+    (fun i (ms : Mkc_obs.Ledger.mode_stat) ->
       Buffer.add_string b
         (Printf.sprintf
-           "    { \"mode\": %S, \"seconds\": %.6f, \"edges_per_sec\": %.0f }%s\n"
-           t.mode t.seconds t.edges_per_sec
-           (if i = List.length timings - 1 then "" else ",")))
-    timings;
+           "    { \"mode\": %S, \"seconds\": %.6f, \"repeats\": %d, \"best_s\": %.6f, \
+            \"median_s\": %.6f, \"edges_per_sec\": %.0f }%s\n"
+           ms.ms_mode ms.ms_best_s ms.ms_repeats ms.ms_best_s ms.ms_median_s
+           ms.ms_edges_per_sec
+           (if i = List.length mode_stats - 1 then "" else ",")))
+    mode_stats;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b
     (Printf.sprintf "  \"telemetry_overhead_pct\": %.3f,\n  \"telemetry_log\": %S,\n"
@@ -351,7 +402,42 @@ let run_with ~label ~json_out ~n ~m ~k ~set_size ~alpha ~seed () =
   Buffer.add_string b "}\n";
   output_string oc (Buffer.contents b);
   close_out oc;
-  Format.printf "wrote %s@." json_out
+  Format.printf "wrote %s@." json_out;
+  (* The JSON file is overwritten per run; the run ledger accumulates.
+     Every bench run appends a record here so bench-diff always has a
+     baseline to compare against. *)
+  let entry =
+    {
+      Mkc_obs.Ledger.e_label = label;
+      e_created_ns = int_of_float (Unix.gettimeofday () *. 1e9);
+      e_host = Mkc_obs.Ledger.host_fingerprint ();
+      e_params =
+        [
+          ("alpha", Mkc_obs.Json.Float alpha);
+          ("domains", Mkc_obs.Json.Int domains);
+          ("k", Mkc_obs.Json.Int k);
+          ("m", Mkc_obs.Json.Int m);
+          ("n", Mkc_obs.Json.Int n);
+          ("seed", Mkc_obs.Json.Int seed);
+          ("set_size", Mkc_obs.Json.Int set_size);
+        ];
+      e_stats =
+        [
+          ("edges", float_of_int edges);
+          ("estimate", estimate);
+          ("headroom", B.headroom budget);
+          ("telemetry_overhead_pct", telemetry_overhead_pct);
+        ];
+      e_modes = mode_stats;
+      e_digests = run_digests;
+      e_quality = run_quality;
+    }
+  in
+  let ledger_path = "ledger.mkcledg" in
+  match Mkc_obs.Ledger.append ledger_path entry with
+  | Ok () -> Format.printf "appended run record to %s@." ledger_path
+  | Error e ->
+      failwith ("pipeline bench: ledger append: " ^ Mkc_obs.Ledger.error_to_string e)
 
 let run () =
   run_with ~label:"pipeline" ~json_out:"BENCH_pipeline.json" ~n:65536 ~m:4096 ~k:32

@@ -78,10 +78,21 @@ let pos_float ~what =
   in
   Arg.conv (parse, Format.pp_print_float)
 
+(* Cadence-style flags are range-checked here, in the command body,
+   not in a cmdliner converter: a converter error is a generic usage
+   failure (exit 124), while the contract for a zero or negative
+   cadence is a named error on stderr and exit 2. *)
+let require_pos ~flag v =
+  if v < 1 then begin
+    Format.eprintf "mkc: %s must be a positive integer (got %d)@." flag v;
+    exit 2
+  end;
+  v
+
 let chunk_arg =
   Arg.(
     value
-    & opt (pos_int ~what:"chunk size") Mkc_stream.Pipeline.default_chunk
+    & opt int Mkc_stream.Pipeline.default_chunk
     & info [ "chunk" ] ~docv:"EDGES" ~doc:"Ingestion chunk size in edges.")
 
 let checkpoint_arg =
@@ -96,7 +107,7 @@ let checkpoint_arg =
 let checkpoint_every_arg =
   Arg.(
     value
-    & opt (pos_int ~what:"checkpoint interval") Mkc_stream.Pipeline.default_checkpoint_every
+    & opt int Mkc_stream.Pipeline.default_checkpoint_every
     & info [ "checkpoint-every" ] ~docv:"CHUNKS" ~doc:"Chunks between checkpoint saves.")
 
 let resume_arg =
@@ -165,9 +176,11 @@ let obs_term =
   let cadence =
     Arg.(
       value
-      & opt (pos_int ~what:"cadence") Mkc_stream.Sink.Observed.default_cadence
+      & opt int Mkc_stream.Sink.Observed.default_cadence
       & info [ "metrics-cadence" ] ~docv:"EDGES"
-          ~doc:"Space-profile sampling cadence in edges.")
+          ~doc:
+            "Space-profile (and --telemetry) sampling cadence in edges; must be \
+             positive.")
   in
   let trace =
     Arg.(
@@ -438,6 +451,94 @@ let load_stream path =
       Format.eprintf "mkc: %s@." msg;
       exit 2
 
+(* ---------- run-ledger plumbing ---------- *)
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append a run record (params, host fingerprint, wall/ingest stats, histogram \
+           digests, quality gauges) to the $(docv) run ledger — durable evidence for \
+           $(b,mkc bench-diff) and $(b,mkc doctor).")
+
+let has_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+(* Every populated histogram in the registry, digested — the ledger's
+   latency evidence.  Names are the registry track names, so records
+   written by different builds line up as long as the tracks exist. *)
+let ledger_digests () =
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Mkc_obs.Registry.Histogram h when h.Mkc_obs.Metric.Histogram.count > 0 ->
+          Some (name, Mkc_obs.Metric.Histogram.digest h)
+      | _ -> None)
+    (Mkc_obs.Registry.dump Mkc_obs.Registry.global)
+
+let ledger_quality () =
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Mkc_obs.Registry.Gauge g when has_substring name ".quality." -> Some (name, g)
+      | _ -> None)
+    (Mkc_obs.Registry.dump Mkc_obs.Registry.global)
+
+let ledger_run_params ~stream ~m ~n ~k ~alpha ~seed ~profile ~domains ~schedule ~chunk =
+  [
+    ("alpha", Mkc_obs.Json.Float alpha);
+    ("chunk", Mkc_obs.Json.Int chunk);
+    ("domains", Mkc_obs.Json.Int domains);
+    ("k", Mkc_obs.Json.Int k);
+    ("m", Mkc_obs.Json.Int m);
+    ("n", Mkc_obs.Json.Int n);
+    ( "profile",
+      Mkc_obs.Json.String
+        (match profile with Mkc_core.Params.Practical -> "practical" | Paper -> "paper") );
+    ( "schedule",
+      Mkc_obs.Json.String
+        (match schedule with Mkc_stream.Pipeline.Static -> "static" | Adaptive -> "adaptive")
+    );
+    ("seed", Mkc_obs.Json.Int seed);
+    ("stream", Mkc_obs.Json.String (Filename.basename stream));
+  ]
+
+let append_run_ledger ~path ~label ~params ~edges ~wall_ns ~mode ~extra_stats =
+  let wall_s = float_of_int wall_ns /. 1e9 in
+  let rate = if wall_s > 0.0 then float_of_int edges /. wall_s else 0.0 in
+  let entry =
+    {
+      Mkc_obs.Ledger.e_label = label;
+      e_created_ns = int_of_float (Unix.gettimeofday () *. 1e9);
+      e_host = Mkc_obs.Ledger.host_fingerprint ();
+      e_params = params;
+      e_stats =
+        [ ("edges", float_of_int edges); ("edges_per_sec", rate); ("wall_s", wall_s) ]
+        @ extra_stats;
+      e_modes =
+        [
+          {
+            Mkc_obs.Ledger.ms_mode = mode;
+            ms_repeats = 1;
+            ms_best_s = wall_s;
+            ms_median_s = wall_s;
+            ms_edges_per_sec = rate;
+          };
+        ];
+      e_digests = ledger_digests ();
+      e_quality = ledger_quality ();
+    }
+  in
+  match Mkc_obs.Ledger.append path entry with
+  | Ok () -> Format.printf "appended run record to %s@." path
+  | Error e ->
+      Format.eprintf "mkc: %s: %s@." path (Mkc_obs.Ledger.error_to_string e);
+      exit 2
+
 (* ---------- generate ---------- *)
 
 let generate kind n m k seed out =
@@ -547,7 +648,10 @@ let truncate_source src = function
       else Mkc_stream.Stream_source.of_array (Array.sub arr 0 edges)
 
 let estimate path k alpha seed profile domains schedule chunk oopts topts budget_strict
-    ckpt every resume stop_after force_m force_n =
+    ckpt every resume stop_after force_m force_n ledger =
+  let chunk = require_pos ~flag:"--chunk" chunk in
+  let every = require_pos ~flag:"--checkpoint-every" every in
+  let oopts = { oopts with cadence = require_pos ~flag:"--metrics-cadence" oopts.cadence } in
   let src, m, n = load_stream path in
   let src = truncate_source src stop_after in
   let m = Option.value ~default:m force_m and n = Option.value ~default:n force_n in
@@ -564,7 +668,7 @@ let estimate path k alpha seed profile domains schedule chunk oopts topts budget
   if topts.thealth <> [] then
     (* Health counters live in the registry like every other metric. *)
     Mkc_obs.Registry.set_enabled true;
-  if want then Mkc_obs.Registry.set_enabled true;
+  if want || ledger <> None then Mkc_obs.Registry.set_enabled true;
   if tracing then Mkc_obs.Trace.set_enabled true;
   let budget =
     if budget_strict || want then
@@ -701,6 +805,7 @@ let estimate path k alpha seed profile domains schedule chunk oopts topts budget
           Mkc_stream.Pipeline.run ~chunk tm tp src
       | None -> Mkc_stream.Pipeline.run ~chunk Mkc_core.Estimate.sink est src
   in
+  let run_t0 = Mkc_obs.Clock.now_ns () in
   let r =
     try run () with
     | Mkc_obs.Health.Violation msg ->
@@ -714,6 +819,7 @@ let estimate path k alpha seed profile domains schedule chunk oopts topts budget
         finish_telemetry ~ok:false !rig;
         budget_exceeded_exit oopts e
   in
+  let run_wall_ns = Mkc_obs.Clock.now_ns () - run_t0 in
   Format.printf "stream: %d pairs, m=%d, n=%d@." (Mkc_stream.Stream_source.length src) m n;
   Format.printf "estimated optimal %d-cover coverage: %.0f@." k r.Mkc_core.Estimate.estimate;
   (match r.Mkc_core.Estimate.outcome with
@@ -724,14 +830,30 @@ let estimate path k alpha seed profile domains schedule chunk oopts topts budget
   Format.printf "space: %d words@." (Mkc_core.Estimate.words est);
   Option.iter print_budget budget;
   finish_telemetry ~ok:true !rig;
-  if want then begin
+  if want || ledger <> None then begin
     Mkc_core.Estimate.record_metrics est;
-    Option.iter record_budget_gauges budget;
+    Option.iter record_budget_gauges budget
+  end;
+  if want then
     emit_metrics
       ?space:(Option.map space_of_budget budget)
-      ~series:(series_of_rig !rig) oopts (List.rev !profiles)
-  end;
-  emit_trace oopts
+      ~series:(series_of_rig !rig) oopts (List.rev !profiles);
+  emit_trace oopts;
+  Option.iter
+    (fun lpath ->
+      append_run_ledger ~path:lpath ~label:"estimate"
+        ~params:
+          (ledger_run_params ~stream:path ~m ~n ~k ~alpha ~seed ~profile ~domains ~schedule
+             ~chunk)
+        ~edges:(Mkc_stream.Stream_source.length src)
+        ~wall_ns:run_wall_ns
+        ~mode:(if domains > 1 then "pool" else "sequential")
+        ~extra_stats:
+          [
+            ("estimate", r.Mkc_core.Estimate.estimate);
+            ("space_words", float_of_int (Mkc_core.Estimate.words est));
+          ])
+    ledger
 
 let estimate_cmd =
   Cmd.v
@@ -740,21 +862,24 @@ let estimate_cmd =
       const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
       $ domains_arg $ schedule_arg $ chunk_arg $ obs_term $ telem_term $ budget_strict_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ stop_after_arg $ force_m_arg
-      $ force_n_arg)
+      $ force_n_arg $ ledger_arg)
 
 (* ---------- report ---------- *)
 
-let report path k alpha seed profile domains schedule chunk oopts =
+let report path k alpha seed profile domains schedule chunk oopts ledger =
+  let chunk = require_pos ~flag:"--chunk" chunk in
+  let oopts = { oopts with cadence = require_pos ~flag:"--metrics-cadence" oopts.cadence } in
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
   let rep = Mkc_core.Report.create params in
   let want = metrics_wanted oopts in
   let tracing = oopts.trace <> None in
-  if want then Mkc_obs.Registry.set_enabled true;
+  if want || ledger <> None then Mkc_obs.Registry.set_enabled true;
   if tracing then Mkc_obs.Trace.set_enabled true;
   let total = Mkc_stream.Stream_source.length src in
   let notify = Option.map (fun sec -> progress_reporter ~total sec) oopts.progress in
   let profiles = ref [] in
+  let run_t0 = Mkc_obs.Clock.now_ns () in
   let r =
     if domains > 1 then begin
       Option.iter
@@ -799,6 +924,7 @@ let report path k alpha seed profile domains schedule chunk oopts =
           Mkc_stream.Pipeline.run ~chunk tm tp src
       | None -> Mkc_stream.Pipeline.run ~chunk Mkc_core.Report.sink rep src
   in
+  let run_wall_ns = Mkc_obs.Clock.now_ns () - run_t0 in
   Format.printf "estimated coverage: %.0f@." r.Mkc_core.Report.estimate;
   (match r.Mkc_core.Report.provenance with
   | Some p -> Format.printf "via: %a@." Mkc_core.Solution.pp_provenance p
@@ -806,18 +932,30 @@ let report path k alpha seed profile domains schedule chunk oopts =
   Format.printf "reported %d sets:@." (List.length r.Mkc_core.Report.sets);
   List.iter (fun id -> Format.printf "  S%d@." id) r.Mkc_core.Report.sets;
   Format.printf "space: %d words@." (Mkc_core.Report.words rep);
-  if want then begin
-    Mkc_core.Report.record_metrics rep;
-    emit_metrics oopts (List.rev !profiles)
-  end;
-  emit_trace oopts
+  if want || ledger <> None then Mkc_core.Report.record_metrics rep;
+  if want then emit_metrics oopts (List.rev !profiles);
+  emit_trace oopts;
+  Option.iter
+    (fun lpath ->
+      append_run_ledger ~path:lpath ~label:"report"
+        ~params:
+          (ledger_run_params ~stream:path ~m ~n ~k ~alpha ~seed ~profile ~domains ~schedule
+             ~chunk)
+        ~edges:total ~wall_ns:run_wall_ns
+        ~mode:(if domains > 1 then "pool" else "sequential")
+        ~extra_stats:
+          [
+            ("estimate", r.Mkc_core.Report.estimate);
+            ("space_words", float_of_int (Mkc_core.Report.words rep));
+          ])
+    ledger
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"α-approximate k-cover reporting (Theorem 3.2)")
     Term.(
       const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ schedule_arg $ chunk_arg $ obs_term)
+      $ domains_arg $ schedule_arg $ chunk_arg $ obs_term $ ledger_arg)
 
 (* ---------- greedy ---------- *)
 
@@ -1017,8 +1155,8 @@ let validate_snapshot_cmd =
   Cmd.v
     (Cmd.info "validate-snapshot"
        ~doc:
-         "Validate a metrics snapshot against the mkc-obs/3 schema (mkc-obs/1 and \
-          mkc-obs/2 accepted read-only)")
+         "Validate a metrics snapshot against the mkc-obs/4 schema (mkc-obs/1 through \
+          mkc-obs/3 accepted read-only)")
     Term.(const validate_snapshot $ file)
 
 (* ---------- telemetry subcommands ---------- *)
@@ -1085,6 +1223,42 @@ let telemetry_report_cmd =
           event digest")
     Term.(const telemetry_report $ telemetry_file_arg)
 
+(* Cross-check a telemetry log against the series section of a
+   --metrics-json snapshot from the same run: every snapshot track's
+   count/min/max/last must match the replayed log exactly.  Exits 1 on
+   the first mismatch.  Shared by validate-telemetry and doctor. *)
+let check_log_against_snapshot ~file ~snapfile (log : Mkc_obs.Telemetry.log)
+    (snap : Mkc_obs.Snapshot.t) =
+  if snap.Mkc_obs.Snapshot.series = [] then begin
+    Format.eprintf "%s: snapshot has no series section to check against@." snapfile;
+    exit 1
+  end;
+  let summaries = Mkc_obs.Telemetry.summarize log in
+  List.iter
+    (fun (tr : Mkc_obs.Snapshot.track) ->
+      match
+        List.find_opt (fun (s : Mkc_obs.Telemetry.summary) -> s.t_name = tr.tname) summaries
+      with
+      | None ->
+          Format.eprintf "%s: track %S is in the snapshot but not the log@." file tr.tname;
+          exit 1
+      | Some s ->
+          let check what got expected =
+            if got <> expected then begin
+              Format.eprintf "%s: track %S %s mismatch: log %d, snapshot %d@." file tr.tname
+                what got expected;
+              exit 1
+            end
+          in
+          check "count" s.t_count tr.tcount;
+          check "min" s.t_min tr.tmin;
+          check "max" s.t_max tr.tmax;
+          check "last" s.t_last tr.tlast)
+    snap.Mkc_obs.Snapshot.series;
+  Format.printf "%s: matches all %d snapshot series tracks of %s exactly@." file
+    (List.length snap.Mkc_obs.Snapshot.series)
+    snapfile
+
 let validate_telemetry file against =
   let log = load_telemetry file in
   warn_torn file log;
@@ -1095,39 +1269,7 @@ let validate_telemetry file against =
       | Error e ->
           Format.eprintf "%s: invalid snapshot: %s@." snapfile e;
           exit 1
-      | Ok snap ->
-          if snap.Mkc_obs.Snapshot.series = [] then begin
-            Format.eprintf "%s: snapshot has no series section to check against@." snapfile;
-            exit 1
-          end;
-          let summaries = Mkc_obs.Telemetry.summarize log in
-          List.iter
-            (fun (tr : Mkc_obs.Snapshot.track) ->
-              match
-                List.find_opt
-                  (fun (s : Mkc_obs.Telemetry.summary) -> s.t_name = tr.tname)
-                  summaries
-              with
-              | None ->
-                  Format.eprintf "%s: track %S is in the snapshot but not the log@." file
-                    tr.tname;
-                  exit 1
-              | Some s ->
-                  let check what got expected =
-                    if got <> expected then begin
-                      Format.eprintf "%s: track %S %s mismatch: log %d, snapshot %d@."
-                        file tr.tname what got expected;
-                      exit 1
-                    end
-                  in
-                  check "count" s.t_count tr.tcount;
-                  check "min" s.t_min tr.tmin;
-                  check "max" s.t_max tr.tmax;
-                  check "last" s.t_last tr.tlast)
-            snap.Mkc_obs.Snapshot.series;
-          Format.printf "%s: matches all %d snapshot series tracks of %s exactly@." file
-            (List.length snap.Mkc_obs.Snapshot.series)
-            snapfile));
+      | Ok snap -> check_log_against_snapshot ~file ~snapfile log snap));
   Format.printf "%s: valid telemetry log, version %d (%d tracks, %d samples, %d events%s)@."
     file Mkc_obs.Telemetry.version (Array.length log.tracks) (List.length log.samples)
     (List.length log.events)
@@ -1223,6 +1365,306 @@ let validate_trace_cmd =
        ~doc:"Validate a Chrome trace_event / Perfetto JSON timeline (from --trace)")
     Term.(const validate_trace $ file)
 
+(* ---------- ledger / bench-diff / doctor ---------- *)
+
+let load_ledger ~exit_code file =
+  match Mkc_obs.Ledger.read file with
+  | Ok store -> store
+  | Error e ->
+      Format.eprintf "%s: invalid run ledger: %s@." file (Mkc_obs.Ledger.error_to_string e);
+      exit exit_code
+
+let warn_ledger_torn file (store : Mkc_obs.Ledger.store) =
+  Option.iter
+    (fun e ->
+      Format.eprintf "%s: warning: torn tail skipped: %s@." file
+        (Mkc_obs.Ledger.error_to_string e))
+    store.torn
+
+let ledger_action action file index =
+  let store = load_ledger ~exit_code:1 file in
+  warn_ledger_torn file store;
+  let entries = store.entries in
+  let n = List.length entries in
+  match action with
+  | `Validate ->
+      Format.printf "%s: valid run ledger, version %d (%d records%s)@." file
+        Mkc_obs.Ledger.version n
+        (match store.torn with Some _ -> ", torn tail skipped" | None -> "")
+  | `List ->
+      Format.printf "%s: %d records@." file n;
+      List.iteri
+        (fun i (e : Mkc_obs.Ledger.entry) ->
+          let rate =
+            match e.e_modes with
+            | m :: _ ->
+                Printf.sprintf " %s %.0f edges/s (best of %d)" m.ms_mode m.ms_edges_per_sec
+                  m.ms_repeats
+            | [] -> ""
+          in
+          Format.printf "  [%d] %-16s created_ns=%d%s@." i e.e_label e.e_created_ns rate)
+        entries
+  | `Show ->
+      if n = 0 then begin
+        Format.eprintf "%s: empty run ledger, nothing to show@." file;
+        exit 1
+      end;
+      let i = Option.value ~default:(n - 1) index in
+      if i < 0 || i >= n then begin
+        Format.eprintf "mkc: --index %d out of range (%d records)@." i n;
+        exit 2
+      end;
+      print_endline (Mkc_obs.Json.to_string (Mkc_obs.Ledger.entry_to_json (List.nth entries i)))
+
+let ledger_cmd =
+  let action =
+    let action_conv = Arg.enum [ ("list", `List); ("show", `Show); ("validate", `Validate) ] in
+    Arg.(
+      required
+      & pos 0 (some action_conv) None
+      & info [] ~docv:"ACTION" ~doc:"$(b,list), $(b,show) or $(b,validate).")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Run ledger file (from --ledger or the pipeline bench).")
+  in
+  let index =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ] ~docv:"N" ~doc:"Record to show (0-based; default the newest).")
+  in
+  Cmd.v
+    (Cmd.info "ledger"
+       ~doc:
+         "List, show or validate the records of an MKCLEDG1 run ledger (checksummed \
+          frames; a torn tail is reported but tolerated)")
+    Term.(const ledger_action $ action $ file $ index)
+
+let pick_ledger_entry ~what ~label ~index file =
+  let store = load_ledger ~exit_code:2 file in
+  warn_ledger_torn file store;
+  let entries =
+    match label with
+    | None -> store.entries
+    | Some l ->
+        List.filter (fun (e : Mkc_obs.Ledger.entry) -> String.equal e.e_label l) store.entries
+  in
+  let n = List.length entries in
+  if n = 0 then begin
+    Format.eprintf "mkc: %s %s has no matching records%s@." what file
+      (match label with Some l -> Printf.sprintf " (label %S)" l | None -> "");
+    exit 2
+  end;
+  let i = Option.value ~default:(n - 1) index in
+  if i < 0 || i >= n then begin
+    Format.eprintf "mkc: %s index %d out of range (%d matching records)@." what i n;
+    exit 2
+  end;
+  List.nth entries i
+
+let bench_diff baseline candidate label bindex cindex noise_floor allow_incomparable =
+  if not (Float.is_finite noise_floor && noise_floor >= 0.0) then begin
+    Format.eprintf "mkc: --noise-floor must be a non-negative number (got %g)@." noise_floor;
+    exit 2
+  end;
+  let b = pick_ledger_entry ~what:"baseline" ~label ~index:bindex baseline in
+  let c = pick_ledger_entry ~what:"candidate" ~label ~index:cindex candidate in
+  let opts = { Mkc_obs.Sentinel.default_opts with noise_floor } in
+  let r = Mkc_obs.Sentinel.compare_entries ~opts ~baseline:b ~candidate:c () in
+  List.iter (fun l -> Format.printf "  %s@." l) r.Mkc_obs.Sentinel.r_lines;
+  Format.printf "bench-diff: %s@."
+    (Mkc_obs.Sentinel.verdict_to_string r.Mkc_obs.Sentinel.r_verdict);
+  match r.Mkc_obs.Sentinel.r_verdict with
+  | Mkc_obs.Sentinel.Improved _ | Mkc_obs.Sentinel.Within_noise -> ()
+  | Mkc_obs.Sentinel.Regressed _ -> exit 5
+  | Mkc_obs.Sentinel.Incomparable _ -> if not allow_incomparable then exit 6
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"LEDGER" ~doc:"Baseline run ledger.")
+  in
+  let candidate =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "candidate" ] ~docv:"LEDGER" ~doc:"Candidate run ledger.")
+  in
+  let label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"LABEL"
+          ~doc:"Compare only records with this label (default: any; newest wins).")
+  in
+  let bindex =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "baseline-index" ] ~docv:"N"
+          ~doc:"Baseline record (0-based among matches; default the newest).")
+  in
+  let cindex =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "candidate-index" ] ~docv:"N"
+          ~doc:"Candidate record (0-based among matches; default the newest).")
+  in
+  let noise_floor =
+    Arg.(
+      value
+      & opt float Mkc_obs.Sentinel.default_opts.Mkc_obs.Sentinel.noise_floor
+      & info [ "noise-floor" ] ~docv:"FRAC"
+          ~doc:
+            "Minimum relative noise band; the effective band is the larger of this and \
+             the baseline's own best-vs-median dispersion.")
+  in
+  let allow_incomparable =
+    Arg.(
+      value & flag
+      & info [ "allow-incomparable" ]
+          ~doc:
+            "Exit 0 instead of 6 when the records are incomparable (different labels or \
+             params) — for CI baselines that may predate a workload change.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare a candidate run-ledger record against a baseline one: throughput \
+          against a noise band from the baseline's own repeat dispersion, histogram-p99 \
+          shifts, and quality drift.  Exit 0 when within noise or improved, 5 on a \
+          regression, 6 when incomparable.")
+    Term.(
+      const bench_diff $ baseline $ candidate $ label $ bindex $ cindex $ noise_floor
+      $ allow_incomparable)
+
+(* ---------- doctor ---------- *)
+
+let doctor snapshot telemetry trace ledger =
+  if snapshot = None && telemetry = None && trace = None && ledger = None then begin
+    Format.eprintf
+      "mkc: doctor needs at least one artifact (--snapshot, --telemetry, --trace, \
+       --ledger)@.";
+    exit 2
+  end;
+  let checked = ref 0 in
+  let snap =
+    Option.map
+      (fun file ->
+        match Mkc_obs.Snapshot.validate (read_file file) with
+        | Error e ->
+            Format.eprintf "%s: invalid snapshot: %s@." file e;
+            exit 1
+        | Ok s ->
+            incr checked;
+            Format.printf "doctor: %s: valid %s snapshot (%d metrics)@." file
+              s.Mkc_obs.Snapshot.schema
+              (List.length s.Mkc_obs.Snapshot.metrics);
+            (file, s))
+      snapshot
+  in
+  Option.iter
+    (fun file ->
+      let log = load_telemetry file in
+      warn_torn file log;
+      incr checked;
+      Format.printf "doctor: %s: valid telemetry log (%d tracks, %d samples)@." file
+        (Array.length log.tracks) (List.length log.samples);
+      match snap with
+      | Some (snapfile, s) when s.Mkc_obs.Snapshot.series <> [] ->
+          check_log_against_snapshot ~file ~snapfile log s
+      | _ -> ())
+    telemetry;
+  Option.iter
+    (fun file ->
+      match Mkc_obs.Trace.validate (read_file file) with
+      | Ok n ->
+          incr checked;
+          Format.printf "doctor: %s: valid trace_event JSON (%d events)@." file n
+      | Error e ->
+          Format.eprintf "%s: invalid trace: %s@." file e;
+          exit 1)
+    trace;
+  Option.iter
+    (fun file ->
+      let store = load_ledger ~exit_code:1 file in
+      warn_ledger_torn file store;
+      incr checked;
+      Format.printf "doctor: %s: valid run ledger (%d records)@." file
+        (List.length store.entries);
+      (* Cross-check the newest record's final gauges against a
+         snapshot from the same run: the ledger's quality gauges and
+         histogram digests must agree with what the snapshot froze. *)
+      match (snap, List.rev store.entries) with
+      | Some (snapfile, s), (last : Mkc_obs.Ledger.entry) :: _ ->
+          let metric name =
+            List.find_opt
+              (fun (m : Mkc_obs.Snapshot.metric) -> String.equal m.mname name)
+              s.Mkc_obs.Snapshot.metrics
+          in
+          List.iter
+            (fun (name, q) ->
+              match metric name with
+              | Some { mvalue = Mkc_obs.Snapshot.Gauge g; _ } when Float.abs (g -. q) <= 1e-9
+                ->
+                  ()
+              | Some { mvalue = Mkc_obs.Snapshot.Gauge g; _ } ->
+                  Format.eprintf "%s: quality gauge %S is %.9f in the ledger, %.9f in %s@."
+                    file name q g snapfile;
+                  exit 1
+              | _ ->
+                  Format.eprintf "%s: quality gauge %S has no gauge in %s@." file name
+                    snapfile;
+                  exit 1)
+            last.e_quality;
+          List.iter
+            (fun (name, (d : Mkc_obs.Metric.Histogram.digest)) ->
+              match metric name with
+              | Some { mvalue = Mkc_obs.Snapshot.Histogram h; _ }
+                when h.Mkc_obs.Snapshot.hcount = d.d_count
+                     && Float.abs (h.Mkc_obs.Snapshot.hsum -. float_of_int d.d_sum) <= 0.5
+                ->
+                  ()
+              | Some { mvalue = Mkc_obs.Snapshot.Histogram h; _ } ->
+                  Format.eprintf
+                    "%s: digest %S (count %d, sum %d) disagrees with %s (count %d, sum \
+                     %.0f)@."
+                    file name d.d_count d.d_sum snapfile h.Mkc_obs.Snapshot.hcount
+                    h.Mkc_obs.Snapshot.hsum;
+                  exit 1
+              | _ ->
+                  Format.eprintf "%s: digest %S has no histogram in %s@." file name snapfile;
+                  exit 1)
+            last.e_digests;
+          Format.printf "doctor: %s: newest record matches %s final gauges@." file snapfile
+      | _ -> ())
+    ledger;
+  Format.printf "doctor: %d artifacts consistent@." !checked
+
+let doctor_cmd =
+  let opt_file name docv doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv ~doc)
+  in
+  let snapshot = opt_file "snapshot" "FILE" "Metrics snapshot (from --metrics-json)." in
+  let telemetry = opt_file "telemetry" "FILE" "Telemetry log (from --telemetry)." in
+  let trace = opt_file "trace" "FILE" "Trace timeline (from --trace)." in
+  let ledger = opt_file "ledger" "FILE" "Run ledger (from --ledger)." in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "One-shot audit of a run's observability artifacts: validate each given file \
+          (snapshot, telemetry log, trace, run ledger) and cross-check them against each \
+          other — telemetry against the snapshot's series section, the newest ledger \
+          record's quality gauges and histogram digests against the snapshot's final \
+          metrics.  Exit 1 on any inconsistency.")
+    Term.(const doctor $ snapshot $ telemetry $ trace $ ledger)
+
 let () =
   let info =
     Cmd.info "mkc" ~version:"1.0.0"
@@ -1246,4 +1688,7 @@ let () =
             top_cmd;
             telemetry_report_cmd;
             validate_telemetry_cmd;
+            ledger_cmd;
+            bench_diff_cmd;
+            doctor_cmd;
           ]))

@@ -257,9 +257,18 @@ let code_large_of rs sid =
    [touched] are visited — flush cost is O(pending sids), not O(q), so
    a mid-run space/telemetry sample on a mostly-clean repeat is
    cheap. *)
+(* Flush-size distribution: how many touched sids each deferred flush
+   applies.  Large flushes mean the deferral is batching well; a wall
+   of size-1 flushes means reads are interleaving with feeding. *)
+module Obs = struct
+  let flush_size =
+    Mkc_obs.Registry.histogram Mkc_obs.Registry.global "large_set.flush_size"
+end
+
 let flush_level hh d =
   if d.dirty then begin
     d.dirty <- false;
+    Mkc_obs.Registry.record Obs.flush_size d.ntouched;
     let pend = d.pend and touched = d.touched in
     for i = 0 to d.ntouched - 1 do
       let sid = Array.unsafe_get touched i in
@@ -293,6 +302,7 @@ let flush_words rs =
 let flush_pending rs =
   if rs.cs_dirty then begin
     rs.cs_dirty <- false;
+    Mkc_obs.Registry.record Obs.flush_size rs.cs_ntouched;
     let pend = rs.cs_pending and touched = rs.cs_touched in
     for i = 0 to rs.cs_ntouched - 1 do
       let sid = Array.unsafe_get touched i in

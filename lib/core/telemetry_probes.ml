@@ -33,7 +33,10 @@ let reg_int name ~at_ns:(_ : int) ~at_edges:(_ : int) =
   match Mkc_obs.Registry.read Mkc_obs.Registry.global name with
   | Some (Mkc_obs.Registry.Counter n) -> n
   | Some (Mkc_obs.Registry.Gauge g) -> int_of_float g
-  | _ -> 0
+  (* plan-build / queue-wait are histogram tracks now: the cumulative
+     scalar the telemetry log carries is the histogram's sum *)
+  | Some (Mkc_obs.Registry.Histogram h) -> h.Mkc_obs.Metric.Histogram.sum
+  | None -> 0
 
 let pool_tracks =
   List.map

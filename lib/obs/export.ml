@@ -19,6 +19,13 @@ let num f =
   else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
   else Printf.sprintf "%g" f
 
+(* Bucket upper bound for the [le] label / quantile report: log-linear
+   Histogram bounds on current snapshots, 2^(i+1) on legacy v1–v3. *)
+let bucket_bound ~schema i =
+  if String.equal schema Snapshot.schema_version then
+    float_of_int (Histogram.bound_of_bucket i)
+  else Float.pow 2.0 (float_of_int (i + 1))
+
 let prometheus (s : Snapshot.t) =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
@@ -38,7 +45,7 @@ let prometheus (s : Snapshot.t) =
           List.iter
             (fun (i, c) ->
               cum := !cum + c;
-              line "%s_bucket{le=\"%s\"} %d" n (num (Float.pow 2.0 (float_of_int (i + 1)))) !cum)
+              line "%s_bucket{le=\"%s\"} %d" n (num (bucket_bound ~schema:s.Snapshot.schema i)) !cum)
             h.Snapshot.hbuckets;
           line "%s_bucket{le=\"+Inf\"} %d" n h.Snapshot.hcount;
           line "%s_sum %s" n (num h.Snapshot.hsum);
@@ -46,17 +53,19 @@ let prometheus (s : Snapshot.t) =
     s.Snapshot.metrics;
   Buffer.contents b
 
-let quantile_of_hist (h : Snapshot.hist) q =
+let quantile_of_hist ?(schema = Snapshot.schema_version) (h : Snapshot.hist) q =
   if h.Snapshot.hcount = 0 then 0.0
   else begin
-    let target = Float.max 1.0 (Float.round (q *. float_of_int h.Snapshot.hcount)) in
+    let rank = Histogram.ceil_rank q h.Snapshot.hcount in
     let seen = ref 0 and hit = ref None in
     List.iter
       (fun (i, c) ->
         seen := !seen + c;
-        if !hit = None && float_of_int !seen >= target then hit := Some i)
+        if !hit = None && !seen >= rank then hit := Some i)
       h.Snapshot.hbuckets;
-    match !hit with Some i -> Float.pow 2.0 (float_of_int (i + 1)) | None -> h.Snapshot.hmax
+    match !hit with
+    | Some i -> Float.min (bucket_bound ~schema i) h.Snapshot.hmax
+    | None -> h.Snapshot.hmax
   end
 
 let pp_ns ns =
@@ -68,7 +77,7 @@ let pp_ns ns =
 let summary (s : Snapshot.t) =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
-  line "== metrics (schema %s) ==" Snapshot.schema_version;
+  line "== metrics (schema %s) ==" s.Snapshot.schema;
   List.iter
     (fun (m : Snapshot.metric) ->
       match m.Snapshot.mvalue with
@@ -76,8 +85,8 @@ let summary (s : Snapshot.t) =
       | Snapshot.Gauge g -> line "  %-48s %s" m.Snapshot.mname (num g)
       | Snapshot.Histogram h ->
           line "  %-48s n=%d p50=%s p99=%s max=%s" m.Snapshot.mname h.Snapshot.hcount
-            (pp_ns (quantile_of_hist h 0.5))
-            (pp_ns (quantile_of_hist h 0.99))
+            (pp_ns (quantile_of_hist ~schema:s.Snapshot.schema h 0.5))
+            (pp_ns (quantile_of_hist ~schema:s.Snapshot.schema h 0.99))
             (pp_ns h.Snapshot.hmax))
     s.Snapshot.metrics;
   if s.Snapshot.spans <> [] then begin

@@ -1,68 +1,6 @@
-module Histogram = struct
-  type t = {
-    mutable count : int;
-    mutable sum : float;
-    mutable vmin : float;
-    mutable vmax : float;
-    buckets : int array;
-  }
-
-  let num_buckets = 64
-
-  let create () =
-    { count = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity; buckets = Array.make num_buckets 0 }
-
-  let bucket_of v =
-    if v < 1.0 then 0
-    else min (num_buckets - 1) (int_of_float (Float.log2 v))
-
-  let observe t v =
-    t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
-    if v < t.vmin then t.vmin <- v;
-    if v > t.vmax then t.vmax <- v;
-    let b = bucket_of v in
-    t.buckets.(b) <- t.buckets.(b) + 1
-
-  let observe_ns t ns = observe t (float_of_int ns)
-
-  let merge_into ~dst src =
-    dst.count <- dst.count + src.count;
-    dst.sum <- dst.sum +. src.sum;
-    if src.vmin < dst.vmin then dst.vmin <- src.vmin;
-    if src.vmax > dst.vmax then dst.vmax <- src.vmax;
-    Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets
-
-  let merge a b =
-    let t = create () in
-    merge_into ~dst:t a;
-    merge_into ~dst:t b;
-    t
-
-  let nonzero_buckets t =
-    let out = ref [] in
-    for i = num_buckets - 1 downto 0 do
-      if t.buckets.(i) > 0 then out := (i, t.buckets.(i)) :: !out
-    done;
-    !out
-
-  let quantile t q =
-    if t.count = 0 then 0.0
-    else begin
-      let target = Float.max 1.0 (Float.round (q *. float_of_int t.count)) in
-      let seen = ref 0 and hit = ref (num_buckets - 1) and looking = ref true in
-      for i = 0 to num_buckets - 1 do
-        if !looking then begin
-          seen := !seen + t.buckets.(i);
-          if float_of_int !seen >= target then begin
-            hit := i;
-            looking := false
-          end
-        end
-      done;
-      Float.pow 2.0 (float_of_int (!hit + 1))
-    end
-end
+(* The registry's histogram cells are log-linear Histograms; alias the
+   module here so the whole merge algebra lives in one namespace. *)
+module Histogram = Histogram
 
 let merge_counter = ( + )
 let merge_gauge mode a b = match mode with `Sum -> a +. b | `Max -> Float.max a b

@@ -2,44 +2,15 @@
 
     The registry keeps one cell per (metric, domain); reads merge the
     per-domain cells with the operations here.  Merges form a
-    commutative monoid (associative, commutative, with {!Histogram.create}
-    / zero as identity) — the law the per-domain sharding relies on:
-    merging shards in any order equals a single sequential history.
-    [test/test_obs.ml] checks this. *)
+    commutative monoid (associative, commutative, with
+    {!Histogram.create} / zero as identity) — the law the per-domain
+    sharding relies on: merging shards in any order equals a single
+    sequential history.  [test/test_obs.ml] checks this. *)
 
-(** Fixed-width log-bucketed histogram: bucket [i] counts observations
-    [v] with [2^i <= v < 2^(i+1)] (values below 1 land in bucket 0).
-    Designed for nanosecond latencies: 64 buckets cover [1ns, ~292y]. *)
-module Histogram : sig
-  type t = {
-    mutable count : int;
-    mutable sum : float;
-    mutable vmin : float;  (** meaningless when [count = 0] *)
-    mutable vmax : float;
-    buckets : int array;  (** length {!num_buckets} *)
-  }
-
-  val num_buckets : int
-  val create : unit -> t
-  val observe : t -> float -> unit
-  val observe_ns : t -> int -> unit
-
-  val bucket_of : float -> int
-  (** Index of the bucket a value lands in. *)
-
-  val merge : t -> t -> t
-  (** Fresh histogram holding both inputs' observations. *)
-
-  val merge_into : dst:t -> t -> unit
-
-  val nonzero_buckets : t -> (int * int) list
-  (** [(bucket index, count)] for non-empty buckets, ascending. *)
-
-  val quantile : t -> float -> float
-  (** [quantile h q] for q ∈ \[0, 1\]: upper bound (2^(i+1)) of the
-      bucket containing the q-th observation; 0 when empty.  Log-bucket
-      resolution: exact within a factor of 2. *)
-end
+module Histogram = Histogram
+(** Histogram cells are {!Histogram}: log-linear buckets, integer
+    values, zero-allocation {!Histogram.record}, commutative
+    {!Histogram.merge}. *)
 
 val merge_counter : int -> int -> int
 (** Counters merge by sum. *)

@@ -98,13 +98,14 @@ let set g v =
     | Gcell r -> r.v <- v
     | _ -> assert false
 
-let observe h v =
+let record h n =
   if !switch then
     match cell h.hr h.hname Khistogram with
-    | Hcell hist -> Metric.Histogram.observe hist v
+    | Hcell hist -> Metric.Histogram.record hist n
     | _ -> assert false
 
-let observe_ns h ns = observe h (float_of_int ns)
+let observe h v = record h (int_of_float v)
+let observe_ns h ns = record h ns
 
 type value =
   | Counter of int
@@ -180,12 +181,7 @@ let reset t =
           match c with
           | Ccell r -> r.v <- 0
           | Gcell r -> r.v <- 0.0
-          | Hcell h ->
-              h.Metric.Histogram.count <- 0;
-              h.sum <- 0.0;
-              h.vmin <- infinity;
-              h.vmax <- neg_infinity;
-              Array.fill h.buckets 0 (Array.length h.buckets) 0)
+          | Hcell h -> Metric.Histogram.clear h)
         s.cells;
       Mutex.unlock s.lock)
     shards

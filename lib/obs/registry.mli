@@ -54,7 +54,14 @@ val histogram : t -> string -> histogram
 val incr : counter -> unit
 val add : counter -> int -> unit
 val set : gauge -> float -> unit
+
+val record : histogram -> int -> unit
+(** Record one integer observation (see {!Histogram.record}). *)
+
 val observe : histogram -> float -> unit
+(** [record] after truncation to int — kept for float-valued call
+    sites. *)
+
 val observe_ns : histogram -> int -> unit
 
 (** {1 Merged reads} *)

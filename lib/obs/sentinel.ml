@@ -1,0 +1,141 @@
+(* Noise-aware baseline-vs-candidate comparison over ledger records.
+   See the .mli for the decision procedure.  Everything here is pure:
+   two entries and the options in, a verdict and its evidence out —
+   the verdict table in test_sentinel.ml leans on that. *)
+
+type verdict =
+  | Improved of string
+  | Within_noise
+  | Regressed of string
+  | Incomparable of string
+
+type opts = {
+  noise_floor : float;
+  p99_band : float;
+  p99_abs_floor : int;
+  quality_tol : float;
+}
+
+let default_opts = { noise_floor = 0.02; p99_band = 0.5; p99_abs_floor = 1000; quality_tol = 0.01 }
+
+type report = { r_verdict : verdict; r_lines : string list }
+
+let verdict_to_string = function
+  | Improved why -> "improved: " ^ why
+  | Within_noise -> "within noise"
+  | Regressed why -> "regressed: " ^ why
+  | Incomparable why -> "incomparable: " ^ why
+
+let pct x = Printf.sprintf "%+.1f%%" (100.0 *. x)
+
+(* The noise band is the baseline's own best-vs-median spread: k
+   repeats of the same binary tell us how much this host jitters, and
+   anything inside that spread is indistinguishable from re-running
+   the baseline.  The floor keeps a suspiciously tight baseline (or
+   repeats = 1, where the spread is 0) from flagging noise. *)
+let noise_band opts (b : Ledger.mode_stat) =
+  let spread = if b.ms_best_s > 0.0 then (b.ms_median_s -. b.ms_best_s) /. b.ms_best_s else 0.0 in
+  Float.max opts.noise_floor spread
+
+let diff_keys base cand =
+  (* Both assoc lists arrive sorted (the ledger encoder sorts); a
+     merge walk names every key that is missing or differs. *)
+  let rec go acc base cand =
+    match (base, cand) with
+    | [], [] -> List.rev acc
+    | (k, _) :: rest, [] -> go (k :: acc) rest []
+    | [], (k, _) :: rest -> go (k :: acc) [] rest
+    | (kb, vb) :: rb, (kc, vc) :: rc ->
+        let c = String.compare kb kc in
+        if c < 0 then go (kb :: acc) rb cand
+        else if c > 0 then go (kc :: acc) base rc
+        else go (if vb = vc then acc else kb :: acc) rb rc
+  in
+  go [] base cand
+
+let compare_entries ?(opts = default_opts) ~(baseline : Ledger.entry)
+    ~(candidate : Ledger.entry) () =
+  if not (String.equal baseline.e_label candidate.e_label) then
+    let why =
+      Printf.sprintf "labels differ (baseline %S, candidate %S)" baseline.e_label
+        candidate.e_label
+    in
+    { r_verdict = Incomparable why; r_lines = [ why ] }
+  else
+    match diff_keys baseline.e_params candidate.e_params with
+    | _ :: _ as keys ->
+        let why = "params differ: " ^ String.concat ", " keys in
+        { r_verdict = Incomparable why; r_lines = [ why ] }
+    | [] -> (
+        let common_modes =
+          List.filter_map
+            (fun (b : Ledger.mode_stat) ->
+              List.find_opt
+                (fun (c : Ledger.mode_stat) -> String.equal c.ms_mode b.ms_mode)
+                candidate.e_modes
+              |> Option.map (fun c -> (b, c)))
+            baseline.e_modes
+        in
+        if common_modes = [] && (baseline.e_modes <> [] || candidate.e_modes <> []) then
+          let why = "no common pipeline modes between baseline and candidate" in
+          { r_verdict = Incomparable why; r_lines = [ why ] }
+        else begin
+          let lines = ref [] and regressions = ref [] and improvements = ref [] in
+          let note l = lines := l :: !lines in
+          (* Throughput: best-of-k edges/s per mode against the
+             baseline's own noise band. *)
+          List.iter
+            (fun ((b : Ledger.mode_stat), (c : Ledger.mode_stat)) ->
+              let band = noise_band opts b in
+              if b.ms_edges_per_sec > 0.0 then begin
+                let rel = (c.ms_edges_per_sec -. b.ms_edges_per_sec) /. b.ms_edges_per_sec in
+                note
+                  (Printf.sprintf "mode %s: %s edges/s (noise band ±%.1f%%, %d vs %d repeats)"
+                     b.ms_mode (pct rel) (100.0 *. band) b.ms_repeats c.ms_repeats);
+                if rel < -.band then
+                  regressions :=
+                    Printf.sprintf "mode %s throughput %s (beyond noise band ±%.1f%%)" b.ms_mode
+                      (pct rel) (100.0 *. band)
+                    :: !regressions
+                else if rel > band then
+                  improvements :=
+                    Printf.sprintf "mode %s throughput %s" b.ms_mode (pct rel) :: !improvements
+              end)
+            common_modes;
+          (* Tail latency: a p99 that inflated beyond both the relative
+             band and the absolute floor.  The floor keeps sub-µs
+             digests (where one bucket is a large relative step) from
+             tripping the check. *)
+          List.iter
+            (fun (name, (b : Histogram.digest)) ->
+              match List.assoc_opt name candidate.e_digests with
+              | Some (c : Histogram.digest) when b.d_count > 0 && c.d_count > 0 ->
+                  let limit =
+                    int_of_float (Float.of_int b.d_p99 *. (1.0 +. opts.p99_band))
+                    + opts.p99_abs_floor
+                  in
+                  if c.d_p99 > limit then
+                    regressions :=
+                      Printf.sprintf "track %s p99 %d -> %d (limit %d)" name b.d_p99 c.d_p99
+                        limit
+                      :: !regressions
+              | _ -> ())
+            baseline.e_digests;
+          (* Quality: the α-guarantee gauges must not drift.  Absolute
+             tolerance — the gauges are ratios in [0, 1]. *)
+          List.iter
+            (fun (name, b) ->
+              match List.assoc_opt name candidate.e_quality with
+              | Some c when Float.abs (c -. b) > opts.quality_tol ->
+                  regressions :=
+                    Printf.sprintf "quality %s drifted %.6f -> %.6f (tolerance %.6f)" name b c
+                      opts.quality_tol
+                    :: !regressions
+              | _ -> ())
+            baseline.e_quality;
+          let r_lines = List.rev !lines in
+          match (List.rev !regressions, List.rev !improvements) with
+          | (_ :: _ as regs), _ -> { r_verdict = Regressed (String.concat "; " regs); r_lines }
+          | [], (_ :: _ as imps) -> { r_verdict = Improved (String.concat "; " imps); r_lines }
+          | [], [] -> { r_verdict = Within_noise; r_lines }
+        end)

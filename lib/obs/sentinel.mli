@@ -1,0 +1,48 @@
+(** Noise-aware regression sentinel: compare a candidate ledger entry
+    against a baseline entry and classify the difference.
+
+    Decision procedure, in order:
+
+    + different labels or different workload params → {!Incomparable}
+      (comparing different workloads yields noise, not evidence);
+    + per-mode best-of-k throughput outside the {e noise band} —
+      [max(noise_floor, (median - best) / best)] estimated from the
+      baseline's own repeat dispersion — → {!Regressed} (slower) or
+      counts toward {!Improved} (faster);
+    + a histogram-digest p99 inflated beyond both the relative band
+      and the absolute floor → {!Regressed};
+    + a quality gauge drifted beyond the absolute tolerance →
+      {!Regressed} (the α-approximation guarantee is not allowed to
+      buy throughput);
+    + any regression wins over any improvement; neither →
+      {!Within_noise}.
+
+    Pure and deterministic: the verdict is a function of the two
+    entries and {!opts} alone. *)
+
+type verdict =
+  | Improved of string
+  | Within_noise
+  | Regressed of string
+  | Incomparable of string
+
+val verdict_to_string : verdict -> string
+
+type opts = {
+  noise_floor : float;  (** minimum relative noise band (0.02) *)
+  p99_band : float;  (** allowed relative p99 inflation (0.5) *)
+  p99_abs_floor : int;  (** plus this absolute slack, in the digest's
+                            unit — keeps one-bucket jitter on tiny
+                            values from tripping the check (1000) *)
+  quality_tol : float;  (** absolute quality-gauge tolerance (0.01) *)
+}
+
+val default_opts : opts
+
+type report = {
+  r_verdict : verdict;
+  r_lines : string list;  (** per-check evidence, for [mkc bench-diff] output *)
+}
+
+val compare_entries :
+  ?opts:opts -> baseline:Ledger.entry -> candidate:Ledger.entry -> unit -> report

@@ -273,6 +273,83 @@ let read path =
           in
           go 16 ~tracks:None ~samples:[] ~events:[])
 
+(* ---------- shared framing ---------- *)
+
+(* The magic/version/frame/torn-tail machinery, factored out so the
+   run ledger (MKCLEDG1) carries the exact same guarantees as the
+   telemetry log without re-implementing them. *)
+module Framed = struct
+  let fnv1a64 = fnv1a64
+  let hex64 = hex64
+
+  let write_header oc ~magic ~version =
+    if String.length magic <> 8 then
+      invalid_arg "Telemetry.Framed.write_header: magic must be exactly 8 bytes";
+    let head = Bytes.create 16 in
+    Bytes.blit_string magic 0 head 0 8;
+    Bytes.set_int64_le head 8 (Int64.of_int version);
+    output_bytes oc head
+
+  let write_frame = Writer.frame
+
+  let check_header data ~file_len ~magic ~version =
+    let* () =
+      if file_len < 16 then
+        Error (Truncated (Printf.sprintf "%d bytes, need 16 for the header" file_len))
+      else Ok ()
+    in
+    let got_magic = Bytes.sub_string data 0 8 in
+    let* () = if String.equal got_magic magic then Ok () else Error (Bad_magic got_magic) in
+    let* ver = checked_to_int "version" (Bytes.get_int64_le data 8) in
+    if ver = version then Ok () else Error (Bad_version ver)
+
+  let read_all ~magic ~version path =
+    if String.length magic <> 8 then
+      invalid_arg "Telemetry.Framed.read_all: magic must be exactly 8 bytes";
+    match open_in_bin path with
+    | exception Sys_error msg -> Error (Io_error msg)
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let file_len = in_channel_length ic in
+            let data = Bytes.create file_len in
+            let* () =
+              match really_input ic data 0 file_len with
+              | () -> Ok ()
+              | exception End_of_file -> Error (Io_error "file shrank during read")
+            in
+            let* () = check_header data ~file_len ~magic ~version in
+            let rec go pos acc =
+              if pos = file_len then Ok (List.rev acc, None)
+              else if pos + 16 > file_len then
+                Ok
+                  ( List.rev acc,
+                    Some
+                      (Truncated
+                         (Printf.sprintf "torn frame header at byte %d (%d of 16 bytes)" pos
+                            (file_len - pos))) )
+              else
+                let* plen = checked_to_int "frame length" (Bytes.get_int64_le data pos) in
+                if plen < 1 then
+                  Error (Malformed (Printf.sprintf "frame of %d bytes at byte %d" plen pos))
+                else if pos + 16 + plen > file_len then
+                  Ok
+                    ( List.rev acc,
+                      Some
+                        (Truncated
+                           (Printf.sprintf "torn frame at byte %d (%d of %d payload bytes)" pos
+                              (file_len - pos - 16) plen)) )
+                else
+                  let stored_crc = Bytes.get_int64_le data (pos + 8) in
+                  let crc = fnv1a64 data ~pos:(pos + 16) ~len:plen in
+                  if not (Int64.equal crc stored_crc) then
+                    Error (Checksum_mismatch { expected = hex64 crc; got = hex64 stored_crc })
+                  else go (pos + 16 + plen) (Bytes.sub data (pos + 16) plen :: acc)
+            in
+            go 16 [])
+end
+
 (* ---------- summaries ---------- *)
 
 type summary = {
@@ -285,13 +362,10 @@ type summary = {
   t_p99 : int;
 }
 
-let quantile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0
-  else begin
-    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
-  end
+(* The ceil-rank definition lives in Histogram so raw-sample summaries
+   and histogram digests share one quantile (asserted equal on a fixture
+   in test_telemetry.ml). *)
+let quantile = Histogram.quantile_sorted
 
 let summarize log =
   let n = List.length log.samples in

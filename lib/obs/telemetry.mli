@@ -71,6 +71,25 @@ val read : string -> (log, error) result
     (bad checksum, malformed frame with more data after it) is a hard
     error; a torn final frame is skipped and reported in [torn]. *)
 
+(** The header/frame/checksum/torn-tail machinery shared with the run
+    ledger ([Ledger], magic "MKCLEDG1"): 8-byte magic + int64 LE
+    version header, then frames of int64 LE payload length, FNV-1a 64
+    payload checksum, and the payload itself. *)
+module Framed : sig
+  val fnv1a64 : Bytes.t -> pos:int -> len:int -> int64
+  val hex64 : int64 -> string
+
+  val write_header : out_channel -> magic:string -> version:int -> unit
+  (** [magic] must be exactly 8 bytes ([Invalid_argument] otherwise). *)
+
+  val write_frame : out_channel -> Bytes.t -> unit
+
+  val read_all : magic:string -> version:int -> string -> (Bytes.t list * error option, error) result
+  (** Every intact frame payload, oldest first, plus the named tear
+      when the final frame was cut short mid-append.  A checksum
+      mismatch or corruption {e inside} the file is a hard error. *)
+end
+
 type summary = {
   t_name : string;
   t_count : int;

@@ -138,10 +138,17 @@ module Obs = struct
   let saves = Mkc_obs.Registry.counter r "checkpoint.saves"
   let bytes = Mkc_obs.Registry.counter r "checkpoint.bytes"
   let loads = Mkc_obs.Registry.counter r "checkpoint.loads"
+
+  (* Per-save latency distributions: encoding (JSON envelope build) and
+     the full durable save (encode + write + rename). *)
+  let encode_ns = Mkc_obs.Registry.histogram r "checkpoint.encode_ns"
+  let save_ns = Mkc_obs.Registry.histogram r "checkpoint.save_ns"
 end
 
 let save ~path t =
+  let t0 = Mkc_obs.Clock.now_ns () in
   let s = to_string t in
+  Mkc_obs.Registry.record Obs.encode_ns (Mkc_obs.Clock.now_ns () - t0);
   (* Atomic: a crash mid-save must never destroy the previous valid
      checkpoint, so write a sibling temp file and rename over. *)
   let tmp = path ^ ".tmp" in
@@ -155,7 +162,8 @@ let save ~path t =
   | () ->
       if Mkc_obs.Registry.enabled () then begin
         Mkc_obs.Registry.incr Obs.saves;
-        Mkc_obs.Registry.add Obs.bytes (String.length s)
+        Mkc_obs.Registry.add Obs.bytes (String.length s);
+        Mkc_obs.Registry.record Obs.save_ns (Mkc_obs.Clock.now_ns () - t0)
       end;
       Ok (String.length s)
   | exception Sys_error msg -> Error (Io_error msg)

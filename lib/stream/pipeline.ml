@@ -15,20 +15,23 @@ module Obs = struct
   let domain_busy_ns = Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.domain_busy_ns"
   let domains_used = Mkc_obs.Registry.gauge ~mode:`Max r "pipeline.domains"
 
-  (* Pool-executor instruments: per-run values set by the coordinator at
-     the end of a drive ([rebalances] accumulates).  All on the global
+  (* Pool-executor instruments ([rebalances] accumulates; the overlap
+     gauge is set by the coordinator per window).  All on the global
      registry, so they surface in snapshots, durable telemetry and [mkc
      top] without extra plumbing. *)
-  let pool_plan_build_ns =
-    Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.pool.plan_build_ns"
-
   let pool_plan_overlap_ns =
     Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.pool.plan_overlap_ns"
 
-  let pool_queue_wait_ns =
-    Mkc_obs.Registry.gauge ~mode:`Sum r "pipeline.pool.queue_wait_ns"
-
   let pool_rebalances = Mkc_obs.Registry.counter r "pipeline.pool.rebalances"
+
+  (* Distribution tracks: per-chunk feed latency, per-window plan-build
+     latency, and per-ticket queue wait each land in a log-linear
+     histogram.  These replace the old scalar-sum gauges of the same
+     names — a histogram's [sum] is the scalar the telemetry probes
+     keep reading, and its buckets feed the run ledger's digests. *)
+  let chunk_feed_ns = Mkc_obs.Registry.histogram r "pipeline.chunk_feed_ns"
+  let pool_plan_build_ns = Mkc_obs.Registry.histogram r "pipeline.pool.plan_build_ns"
+  let pool_queue_wait_ns = Mkc_obs.Registry.histogram r "pipeline.pool.queue_wait_ns"
 end
 
 let run_seq (type s r) ((module M) : (s, r) Sink.sink) (sink : s) src =
@@ -46,7 +49,8 @@ let chunk_instrumented ~nsinks ~len ~cum f =
     if reg then begin
       Mkc_obs.Registry.incr Obs.chunks;
       Mkc_obs.Registry.add Obs.edges len;
-      Mkc_obs.Registry.add Obs.sink_feed_edges (len * nsinks)
+      Mkc_obs.Registry.add Obs.sink_feed_edges (len * nsinks);
+      Mkc_obs.Registry.record Obs.chunk_feed_ns dur
     end;
     if tr then begin
       (* Counter tracks for the timeline: cumulative edges ingested
@@ -181,7 +185,9 @@ module Pool = struct
       | None -> ()
       | Some k ->
           let t0 = Mkc_obs.Clock.now_ns () in
-          w.wait_ns <- w.wait_ns + max 0 (t0 - k.dispatch_ns);
+          let wait = max 0 (t0 - k.dispatch_ns) in
+          w.wait_ns <- w.wait_ns + wait;
+          Mkc_obs.Registry.record Obs.pool_queue_wait_ns wait;
           feed_assigned k;
           let t1 = Mkc_obs.Clock.now_ns () in
           Mkc_obs.Span.record "pipeline.domain" ~start_ns:t0 ~dur_ns:(t1 - t0);
@@ -381,6 +387,7 @@ let pool_drive ?pool ?slots_cap ?(schedule = Static) ?costs
     let tb = Mkc_obs.Clock.now_ns () in
     Chunk_plan.build plans.(0) edges ~pos:p0 ~len:l0;
     plan_build_ns := Mkc_obs.Clock.now_ns () - tb;
+    Mkc_obs.Registry.record Obs.pool_plan_build_ns !plan_build_ns;
     let loop_t0 = Mkc_obs.Clock.now_ns () in
     for w = 0 to nwin - 1 do
       let pos, len = wins.(w) in
@@ -410,6 +417,7 @@ let pool_drive ?pool ?slots_cap ?(schedule = Static) ?costs
             Chunk_plan.build plans.(1 - !parity) edges ~pos:pos' ~len:len';
             let d = Mkc_obs.Clock.now_ns () - t0 in
             plan_build_ns := !plan_build_ns + d;
+            Mkc_obs.Registry.record Obs.pool_plan_build_ns d;
             if slots > 1 then plan_overlap_ns := !plan_overlap_ns + d;
             plan_last_ns := float_of_int d
           end;
@@ -480,10 +488,8 @@ let pool_drive ?pool ?slots_cap ?(schedule = Static) ?costs
          Mkc_obs.Registry.set Obs.domain_busy_ns
            (float_of_int (!coord_busy_ns + !worker_busy));
          Mkc_obs.Registry.set Obs.domains_used (float_of_int slots);
-         Mkc_obs.Registry.set Obs.pool_plan_build_ns (float_of_int !plan_build_ns);
          Mkc_obs.Registry.set Obs.pool_plan_overlap_ns
            (float_of_int !plan_overlap_ns);
-         Mkc_obs.Registry.set Obs.pool_queue_wait_ns (float_of_int !worker_wait);
          if Mkc_obs.Trace.enabled () then
            Mkc_obs.Trace.counter "pipeline.pool.queue_wait_ns"
              ~at_ns:(Mkc_obs.Clock.now_ns ()) !worker_wait

@@ -25,16 +25,21 @@
     scheduling change wall-clock only, never output.
 
     Observability: when {!Mkc_obs.Registry.enabled} is on, the chunked
-    drivers record a [pipeline.chunk] span per chunk and bump the
+    drivers record a [pipeline.chunk] span per chunk, bump the
     counters [pipeline.chunks], [pipeline.edges] (stream edges) and
     [pipeline.sink_feed_edges] (edges × sinks — the feed work actually
-    done).  Every driver makes exactly one chunking pass, so the merged
-    totals match across drivers (the parallel one just has fewer, wider
-    chunks).  {!feed_all_parallel} additionally records one
-    [pipeline.domain] span per worker per chunk and the gauges
-    [pipeline.domain_busy_ns] (total worker busy ns) and
-    [pipeline.domains].  With the
-    registry disabled every instrument is a single load-and-branch. *)
+    done), and record each chunk's feed latency into the
+    [pipeline.chunk_feed_ns] histogram (mergeable log-linear buckets;
+    p50/p99 survive shard-merge).  Every driver makes exactly one
+    chunking pass, so the merged totals match across drivers (the
+    parallel one just has fewer, wider chunks).  {!feed_all_parallel}
+    additionally records one [pipeline.domain] span per worker per
+    chunk, the gauges [pipeline.domain_busy_ns] (total worker busy ns)
+    and [pipeline.domains], and the per-window histograms
+    [pipeline.pool.plan_build_ns] (chunk-plan construction) and
+    [pipeline.pool.queue_wait_ns] (dispatch → pick-up latency, the
+    load-balance term).  With the registry disabled every instrument
+    is a single load-and-branch. *)
 
 val default_chunk : int
 (** 65536 edges.  Chunks are the deduplication window of the hash

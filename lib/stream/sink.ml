@@ -48,6 +48,13 @@ let canonical_breakdown kvs =
 let prefix_breakdown prefix kvs = List.map (fun (k, v) -> (prefix ^ "." ^ k, v)) kvs
 
 module Observed = struct
+  (* Per-call feed latency distribution across every observed sink —
+     the histogram counterpart of the scalar [busy_ns] sums below. *)
+  module Obs = struct
+    let feed_ns =
+      Mkc_obs.Registry.histogram Mkc_obs.Registry.global "sink.observed.feed_ns"
+  end
+
   type ('s, 'r) st = {
     inner : ('s, 'r) sink;
     state : 's;
@@ -148,14 +155,18 @@ module Observed = struct
     let (module M) = t.inner in
     let t0 = Mkc_obs.Clock.now_ns () in
     M.feed_batch t.state edges ~pos ~len;
-    t.busy_ns <- t.busy_ns + (Mkc_obs.Clock.now_ns () - t0);
+    let d = Mkc_obs.Clock.now_ns () - t0 in
+    t.busy_ns <- t.busy_ns + d;
+    Mkc_obs.Registry.record Obs.feed_ns d;
     bump t len
 
   let feed_planned (type s r) (t : (s, r) st) plan edges ~pos ~len =
     let (module M) = t.inner in
     let t0 = Mkc_obs.Clock.now_ns () in
     M.feed_planned t.state plan edges ~pos ~len;
-    t.busy_ns <- t.busy_ns + (Mkc_obs.Clock.now_ns () - t0);
+    let d = Mkc_obs.Clock.now_ns () - t0 in
+    t.busy_ns <- t.busy_ns + d;
+    Mkc_obs.Registry.record Obs.feed_ns d;
     bump t len
 
   let finalize (type s r) (t : (s, r) st) =

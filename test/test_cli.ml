@@ -1,0 +1,78 @@
+(* CLI contract tests: flag validation must fail with a named error on
+   stderr and exit 2 — not cmdliner's generic usage failure (124) —
+   and it must fire before any stream I/O, so a bad flag is reported
+   even when the stream file is also wrong.
+
+   These spawn the real binary (declared as a test dep in dune, so it
+   is built and the relative path resolves from the test's cwd). *)
+
+let mkc = "../bin/mkc.exe"
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec find i = i + lb <= ls && (String.sub s i lb = sub || find (i + 1)) in
+  find 0
+
+(* exit code + captured stderr of one mkc invocation *)
+let run_capture args =
+  let err = Filename.temp_file "mkc_cli" ".err" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove err)
+    (fun () ->
+      let cmd = Printf.sprintf "%s %s >/dev/null 2>%s" mkc args (Filename.quote err) in
+      let code = Sys.command cmd in
+      let ic = open_in err in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (code, s))
+
+let expect_named_rejection cmd_args ~flag ~got =
+  let code, stderr = run_capture cmd_args in
+  checki (Printf.sprintf "%s: exit code" cmd_args) 2 code;
+  checkb
+    (Printf.sprintf "%s: stderr names the flag" cmd_args)
+    true
+    (contains ~sub:(flag ^ " must be a positive integer") stderr);
+  checkb
+    (Printf.sprintf "%s: stderr echoes the value" cmd_args)
+    true
+    (contains ~sub:(Printf.sprintf "(got %d)" got) stderr)
+
+let test_estimate_flag_validation () =
+  expect_named_rejection "estimate --stream nope.txt --chunk=0" ~flag:"--chunk" ~got:0;
+  expect_named_rejection "estimate --stream nope.txt --chunk=-3" ~flag:"--chunk" ~got:(-3);
+  expect_named_rejection "estimate --stream nope.txt --checkpoint-every=0"
+    ~flag:"--checkpoint-every" ~got:0;
+  expect_named_rejection "estimate --stream nope.txt --checkpoint-every=-8"
+    ~flag:"--checkpoint-every" ~got:(-8);
+  expect_named_rejection "estimate --stream nope.txt --metrics-cadence=0"
+    ~flag:"--metrics-cadence" ~got:0;
+  expect_named_rejection "estimate --stream nope.txt --metrics-cadence=-1"
+    ~flag:"--metrics-cadence" ~got:(-1)
+
+let test_report_flag_validation () =
+  expect_named_rejection "report --stream nope.txt --chunk=-1" ~flag:"--chunk" ~got:(-1);
+  expect_named_rejection "report --stream nope.txt --metrics-cadence=0"
+    ~flag:"--metrics-cadence" ~got:0
+
+let test_flag_check_precedes_stream_io () =
+  (* Same missing stream without the bad flag: still exit 2, but the
+     message is about the stream, proving the flag check above (not the
+     missing file) produced the named error. *)
+  let code, stderr = run_capture "estimate --stream nope.txt" in
+  checki "missing stream is exit 2" 2 code;
+  checkb "missing stream error is not the flag error" false
+    (contains ~sub:"positive integer" stderr)
+
+let suite =
+  [
+    Alcotest.test_case "estimate rejects non-positive cadence flags" `Quick
+      test_estimate_flag_validation;
+    Alcotest.test_case "report rejects non-positive cadence flags" `Quick
+      test_report_flag_validation;
+    Alcotest.test_case "flag validation precedes stream i/o" `Quick
+      test_flag_check_precedes_stream_io;
+  ]

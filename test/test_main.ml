@@ -21,6 +21,10 @@ let () =
       ("alloc", Test_alloc.suite);
       ("quality-stats", Test_quality_stats.suite);
       ("obs", Test_obs.suite);
+      ("histogram", Test_histogram.suite);
+      ("ledger", Test_ledger.suite);
+      ("sentinel", Test_sentinel.suite);
+      ("cli", Test_cli.suite);
       ("series", Test_series.suite);
       ("telemetry", Test_telemetry.suite);
       ("health", Test_health.suite);

@@ -10,9 +10,9 @@
         profile's final point equals words_breakdown exactly;
      4. run_parallel and sequential ingestion agree metric-for-metric
         on the invariant counters;
-     5. the mkc-obs/3 JSON snapshot is byte-stable under an injected
+     5. the mkc-obs/4 JSON snapshot is byte-stable under an injected
         clock and survives a parse→validate round trip, while tampered
-        snapshots are rejected; legacy mkc-obs/1 and mkc-obs/2
+        snapshots are rejected; legacy mkc-obs/1 through mkc-obs/3
         snapshots still load (read-only) and re-emit byte-identically;
      6. the Prometheus exposition handles hostile metric names and
         non-finite gauge values, and bucket counts stay monotone under
@@ -57,7 +57,7 @@ let hist_eq (a : H.t) (b : H.t) =
 
 let hist_of values =
   let h = H.create () in
-  List.iter (H.observe h) values;
+  List.iter (H.record h) values;
   h
 
 (* Run [f] with metrics enabled, then restore the disabled default and
@@ -79,18 +79,22 @@ let test_merge_scalars () =
   checkb "max gauge commutes" true (Obs.Metric.merge_gauge `Max 2.5 1.5 = 2.5)
 
 let test_histogram_buckets () =
-  checki "v < 1 lands in bucket 0" 0 (H.bucket_of 0.25);
-  checki "1 is bucket 0" 0 (H.bucket_of 1.0);
-  checki "3 is bucket 1" 1 (H.bucket_of 3.0);
-  checki "4 is bucket 2" 2 (H.bucket_of 4.0);
-  let h = hist_of [ 1.0; 3.0; 3.5; 1024.0 ] in
+  checki "negatives clamp to bucket 0" 0 (H.bucket_of (-5));
+  checki "values below 16 get exact buckets" 3 (H.bucket_of 3);
+  checki "the layouts agree on the seam: 31 is bucket 31" 31 (H.bucket_of 31);
+  checki "octave 2 halves resolution: 33 shares bucket 32" 32 (H.bucket_of 33);
+  checki "1024 lands at its octave base" 112 (H.bucket_of 1024);
+  checki "bucket bound is the largest value mapping there" 1087
+    (H.bound_of_bucket 112);
+  let h = hist_of [ 1; 3; 3; 1024 ] in
   checkb "nonzero buckets" true
-    (H.nonzero_buckets h = [ (0, 1); (1, 2); (10, 1) ]);
-  checkb "quantile is a bucket upper bound" true (H.quantile h 0.5 = 4.0);
-  checkb "empty quantile is 0" true (H.quantile (H.create ()) 0.5 = 0.0)
+    (H.nonzero_buckets h = [ (1, 1); (3, 2); (112, 1) ]);
+  checki "median is exact below 16" 3 (H.quantile h 0.5);
+  checki "top quantile capped at the observed max" 1024 (H.quantile h 1.0);
+  checki "empty quantile is 0" 0 (H.quantile (H.create ()) 0.5)
 
 let test_histogram_monoid () =
-  let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 4.0; 100.0 ] and zs = [ 7.0 ] in
+  let xs = [ 1; 2; 3 ] and ys = [ 4; 100 ] and zs = [ 7 ] in
   let a () = hist_of xs and b () = hist_of ys and c () = hist_of zs in
   let zero () = H.create () in
   checkb "left identity" true (hist_eq (H.merge (zero ()) (a ())) (a ()));
@@ -325,7 +329,20 @@ let test_parallel_metrics_equal_seq () =
 
 (* --- Snapshot: golden JSON, round trip, tamper rejection --- *)
 
+(* mkc-obs/4 body: the recorded 3 lands in log-linear bucket 3 (values
+   below 16 get exact buckets). *)
 let golden_body =
+  "\"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":5},\
+   {\"name\":\"g\",\"kind\":\"gauge\",\"value\":2.5},\
+   {\"name\":\"h\",\"kind\":\"histogram\",\"count\":1,\"sum\":3.0,\"min\":3.0,\
+   \"max\":3.0,\"buckets\":[[3,1]]}],\
+   \"spans\":[{\"name\":\"s\",\"start_ns\":10,\"dur_ns\":5,\"domain\":0}],\
+   \"profiles\":[{\"name\":\"p\",\"cadence\":2,\
+   \"points\":[{\"at_edges\":2,\"words\":3,\"breakdown\":[[\"a\",1],[\"b\",2]]}]}]}"
+
+(* Legacy (v1–v3) body: the old 64-bucket log2 layout put 3 in
+   bucket 1. *)
+let golden_body_legacy =
   "\"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":5},\
    {\"name\":\"g\",\"kind\":\"gauge\",\"value\":2.5},\
    {\"name\":\"h\",\"kind\":\"histogram\",\"count\":1,\"sum\":3.0,\"min\":3.0,\
@@ -334,24 +351,27 @@ let golden_body =
    \"profiles\":[{\"name\":\"p\",\"cadence\":2,\
    \"points\":[{\"at_edges\":2,\"words\":3,\"breakdown\":[[\"a\",1],[\"b\",2]]}]}]}"
 
-let golden = "{\"schema\":\"mkc-obs/3\",\"created_ns\":42," ^ golden_body
+let golden = "{\"schema\":\"mkc-obs/4\",\"created_ns\":42," ^ golden_body
 
 (* The PR-2 era emission, byte for byte: still accepted read-only. *)
-let golden_v1 = "{\"schema\":\"mkc-obs/1\",\"created_ns\":42," ^ golden_body
+let golden_v1 = "{\"schema\":\"mkc-obs/1\",\"created_ns\":42," ^ golden_body_legacy
 
 (* Likewise the PR-4..6 era emission (space section, no series). *)
 let golden_v2 =
   "{\"schema\":\"mkc-obs/2\",\"created_ns\":42,\
    \"space\":{\"budget_words\":8,\"peak_words\":4,\"headroom\":0.5,\
-   \"overshoots\":0,\"samples\":3}," ^ golden_body
+   \"overshoots\":0,\"samples\":3}," ^ golden_body_legacy
+
+(* And the PR-7..8 era emission (series section, log2 buckets). *)
+let golden_v3 = "{\"schema\":\"mkc-obs/3\",\"created_ns\":42," ^ golden_body_legacy
 
 let golden_space =
-  "{\"schema\":\"mkc-obs/3\",\"created_ns\":42,\
+  "{\"schema\":\"mkc-obs/4\",\"created_ns\":42,\
    \"space\":{\"budget_words\":8,\"peak_words\":4,\"headroom\":0.5,\
    \"overshoots\":0,\"samples\":3}," ^ golden_body
 
 let golden_series =
-  "{\"schema\":\"mkc-obs/3\",\"created_ns\":42,\
+  "{\"schema\":\"mkc-obs/4\",\"created_ns\":42,\
    \"series\":[{\"name\":\"space.words\",\"count\":3,\"min\":1,\"max\":9,\"last\":4},\
    {\"name\":\"pipeline.edges\",\"count\":3,\"min\":2,\"max\":6,\"last\":6}]," ^ golden_body
 
@@ -446,6 +466,17 @@ let test_snapshot_accepts_v2 () =
           checkb "v2 has no series section" true (snap.Obs.Snapshot.series = []);
           checks "v2 re-emission is a fixpoint" golden_v2 (Obs.Snapshot.to_string snap))
 
+let test_snapshot_accepts_v3 () =
+  with_metrics (fun () ->
+      match Obs.Snapshot.validate golden_v3 with
+      | Error e -> Alcotest.failf "legacy v3 snapshot rejected: %s" e
+      | Ok snap ->
+          checks "parsed schema says v3" Obs.Snapshot.schema_v3 snap.Obs.Snapshot.schema;
+          checki "metrics survive" 3 (List.length snap.Obs.Snapshot.metrics);
+          (* Its log2 bucket indices are preserved verbatim, not
+             reinterpreted under the log-linear layout. *)
+          checks "v3 re-emission is a fixpoint" golden_v3 (Obs.Snapshot.to_string snap))
+
 (* First-occurrence substring replacement (avoids a Str dependency). *)
 let replace_once ~sub ~by s =
   let ls = String.length s and lb = String.length sub in
@@ -470,20 +501,26 @@ let test_snapshot_rejects_tampering () =
     | Ok _ -> Alcotest.failf "validator accepted %s" what
     | Error _ -> ()
   in
-  reject "a foreign schema" (replace_once ~sub:"mkc-obs/3" ~by:"mkc-obs/4" golden);
+  reject "a foreign schema" (replace_once ~sub:"mkc-obs/4" ~by:"mkc-obs/9" golden);
   (* histogram bucket counts no longer sum to count *)
   reject "a bucket-sum mismatch"
-    (replace_once ~sub:"\"buckets\":[[1,1]]" ~by:"\"buckets\":[[1,2]]" golden);
+    (replace_once ~sub:"\"buckets\":[[3,1]]" ~by:"\"buckets\":[[3,2]]" golden);
+  (* a bucket index past the log-linear layout's end *)
+  reject "a bucket index out of range"
+    (replace_once ~sub:"\"buckets\":[[3,1]]" ~by:"\"buckets\":[[960,1]]" golden);
+  (* legacy snapshots are bounded by their own 64-bucket layout *)
+  reject "a legacy bucket index past the log2 layout"
+    (replace_once ~sub:"\"buckets\":[[1,1]]" ~by:"\"buckets\":[[64,1]]" golden_v3);
   (* profile point breakdown no longer sums to words *)
   reject "a breakdown-sum mismatch"
     (replace_once ~sub:"[\"b\",2]" ~by:"[\"b\",7]" golden);
   reject "truncated JSON" (String.sub golden 0 (String.length golden - 1));
   (* the space section is v2+: a v1 stamp with one is a forgery *)
   reject "a v1 snapshot carrying a space section"
-    (replace_once ~sub:"mkc-obs/3" ~by:"mkc-obs/1" golden_space);
+    (replace_once ~sub:"mkc-obs/4" ~by:"mkc-obs/1" golden_space);
   (* likewise the series section is v3-only *)
   reject "a v2 snapshot carrying a series section"
-    (replace_once ~sub:"mkc-obs/3" ~by:"mkc-obs/2" golden_series);
+    (replace_once ~sub:"mkc-obs/4" ~by:"mkc-obs/2" golden_series);
   reject "an empty series array"
     (replace_once
        ~sub:
@@ -593,14 +630,14 @@ let test_prometheus_bucket_monotone () =
         Obs.Snapshot.Histogram
           {
             Obs.Snapshot.hcount = h.H.count;
-            hsum = h.H.sum;
-            hmin = h.H.vmin;
-            hmax = h.H.vmax;
+            hsum = float_of_int h.H.sum;
+            hmin = float_of_int h.H.vmin;
+            hmax = float_of_int h.H.vmax;
             hbuckets = H.nonzero_buckets h;
           };
     }
   in
-  let merged = H.merge (hist_of [ 1.0; 1.5; 100.0 ]) (hist_of [ 3.0; 4.0; 1000.0 ]) in
+  let merged = H.merge (hist_of [ 1; 1; 100 ]) (hist_of [ 3; 4; 1000 ]) in
   let lines = prom_lines [ hist_metric merged ] in
   let bucket_counts =
     List.filter_map
@@ -777,6 +814,8 @@ let suite =
       test_snapshot_accepts_v1;
     Alcotest.test_case "snapshot: accepts legacy mkc-obs/2" `Quick
       test_snapshot_accepts_v2;
+    Alcotest.test_case "snapshot: accepts legacy mkc-obs/3" `Quick
+      test_snapshot_accepts_v3;
     Alcotest.test_case "snapshot: rejects tampering" `Quick
       test_snapshot_rejects_tampering;
     Alcotest.test_case "json: parse/print round trip" `Quick test_json_parse;

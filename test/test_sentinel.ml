@@ -1,0 +1,178 @@
+(* Verdict table for Mkc_obs.Sentinel, the noise-aware regression
+   sentinel.
+
+   compare_entries is pure — two ledger entries and the options in, a
+   verdict out — so every branch of the decision procedure is pinned
+   here as a table: throughput inside/outside the noise band, the
+   noise band widening with the baseline's own repeat dispersion, p99
+   digest inflation, quality-gauge drift, regressions beating
+   improvements, and the Incomparable guards (label, params, modes). *)
+
+module S = Mkc_obs.Sentinel
+module L = Mkc_obs.Ledger
+module H = Mkc_obs.Histogram
+module J = Mkc_obs.Json
+
+let checkb = Alcotest.(check bool)
+
+let digest_of values =
+  let h = H.create () in
+  List.iter (H.record h) values;
+  H.digest h
+
+(* A baseline running [best_s] with [spread] relative best-to-median
+   dispersion over the "batched" mode. *)
+let entry ?(label = "pipeline") ?(params = [ ("k", J.Int 8); ("n", J.Int 1024) ])
+    ?(best_s = 1.0) ?(spread = 0.0) ?(repeats = 3) ?(digests = []) ?(quality = []) () =
+  {
+    L.e_label = label;
+    e_created_ns = 0;
+    e_host = [];
+    e_params = params;
+    e_stats = [];
+    e_modes =
+      [
+        {
+          L.ms_mode = "batched";
+          ms_repeats = repeats;
+          ms_best_s = best_s;
+          ms_median_s = best_s *. (1.0 +. spread);
+          ms_edges_per_sec = 1000.0 /. best_s;
+        };
+      ];
+    e_digests = digests;
+    e_quality = quality;
+  }
+
+let verdict ?opts ~baseline ~candidate () =
+  (S.compare_entries ?opts ~baseline ~candidate ()).S.r_verdict
+
+let is_improved = function S.Improved _ -> true | _ -> false
+let is_regressed = function S.Regressed _ -> true | _ -> false
+let is_incomparable = function S.Incomparable _ -> true | _ -> false
+
+let test_within_noise () =
+  checkb "identical entries are within noise" true
+    (verdict ~baseline:(entry ()) ~candidate:(entry ()) () = S.Within_noise);
+  (* 1% slower, default 2% floor: noise *)
+  checkb "1% slowdown sits inside the default floor" true
+    (verdict ~baseline:(entry ()) ~candidate:(entry ~best_s:1.01 ()) ()
+    = S.Within_noise);
+  checkb "1% speedup likewise" true
+    (verdict ~baseline:(entry ()) ~candidate:(entry ~best_s:0.99 ()) ()
+    = S.Within_noise)
+
+let test_throughput_verdicts () =
+  (* 20% slower, tight baseline: regression *)
+  checkb "20% slowdown beyond the floor regresses" true
+    (is_regressed (verdict ~baseline:(entry ()) ~candidate:(entry ~best_s:1.25 ()) ()));
+  checkb "20% speedup beyond the floor improves" true
+    (is_improved (verdict ~baseline:(entry ()) ~candidate:(entry ~best_s:0.8 ()) ()));
+  (* the same 20% slowdown against a baseline whose own repeats spread
+     30%: indistinguishable from re-running the baseline *)
+  checkb "baseline dispersion widens the band" true
+    (verdict ~baseline:(entry ~spread:0.3 ()) ~candidate:(entry ~best_s:1.25 ()) ()
+    = S.Within_noise);
+  (* a raised explicit floor has the same effect *)
+  checkb "a raised noise floor absorbs the slowdown" true
+    (verdict
+       ~opts:{ S.default_opts with S.noise_floor = 0.3 }
+       ~baseline:(entry ()) ~candidate:(entry ~best_s:1.25 ()) ()
+    = S.Within_noise)
+
+let test_incomparable_guards () =
+  checkb "different labels" true
+    (is_incomparable
+       (verdict ~baseline:(entry ~label:"a" ()) ~candidate:(entry ~label:"b" ()) ()));
+  checkb "different param values" true
+    (is_incomparable
+       (verdict ~baseline:(entry ())
+          ~candidate:(entry ~params:[ ("k", J.Int 16); ("n", J.Int 1024) ] ())
+          ()));
+  checkb "a param present on one side only" true
+    (is_incomparable
+       (verdict ~baseline:(entry ())
+          ~candidate:(entry ~params:[ ("k", J.Int 8) ] ())
+          ()));
+  (* the offending key is named in the evidence *)
+  let r =
+    S.compare_entries ~baseline:(entry ())
+      ~candidate:(entry ~params:[ ("k", J.Int 16); ("n", J.Int 1024) ] ())
+      ()
+  in
+  checkb "evidence names the differing key" true
+    (r.S.r_lines = [ "params differ: k" ]);
+  (* same workload, disjoint mode sets: nothing to compare *)
+  let cand = entry () in
+  let cand =
+    { cand with L.e_modes = [ { (List.hd cand.L.e_modes) with L.ms_mode = "pool" } ] }
+  in
+  checkb "disjoint mode sets" true
+    (is_incomparable (verdict ~baseline:(entry ()) ~candidate:cand ()))
+
+let test_p99_inflation () =
+  (* baseline p99 ~100k ns; candidate p99 must clear
+     100k * 1.5 + 1000 to regress *)
+  let base = entry ~digests:[ ("feed_ns", digest_of [ 90_000; 100_000 ]) ] () in
+  let slow = entry ~digests:[ ("feed_ns", digest_of [ 90_000; 400_000 ]) ] () in
+  let ok = entry ~digests:[ ("feed_ns", digest_of [ 90_000; 120_000 ]) ] () in
+  checkb "a 4x p99 regresses" true
+    (is_regressed (verdict ~baseline:base ~candidate:slow ()));
+  checkb "a 1.2x p99 sits inside the band" true
+    (verdict ~baseline:base ~candidate:ok () = S.Within_noise);
+  (* tiny digests: the absolute floor absorbs one-bucket jitter *)
+  let tiny_base = entry ~digests:[ ("flush", digest_of [ 10; 12 ]) ] () in
+  let tiny_cand = entry ~digests:[ ("flush", digest_of [ 10; 900 ]) ] () in
+  checkb "the absolute floor forgives tiny-value jitter" true
+    (verdict ~baseline:tiny_base ~candidate:tiny_cand () = S.Within_noise);
+  (* a track present on one side only is skipped, not a verdict *)
+  let extra = entry ~digests:[ ("other_ns", digest_of [ 1_000_000 ]) ] () in
+  checkb "disjoint digest tracks are skipped" true
+    (verdict ~baseline:base ~candidate:extra () = S.Within_noise)
+
+let test_quality_drift () =
+  let q v = [ ("estimate.quality.vs_greedy.relative_error", v) ] in
+  checkb "a 5-point quality drift regresses" true
+    (is_regressed
+       (verdict ~baseline:(entry ~quality:(q 0.05) ())
+          ~candidate:(entry ~quality:(q 0.10) ())
+          ()));
+  checkb "drift inside the tolerance is noise" true
+    (verdict ~baseline:(entry ~quality:(q 0.05) ())
+       ~candidate:(entry ~quality:(q 0.055) ())
+       ()
+    = S.Within_noise);
+  checkb "drift in the good direction is still drift" true
+    (is_regressed
+       (verdict ~baseline:(entry ~quality:(q 0.10) ())
+          ~candidate:(entry ~quality:(q 0.05) ())
+          ()))
+
+let test_regression_beats_improvement () =
+  (* 20% faster throughput but drifted quality: the regression wins *)
+  let q v = [ ("estimate.quality.memo.hit_ratio", v) ] in
+  checkb "any regression outranks any improvement" true
+    (is_regressed
+       (verdict ~baseline:(entry ~quality:(q 0.9) ())
+          ~candidate:(entry ~best_s:0.8 ~quality:(q 0.5) ())
+          ()))
+
+let test_determinism () =
+  let baseline = entry ~spread:0.1 ~digests:[ ("d", digest_of [ 5; 6 ]) ] () in
+  let candidate = entry ~best_s:1.25 () in
+  let a = S.compare_entries ~baseline ~candidate () in
+  let b = S.compare_entries ~baseline ~candidate () in
+  checkb "same inputs, same report" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "within noise" `Quick test_within_noise;
+    Alcotest.test_case "throughput verdicts and the noise band" `Quick
+      test_throughput_verdicts;
+    Alcotest.test_case "incomparable guards" `Quick test_incomparable_guards;
+    Alcotest.test_case "p99 digest inflation" `Quick test_p99_inflation;
+    Alcotest.test_case "quality-gauge drift" `Quick test_quality_drift;
+    Alcotest.test_case "regression beats improvement" `Quick
+      test_regression_beats_improvement;
+    Alcotest.test_case "pure and deterministic" `Quick test_determinism;
+  ]
