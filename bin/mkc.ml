@@ -357,11 +357,9 @@ type telemetry_rig = {
   tpath : string option;
 }
 
-let setup_telemetry topts ?budget_words ob est =
+let setup_telemetry topts ?budget_words ob mk_probes =
   let probes =
-    Mkc_core.Telemetry_probes.build
-      ~breakdown:(fun () -> Mkc_stream.Sink.Observed.sampled_breakdown ob)
-      est
+    mk_probes ~breakdown:(fun () -> Mkc_stream.Sink.Observed.sampled_breakdown ob)
   in
   let tracks = Array.map fst probes in
   let writer =
@@ -450,6 +448,77 @@ let load_stream path =
   | exception Sys_error msg ->
       Format.eprintf "mkc: %s@." msg;
       exit 2
+
+(* ---------- windowed-mode plumbing ---------- *)
+
+let window_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"EPOCHS"
+        ~doc:
+          "Sliding-window mode: retain the last $(docv) epochs of \
+           $(b,--epoch-edges) edges each and answer over their merged states \
+           plus the in-flight epoch.  Runs single-domain.")
+
+let epoch_edges_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch-edges" ] ~docv:"EDGES"
+        ~doc:"Edges per window epoch (required with $(b,--window)).")
+
+let decay_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "decay" ] ~docv:"LAMBDA"
+        ~doc:
+          "Exponential-decay query: fold per-epoch estimates with weight \
+           $(docv) per epoch of age instead of the uniform window merge.  \
+           Must lie strictly between 0 and 1; requires $(b,--window).")
+
+(* Same contract as require_pos: windowed-flag misuse is a named error
+   on stderr and exit 2, decided before any stream I/O. *)
+let windowed_config ~domains ~ckpt ~resume window epoch_edges decay =
+  match window with
+  | None ->
+      if epoch_edges <> None then begin
+        Format.eprintf "mkc: --epoch-edges requires --window@.";
+        exit 2
+      end;
+      if decay <> None then begin
+        Format.eprintf "mkc: --decay requires --window@.";
+        exit 2
+      end;
+      None
+  | Some w ->
+      let w = require_pos ~flag:"--window" w in
+      let e =
+        match epoch_edges with
+        | Some e -> require_pos ~flag:"--epoch-edges" e
+        | None ->
+            Format.eprintf "mkc: --window requires --epoch-edges@.";
+            exit 2
+      in
+      Option.iter
+        (fun l ->
+          if not (l > 0.0 && l < 1.0) then begin
+            Format.eprintf "mkc: --decay must lie strictly between 0 and 1 (got %g)@." l;
+            exit 2
+          end)
+        decay;
+      if domains > 1 then begin
+        Format.eprintf "mkc: --window runs single-domain; use --domains 1@.";
+        exit 2
+      end;
+      if ckpt <> None || resume <> None then begin
+        Format.eprintf
+          "mkc: --window holds its own per-epoch checkpoints; --checkpoint/--resume are \
+           not supported in windowed mode@.";
+        exit 2
+      end;
+      Some (w, e, decay)
 
 (* ---------- run-ledger plumbing ---------- *)
 
@@ -541,7 +610,14 @@ let append_run_ledger ~path ~label ~params ~edges ~wall_ns ~mode ~extra_stats =
 
 (* ---------- generate ---------- *)
 
-let generate kind n m k seed out =
+let generate kind n m k seed out churn =
+  Option.iter
+    (fun frac ->
+      if not (frac >= 0.0 && frac < 1.0) then begin
+        Format.eprintf "mkc: --churn must lie in [0, 1) (got %g)@." frac;
+        exit 2
+      end)
+    churn;
   let sys =
     match kind with
     | `Few_large -> (Mkc_workload.Planted.few_large ~n ~m ~k ~seed).system
@@ -552,10 +628,26 @@ let generate kind n m k seed out =
     | `Graph -> Mkc_workload.Graph_gen.power_law ~vertices:n ~edges:(8 * n) ~skew:1.2 ~seed
   in
   let src = Mkc_stream.Stream_source.of_system ~seed:(seed + 1) sys in
+  let src =
+    match churn with
+    | None -> src
+    | Some frac ->
+        Mkc_stream.Stream_source.of_array
+          (Mkc_workload.Churn.apply ~frac ~seed:(seed + 2)
+             (Mkc_stream.Stream_source.to_array src))
+  in
   Mkc_stream.Stream_source.save src out;
-  Format.printf "wrote %d pairs (%a) to %s@."
+  let deletions =
+    Array.fold_left
+      (fun acc (e : Mkc_stream.Edge.t) -> if e.sign < 0 then acc + 1 else acc)
+      0
+      (Mkc_stream.Stream_source.to_array src)
+  in
+  Format.printf "wrote %d pairs (%a%s) to %s@."
     (Mkc_stream.Stream_source.length src)
-    Mkc_stream.Set_system.pp_summary sys out
+    Mkc_stream.Set_system.pp_summary sys
+    (if deletions > 0 then Printf.sprintf ", %d deletions" deletions else "")
+    out
 
 let generate_cmd =
   let kind =
@@ -577,9 +669,19 @@ let generate_cmd =
   let out =
     Arg.(value & opt string "stream.txt" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
+  let churn =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "churn" ] ~docv:"FRAC"
+          ~doc:
+            "Turnstile churn: retract a $(docv)-fraction of the generated edges \
+             later in the stream (sign -1 lines), each strictly after its \
+             insertion.  Must lie in [0, 1).")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesize an instance and write its edge stream")
-    Term.(const generate $ kind $ n $ m $ k_arg $ seed_arg $ out)
+    Term.(const generate $ kind $ n $ m $ k_arg $ seed_arg $ out $ churn)
 
 (* ---------- convert ---------- *)
 
@@ -647,15 +749,122 @@ let truncate_source src = function
       if edges >= Array.length arr then src
       else Mkc_stream.Stream_source.of_array (Array.sub arr 0 edges)
 
+(* The windowed estimate run: single-domain, epoch ring inside the
+   sink, telemetry through the windowed probe set. *)
+let estimate_windowed ~path ~src ~m ~n ~k ~alpha ~seed ~profile ~schedule ~chunk ~oopts
+    ~topts ~budget_strict ~ledger params (window, epoch_edges, decay) =
+  let est = Mkc_core.Windowed.create ?decay params ~window ~epoch_edges () in
+  let want = metrics_wanted oopts in
+  let tracing = oopts.trace <> None in
+  let telemetry_on = telemetry_wanted topts in
+  (* The window.* telemetry tracks read the registry counters the
+     epoch-roll path bumps, so telemetry alone needs the registry on. *)
+  if telemetry_on || want || ledger <> None then Mkc_obs.Registry.set_enabled true;
+  if tracing then Mkc_obs.Trace.set_enabled true;
+  let budget =
+    if budget_strict || want then
+      Some
+        (Mkc_sketch.Space.Budget.create ~strict:budget_strict
+           (Mkc_core.Estimate.word_budget params))
+    else None
+  in
+  let total = Mkc_stream.Stream_source.length src in
+  let notify = Option.map (fun sec -> progress_reporter ~total sec) oopts.progress in
+  let profiles = ref [] in
+  let rig = ref None in
+  let run () =
+    if want || tracing || budget <> None || telemetry_on then begin
+      let sm, ob =
+        Mkc_stream.Sink.Observed.observe ~cadence:oopts.cadence ?budget
+          Mkc_core.Windowed.sink est
+      in
+      if want then profiles := [ ("estimate", Mkc_stream.Sink.Observed.profile ob) ];
+      if telemetry_on then
+        rig :=
+          Some
+            (setup_telemetry topts
+               ?budget_words:(Option.map Mkc_sketch.Space.Budget.budget budget)
+               ob
+               (fun ~breakdown -> Mkc_core.Telemetry_probes.build_windowed ~breakdown est));
+      match notify with
+      | Some notify ->
+          let tm, tp = Mkc_stream.Sink.Tap.tap sm ob ~notify in
+          Mkc_stream.Pipeline.run ~chunk tm tp src
+      | None -> Mkc_stream.Pipeline.run ~chunk sm ob src
+    end
+    else
+      match notify with
+      | Some notify ->
+          let tm, tp = Mkc_stream.Sink.Tap.tap Mkc_core.Windowed.sink est ~notify in
+          Mkc_stream.Pipeline.run ~chunk tm tp src
+      | None -> Mkc_stream.Pipeline.run ~chunk Mkc_core.Windowed.sink est src
+  in
+  let run_t0 = Mkc_obs.Clock.now_ns () in
+  let r =
+    try run () with
+    | Mkc_obs.Health.Violation msg ->
+        finish_telemetry ~ok:false !rig;
+        Format.eprintf "mkc: health rule violated: %s@." msg;
+        emit_trace oopts;
+        exit 3
+    | e ->
+        finish_telemetry ~ok:false !rig;
+        budget_exceeded_exit oopts e
+  in
+  let run_wall_ns = Mkc_obs.Clock.now_ns () - run_t0 in
+  Format.printf "stream: %d pairs, m=%d, n=%d@." total m n;
+  Format.printf "windowed %d-cover coverage estimate (%d epochs%s): %.0f@." k
+    r.Mkc_core.Windowed.epochs
+    (match decay with Some l -> Printf.sprintf ", decay %g" l | None -> "")
+    r.Mkc_core.Windowed.estimate;
+  (match r.Mkc_core.Windowed.outcome with
+  | Some o -> Format.printf "winning subroutine: %a@." Mkc_core.Solution.pp_provenance o.provenance
+  | None -> Format.printf "no subroutine produced a feasible estimate@.");
+  Format.printf "epochs rolled: %d, champion swaps: %d@." r.Mkc_core.Windowed.rolled
+    r.Mkc_core.Windowed.swaps;
+  Format.printf "space: %d words@." (Mkc_core.Windowed.words est);
+  Option.iter print_budget budget;
+  finish_telemetry ~ok:true !rig;
+  if want || ledger <> None then begin
+    Mkc_core.Estimate.record_metrics (Mkc_core.Windowed.current est);
+    Option.iter record_budget_gauges budget
+  end;
+  if want then
+    emit_metrics
+      ?space:(Option.map space_of_budget budget)
+      ~series:(series_of_rig !rig) oopts (List.rev !profiles);
+  emit_trace oopts;
+  Option.iter
+    (fun lpath ->
+      append_run_ledger ~path:lpath ~label:"estimate"
+        ~params:
+          (ledger_run_params ~stream:path ~m ~n ~k ~alpha ~seed ~profile ~domains:1
+             ~schedule ~chunk)
+        ~edges:total ~wall_ns:run_wall_ns ~mode:"windowed"
+        ~extra_stats:
+          [
+            ("epochs_rolled", float_of_int r.Mkc_core.Windowed.rolled);
+            ("estimate", r.Mkc_core.Windowed.estimate);
+            ("space_words", float_of_int (Mkc_core.Windowed.words est));
+            ("window_swaps", float_of_int r.Mkc_core.Windowed.swaps);
+          ])
+    ledger
+
 let estimate path k alpha seed profile domains schedule chunk oopts topts budget_strict
-    ckpt every resume stop_after force_m force_n ledger =
+    ckpt every resume stop_after force_m force_n ledger window epoch_edges decay =
   let chunk = require_pos ~flag:"--chunk" chunk in
   let every = require_pos ~flag:"--checkpoint-every" every in
   let oopts = { oopts with cadence = require_pos ~flag:"--metrics-cadence" oopts.cadence } in
+  let wincfg = windowed_config ~domains ~ckpt ~resume window epoch_edges decay in
   let src, m, n = load_stream path in
   let src = truncate_source src stop_after in
   let m = Option.value ~default:m force_m and n = Option.value ~default:n force_n in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
+  match wincfg with
+  | Some cfg ->
+      estimate_windowed ~path ~src ~m ~n ~k ~alpha ~seed ~profile ~schedule ~chunk ~oopts
+        ~topts ~budget_strict ~ledger params cfg
+  | None ->
   let est = Mkc_core.Estimate.create params in
   let want = metrics_wanted oopts in
   let tracing = oopts.trace <> None in
@@ -687,7 +896,8 @@ let estimate path k alpha seed profile domains schedule chunk oopts topts budget
         Some
           (setup_telemetry topts
              ?budget_words:(Option.map Mkc_sketch.Space.Budget.budget budget)
-             ob est)
+             ob
+             (fun ~breakdown -> Mkc_core.Telemetry_probes.build ~breakdown est))
   in
   let run () =
     if (ckpt <> None || resume <> None) && domains > 1 then begin
@@ -862,15 +1072,43 @@ let estimate_cmd =
       const estimate $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
       $ domains_arg $ schedule_arg $ chunk_arg $ obs_term $ telem_term $ budget_strict_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ stop_after_arg $ force_m_arg
-      $ force_n_arg $ ledger_arg)
+      $ force_n_arg $ ledger_arg $ window_arg $ epoch_edges_arg $ decay_arg)
 
 (* ---------- report ---------- *)
 
-let report path k alpha seed profile domains schedule chunk oopts ledger =
+(* Windowed reporting: the merged window's winning oracle carries the
+   witness ids, so the reported cover is the one a fresh pass over the
+   live suffix would name. *)
+let report_windowed ~src ~m ~n ~k ~chunk params (window, epoch_edges, decay) =
+  let est = Mkc_core.Windowed.create ?decay params ~window ~epoch_edges () in
+  let r = Mkc_stream.Pipeline.run ~chunk Mkc_core.Windowed.sink est src in
+  Format.printf "stream: %d pairs, m=%d, n=%d@." (Mkc_stream.Stream_source.length src) m n;
+  Format.printf "windowed estimated coverage (%d epochs%s): %.0f@." r.Mkc_core.Windowed.epochs
+    (match decay with Some l -> Printf.sprintf ", decay %g" l | None -> "")
+    r.Mkc_core.Windowed.estimate;
+  let sets =
+    match r.Mkc_core.Windowed.outcome with
+    | Some o ->
+        Format.printf "via: %a@." Mkc_core.Solution.pp_provenance o.provenance;
+        List.filteri (fun i _ -> i < k) (o.witness ())
+    | None -> []
+  in
+  Format.printf "reported %d sets:@." (List.length sets);
+  List.iter (fun id -> Format.printf "  S%d@." id) sets;
+  Format.printf "epochs rolled: %d, champion swaps: %d@." r.Mkc_core.Windowed.rolled
+    r.Mkc_core.Windowed.swaps;
+  Format.printf "space: %d words@." (Mkc_core.Windowed.words est)
+
+let report path k alpha seed profile domains schedule chunk oopts ledger window epoch_edges
+    decay =
   let chunk = require_pos ~flag:"--chunk" chunk in
   let oopts = { oopts with cadence = require_pos ~flag:"--metrics-cadence" oopts.cadence } in
+  let wincfg = windowed_config ~domains ~ckpt:None ~resume:None window epoch_edges decay in
   let src, m, n = load_stream path in
   let params = Mkc_core.Params.make ~m ~n ~k ~alpha ~profile ~seed () in
+  match wincfg with
+  | Some cfg -> report_windowed ~src ~m ~n ~k ~chunk params cfg
+  | None ->
   let rep = Mkc_core.Report.create params in
   let want = metrics_wanted oopts in
   let tracing = oopts.trace <> None in
@@ -955,7 +1193,8 @@ let report_cmd =
     (Cmd.info "report" ~doc:"α-approximate k-cover reporting (Theorem 3.2)")
     Term.(
       const report $ stream_arg $ k_arg $ alpha_arg $ seed_arg $ profile_arg
-      $ domains_arg $ schedule_arg $ chunk_arg $ obs_term $ ledger_arg)
+      $ domains_arg $ schedule_arg $ chunk_arg $ obs_term $ ledger_arg $ window_arg
+      $ epoch_edges_arg $ decay_arg)
 
 (* ---------- greedy ---------- *)
 

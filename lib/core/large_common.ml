@@ -61,18 +61,24 @@ let add_levels t finest elt =
     Mkc_sketch.L0_bjkst.add (Array.unsafe_get t.sketches g) elt
   done
 
+(* Turnstile note: the per-level collections are set-variant L0 sketches
+   (insertion-only), so deletions bypass them — a level's distinct-cover
+   estimate over a churned stream is an upper bound on the live
+   coverage (the windowed mode bounds staleness instead; DESIGN.md,
+   turnstile section).  The sampler decision is still consumed for
+   every edge so eval counters stay sign-independent. *)
 let feed t (e : Mkc_stream.Edge.t) =
   let finest = keep_code t e.set in
-  if finest >= 0 then add_levels t finest e.elt
+  if finest >= 0 && e.sign > 0 then add_levels t finest e.elt
 
 let feed_batch t edges ~pos ~len =
   for i = pos to pos + len - 1 do
     let (e : Mkc_stream.Edge.t) = Array.unsafe_get edges i in
     let finest = keep_code t e.set in
-    if finest >= 0 then add_levels t finest e.elt
+    if finest >= 0 && e.sign > 0 then add_levels t finest e.elt
   done
 
-let feed_planned t plan ~red _edges ~pos:_ ~len =
+let feed_planned t plan ~red edges ~pos ~len =
   (* Decide once per distinct set id, then replay the chunk in original
      edge order — L0 updates land in exactly the per-edge sequence, so
      sketch states (prune points included) are bit-for-bit identical. *)
@@ -87,7 +93,8 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
   let elt_idx = Mkc_stream.Chunk_plan.elt_index plan in
   for i = 0 to len - 1 do
     let finest = Array.unsafe_get codes (Array.unsafe_get set_idx i) in
-    if finest >= 0 then add_levels t finest (Array.unsafe_get red (Array.unsafe_get elt_idx i))
+    if finest >= 0 && (Array.unsafe_get edges (pos + i)).Mkc_stream.Edge.sign > 0 then
+      add_levels t finest (Array.unsafe_get red (Array.unsafe_get elt_idx i))
   done
 
 let sampler_evals t = t.st_sampler_evals

@@ -10,8 +10,8 @@
    fired, which makes them reconstructible from the table itself on
    restore/merge (see {!rebuild_defer}). *)
 type level_defer = {
-  pend : int array; (* sid -> pending tracked delta *)
-  touched : int array; (* sids with [pend > 0], compact; reset on flush *)
+  pend : int array; (* sid -> pending signed tracked delta; min_int = not listed *)
+  touched : int array; (* sids with a pending sum, compact; reset on flush *)
   mutable ntouched : int;
   seen : bool array; (* sid ever covered at this level *)
   mutable ever : int; (* number of [seen] sids *)
@@ -44,8 +44,8 @@ type repeat_state = {
      accumulate here and are applied once — via {!flush_pending} —
      before any read of counter state (finalize, checkpoint encode,
      merge).  Final counter values are bit-for-bit the eager ones. *)
-  cs_pending : int array; (* sid -> pending delta for both counters *)
-  cs_touched : int array; (* sids with [cs_pending > 0], compact *)
+  cs_pending : int array; (* sid -> pending signed delta; min_int = not listed *)
+  cs_touched : int array; (* sids with a pending sum, compact *)
   mutable cs_ntouched : int;
   mutable cs_dirty : bool;
   defer_small : level_defer array; (* per cntr_small level *)
@@ -68,7 +68,7 @@ type t = {
   mutable sc_small : int array; (* distinct set -> Cntr_small keep code *)
   mutable sc_large : int array; (* distinct set -> Cntr_large keep code *)
   mutable sc_keepf : bool array; (* distinct set -> fallback-sampled *)
-  sc_sid_cnt : int array; (* sid -> in-sample edges this chunk (zeroed after) *)
+  sc_sid_cnt : int array; (* sid -> signed in-sample sum this chunk; min_int = inactive *)
   sc_active : int array; (* compact list of sids touched this chunk *)
   mutable st_elem_sampler_evals : int;
   mutable st_fallback_sampler_evals : int;
@@ -97,7 +97,11 @@ let create (params : Params.t) ~w ~seed =
   let mk_defer cntr =
     Array.init (Mkc_sketch.F2_contributing.levels cntr) (fun _ ->
         {
-          pend = Array.make q 0;
+          (* min_int = "not in [touched]": a signed sum may legitimately
+             pass through 0, so the value itself cannot double as the
+             membership test (a 0-sentinel would re-append the sid and
+             overflow the q-sized compact list under cancellation). *)
+          pend = Array.make q min_int;
           touched = Array.make q 0;
           ntouched = 0;
           seen = Array.make q false;
@@ -137,7 +141,7 @@ let create (params : Params.t) ~w ~seed =
       code_large = Array.make q min_int;
       keepf_tab = Array.make q (-1);
       elem_memo = Mkc_sketch.Sampler.Memo.create ~slots:(min (max 16 p.Params.u) 65536);
-      cs_pending = Array.make q 0;
+      cs_pending = Array.make q min_int;
       cs_touched = Array.make q 0;
       cs_ntouched = 0;
       cs_dirty = false;
@@ -163,7 +167,7 @@ let create (params : Params.t) ~w ~seed =
     sc_small = [||];
     sc_large = [||];
     sc_keepf = [||];
-    sc_sid_cnt = Array.make q 0;
+    sc_sid_cnt = Array.make q min_int;
     sc_active = Array.make q 0;
     st_elem_sampler_evals = 0;
     st_fallback_sampler_evals = 0;
@@ -199,11 +203,17 @@ let fallback_sketch rs sid =
 let feed_repeat t rs (e : Mkc_stream.Edge.t) =
   if in_sample t rs e.elt then begin
     let sid = Superset_partition.superset_of rs.partition e.set in
-    Mkc_sketch.F2_contributing.add rs.cntr_small sid 1;
-    Mkc_sketch.F2_contributing.add rs.cntr_large sid 1;
+    (* The F2 counters are pointwise-linear: a deletion is just a −1
+       update, and the signed sums downstream (CS rows, tracked counts)
+       land exactly where an insertion-free stream would have left
+       them.  The fallback L0 is the set sketch — insertion-only — so
+       deletions bypass it; its estimate over a churned superset is an
+       upper bound on the live count (DESIGN.md, turnstile section). *)
+    Mkc_sketch.F2_contributing.add rs.cntr_small sid e.sign;
+    Mkc_sketch.F2_contributing.add rs.cntr_large sid e.sign;
     t.st_f2_updates <- t.st_f2_updates + 2;
     t.st_fallback_sampler_evals <- t.st_fallback_sampler_evals + 1;
-    if Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid then begin
+    if Mkc_sketch.Sampler.Bernoulli.keep rs.fallback_sampler sid && e.sign > 0 then begin
       t.st_l0_updates <- t.st_l0_updates + 1;
       Mkc_sketch.L0_bjkst.add (fallback_sketch rs sid) e.elt
     end
@@ -273,10 +283,11 @@ let flush_level hh d =
     for i = 0 to d.ntouched - 1 do
       let sid = Array.unsafe_get touched i in
       let c = Array.unsafe_get pend sid in
-      if c > 0 then begin
-        Array.unsafe_set pend sid 0;
-        Mkc_sketch.F2_heavy_hitter.add_tracked hh sid c
-      end
+      Array.unsafe_set pend sid min_int;
+      (* A signed sum that cancelled to zero applies nothing — exactly
+         what an in-order replay leaves behind (insert then
+         remove-at-zero). *)
+      if c <> 0 then Mkc_sketch.F2_heavy_hitter.add_tracked hh sid c
     done;
     d.ntouched <- 0
   end
@@ -307,8 +318,8 @@ let flush_pending rs =
     for i = 0 to rs.cs_ntouched - 1 do
       let sid = Array.unsafe_get touched i in
       let c = Array.unsafe_get pend sid in
-      if c > 0 then begin
-        Array.unsafe_set pend sid 0;
+      Array.unsafe_set pend sid min_int;
+      if c <> 0 then begin
         Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_small ~code:(code_small_of rs sid)
           sid c;
         Mkc_sketch.F2_contributing.add_cs_decided rs.cntr_large ~code:(code_large_of rs sid)
@@ -330,7 +341,7 @@ let rebuild_defer rs =
     Array.iteri
       (fun lvl d ->
         let hh = Mkc_sketch.F2_contributing.level cntr lvl in
-        Array.fill d.pend 0 (Array.length d.pend) 0;
+        Array.fill d.pend 0 (Array.length d.pend) min_int;
         d.ntouched <- 0;
         d.dirty <- false;
         Array.fill d.seen 0 (Array.length d.seen) false;
@@ -356,7 +367,7 @@ let rebuild_defer rs =
    2·cap, so it prunes, and [prunes > 0] pins the level to per-edge
    replay from then on). *)
 let tracked_chunk cntr defer ~code_tab ~active ~na ~sid_cnt ~ins ~sids ~codes_j ~set_idx
-    ~elt_idx ~len =
+    ~elt_idx ~edges ~pos ~len =
   let levels = Mkc_sketch.F2_contributing.levels cntr in
   for lvl = 0 to levels - 1 do
     let hh = Mkc_sketch.F2_contributing.level cntr lvl in
@@ -375,6 +386,12 @@ let tracked_chunk cntr defer ~code_tab ~active ~na ~sid_cnt ~ins ~sids ~codes_j 
       d.ever + !newly <= 2 * Mkc_sketch.F2_heavy_hitter.cap hh
     in
     if deferrable then begin
+      (* [seen]/[ever] mark every touched sid regardless of sign: the
+         eager path's transient occupancy is bounded by the distinct
+         sids ever touched (deletions only shrink the table), so the
+         [ever <= 2·cap] invariant still rules out a prune — and with
+         no prune, the table is a pure per-sid signed sum with
+         removal-at-zero, which the net flush reproduces exactly. *)
       for a = 0 to na - 1 do
         let sid = Array.unsafe_get active a in
         let code = Array.unsafe_get code_tab sid in
@@ -384,11 +401,13 @@ let tracked_chunk cntr defer ~code_tab ~active ~na ~sid_cnt ~ins ~sids ~codes_j 
             d.ever <- d.ever + 1
           end;
           let p = Array.unsafe_get d.pend sid in
-          if p = 0 then begin
+          let c = Array.unsafe_get sid_cnt sid in
+          if p = min_int then begin
             Array.unsafe_set d.touched d.ntouched sid;
-            d.ntouched <- d.ntouched + 1
-          end;
-          Array.unsafe_set d.pend sid (p + Array.unsafe_get sid_cnt sid)
+            d.ntouched <- d.ntouched + 1;
+            Array.unsafe_set d.pend sid c
+          end
+          else Array.unsafe_set d.pend sid (p + c)
         end
       done;
       d.dirty <- true
@@ -400,13 +419,14 @@ let tracked_chunk cntr defer ~code_tab ~active ~na ~sid_cnt ~ins ~sids ~codes_j 
           let sj = Array.unsafe_get set_idx i in
           let code = Array.unsafe_get codes_j sj in
           if code >= 0 && code <= top then
-            Mkc_sketch.F2_heavy_hitter.add_tracked hh (Array.unsafe_get sids sj) 1
+            Mkc_sketch.F2_heavy_hitter.add_tracked hh (Array.unsafe_get sids sj)
+              (Array.unsafe_get edges (pos + i)).Mkc_stream.Edge.sign
         end
       done
     end
   done
 
-let feed_planned t plan ~red _edges ~pos:_ ~len =
+let feed_planned t plan ~red edges ~pos ~len =
   (* Chunk-deduplicated path.  Per repeat: every hash decision — element
      sample membership, superset assignment, both F2C subsampling codes,
      fallback superset sampling — is served from the repeat's memo
@@ -490,14 +510,16 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
         if Array.unsafe_get ins (Array.unsafe_get elt_idx i) then begin
           let sj = Array.unsafe_get set_idx i in
           let sid = Array.unsafe_get sids sj in
+          let sign = (Array.unsafe_get edges (pos + i)).Mkc_stream.Edge.sign in
           incr in_sample_edges;
           let c = Array.unsafe_get sid_cnt sid in
-          if c = 0 then begin
+          if c = min_int then begin
             Array.unsafe_set active !na sid;
-            incr na
-          end;
-          Array.unsafe_set sid_cnt sid (c + 1);
-          if Array.unsafe_get keepf sj then begin
+            incr na;
+            Array.unsafe_set sid_cnt sid sign
+          end
+          else Array.unsafe_set sid_cnt sid (c + sign);
+          if Array.unsafe_get keepf sj && sign > 0 then begin
             t.st_l0_updates <- t.st_l0_updates + 1;
             Mkc_sketch.L0_bjkst.add (fallback_sketch rs sid)
               (Array.unsafe_get red (Array.unsafe_get elt_idx i))
@@ -512,18 +534,20 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
         for a = 0 to na - 1 do
           let sid = Array.unsafe_get active a in
           let p = Array.unsafe_get pend sid in
-          if p = 0 then begin
+          let c = Array.unsafe_get sid_cnt sid in
+          if p = min_int then begin
             Array.unsafe_set touched rs.cs_ntouched sid;
-            rs.cs_ntouched <- rs.cs_ntouched + 1
-          end;
-          Array.unsafe_set pend sid (p + Array.unsafe_get sid_cnt sid)
+            rs.cs_ntouched <- rs.cs_ntouched + 1;
+            Array.unsafe_set pend sid c
+          end
+          else Array.unsafe_set pend sid (p + c)
         done;
         tracked_chunk rs.cntr_small rs.defer_small ~code_tab:rs.code_small ~active ~na
-          ~sid_cnt ~ins ~sids ~codes_j:csmall ~set_idx ~elt_idx ~len;
+          ~sid_cnt ~ins ~sids ~codes_j:csmall ~set_idx ~elt_idx ~edges ~pos ~len;
         tracked_chunk rs.cntr_large rs.defer_large ~code_tab:rs.code_large ~active ~na
-          ~sid_cnt ~ins ~sids ~codes_j:clarge ~set_idx ~elt_idx ~len;
+          ~sid_cnt ~ins ~sids ~codes_j:clarge ~set_idx ~elt_idx ~edges ~pos ~len;
         for a = 0 to na - 1 do
-          Array.unsafe_set sid_cnt (Array.unsafe_get active a) 0
+          Array.unsafe_set sid_cnt (Array.unsafe_get active a) min_int
         done
       end)
     t.repeats
@@ -647,7 +671,7 @@ let restore_repeat rs j =
   (* Checkpointed counters are always flushed (see [encode_repeat]), so
      pending deltas from any pre-restore feeding must not survive into
      the restored state. *)
-  Array.fill rs.cs_pending 0 (Array.length rs.cs_pending) 0;
+  Array.fill rs.cs_pending 0 (Array.length rs.cs_pending) min_int;
   rs.cs_ntouched <- 0;
   rs.cs_dirty <- false;
   let* sj = Ck.J.field "cntr_small" j in

@@ -106,6 +106,32 @@ let add_pair t inst set elt =
     end
   end
 
+(* Turnstile deletion: drop the most recent stored occurrence of
+   (set, elt), if any.  Member lists are latest-first, so the first
+   match is the latest insert; an emptied list removes its store entry
+   outright, leaving the store exactly as if that insert never
+   happened.  Sampling decisions are pure hashes of (set, elt), so a
+   deletion passes the same filters its insertion did and lands on the
+   same instances.  [st_pairs_stored] is the monotone work counter —
+   deletions leave it alone.  A dead (capped) instance stays dead. *)
+let remove_pair inst set elt =
+  if not inst.dead then
+    match Hashtbl.find_opt inst.store set with
+    | None -> ()
+    | Some members -> (
+        let rec rm = function
+          | [] -> raise Not_found
+          | x :: tl -> if x = elt then tl else x :: rm tl
+        in
+        match rm !members with
+        | [] ->
+            Hashtbl.remove inst.store set;
+            inst.pairs <- inst.pairs - 1
+        | l ->
+            members := l;
+            inst.pairs <- inst.pairs - 1
+        | exception Not_found -> ())
+
 let feed_repeat t rs (e : Mkc_stream.Edge.t) =
   t.st_elem_sampler_evals <- t.st_elem_sampler_evals + 1;
   let min_lvl = Mkc_sketch.Sampler.Nested.min_keep_level_code rs.elem_sampler e.elt in
@@ -113,9 +139,14 @@ let feed_repeat t rs (e : Mkc_stream.Edge.t) =
     (* Element survives at levels >= min_lvl, i.e. guesses
        g <= (guesses - 1) - min_lvl. *)
     let top_guess = t.guesses - 1 - min_lvl in
-    for g = 0 to top_guess do
-      add_pair t rs.instances.(g) e.set e.elt
-    done
+    if e.sign > 0 then
+      for g = 0 to top_guess do
+        add_pair t rs.instances.(g) e.set e.elt
+      done
+    else
+      for g = 0 to top_guess do
+        remove_pair rs.instances.(g) e.set e.elt
+      done
   end
 
 let feed t e = Array.iter (fun rs -> feed_repeat t rs e) t.repeats
@@ -130,7 +161,7 @@ let feed_batch t edges ~pos ~len =
       done)
     t.repeats
 
-let feed_planned t plan ~red _edges ~pos:_ ~len =
+let feed_planned t plan ~red edges ~pos ~len =
   (* Chunk-deduplicated path: nested element decisions once per distinct
      (reduced) element, set-sample membership once per distinct set —
      both served from cross-chunk memo caches — then an in-order replay,
@@ -185,9 +216,14 @@ let feed_planned t plan ~red _edges ~pos:_ ~len =
           if Array.unsafe_get inm sj then begin
             let set = Array.unsafe_get sets sj and elt = Array.unsafe_get red ej in
             let top_guess = t.guesses - 1 - min_lvl in
-            for g = 0 to top_guess do
-              add_pair t rs.instances.(g) set elt
-            done
+            if (Array.unsafe_get edges (pos + i)).Mkc_stream.Edge.sign > 0 then
+              for g = 0 to top_guess do
+                add_pair t rs.instances.(g) set elt
+              done
+            else
+              for g = 0 to top_guess do
+                remove_pair rs.instances.(g) set elt
+              done
           end
         end
       done)

@@ -49,9 +49,9 @@ let pool_tracks =
       "pipeline.pool.rebalances";
     ]
 
-let build ~breakdown est : probe array =
+let common ~breakdown ~totals_of ~extra : probe array =
   let bd_all, bd = cached breakdown in
-  let _, totals = cached (fun () -> Estimate.stats_totals est) in
+  let _, totals = cached totals_of in
   let throughput =
     (* Instantaneous rate between consecutive samples, anchored at
        build time so the first sample is meaningful too. *)
@@ -112,4 +112,18 @@ let build ~breakdown est : probe array =
             let hits = tot "large_common.memo_hits" ~at_ns in
             ppm ~num:hits ~den:(hits + tot "large_common.sampler_evals" ~at_ns) );
       ]
-    @ pool_tracks)
+    @ extra @ pool_tracks)
+
+let build ~breakdown est : probe array =
+  common ~breakdown ~totals_of:(fun () -> Estimate.stats_totals est) ~extra:[]
+
+(* Windowed runs replace the in-flight estimator on every epoch roll,
+   so the totals fetch must go through [Windowed.current] per sample;
+   the window.* tracks read the registry counters the roll path bumps. *)
+let build_windowed ~breakdown w : probe array =
+  common ~breakdown
+    ~totals_of:(fun () -> Windowed.stats_totals w)
+    ~extra:
+      (List.map
+         (fun name -> (name, reg_int name))
+         [ "window.epochs"; "window.rolled"; "window.swaps" ])

@@ -39,3 +39,14 @@ val build :
     Breakdown and stats reads are cached per sample timestamp, so the
     per-sample cost is one [breakdown] fetch and one
     {!Estimate.stats_totals} walk regardless of track count. *)
+
+val build_windowed :
+  breakdown:(unit -> (string * int) list) ->
+  Windowed.t ->
+  Mkc_obs.Telemetry.Recorder.probe array
+(** {!build} for a windowed run: the same track set plus
+    [window.epochs] / [window.rolled] / [window.swaps] (read from the
+    global registry, where {!Windowed} publishes them on each epoch
+    roll).  Sketch-health totals are re-read through
+    {!Windowed.current} on every sample, since the in-flight estimator
+    is replaced when an epoch rolls. *)

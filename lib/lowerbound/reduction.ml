@@ -2,7 +2,7 @@ let to_stream (d : Disjointness.t) =
   let out = ref [] in
   for i = Array.length d.players - 1 downto 0 do
     Array.iter
-      (fun item -> out := { Mkc_stream.Edge.set = item; elt = i } :: !out)
+      (fun item -> out := { Mkc_stream.Edge.set = item; elt = i; sign = 1 } :: !out)
       d.players.(i)
   done;
   Array.of_list !out

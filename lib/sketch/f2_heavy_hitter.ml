@@ -15,9 +15,11 @@ type t = {
      preallocated int arrays: [tkeys] ([min_int] = empty) and [tvals].
      Slot count is a fixed power of two >= 2·(2·cap+1): occupancy peaks
      at 2·cap+1 just before a prune fires, so the load factor stays
-     <= 1/2 and the table never resizes.  Entries are only removed in
-     bulk prunes (which rebuild from scratch), so linear probing needs
-     no tombstones, and the per-update path allocates nothing. *)
+     <= 1/2 and the table never resizes.  Entries leave either in bulk
+     prunes (which rebuild from scratch) or one at a time when a
+     turnstile deletion returns a signed count to zero — the latter
+     uses backward-shift deletion, so linear probing still needs no
+     tombstones, and the per-update path allocates nothing. *)
   tkeys : int array;
   tvals : int array;
   tmask : int;
@@ -139,10 +141,44 @@ let prune t =
    [add]. *)
 let add_cs t i delta = Count_sketch.add t.cs i delta
 
+(* Backward-shift deletion: clear the hole, then walk the cluster after
+   it, sliding back every entry whose probe path crosses the hole.
+   Probe sequences stay unbroken with no tombstones; the serialized
+   form ([dump] sorts by id) depends only on the surviving (id, count)
+   multiset, which is what makes insert-then-delete bit-for-bit equal
+   to never-inserted on the serialized table. *)
+let remove_at t s =
+  t.tn <- t.tn - 1;
+  let mask = t.tmask in
+  let hole = ref s in
+  Array.unsafe_set t.tkeys s absent;
+  let j = ref ((s + 1) land mask) in
+  let continue = ref true in
+  while !continue do
+    let k = Array.unsafe_get t.tkeys !j in
+    if k = absent then continue := false
+    else begin
+      let h = slot_of t k in
+      if (!j - h) land mask >= (!j - !hole) land mask then begin
+        Array.unsafe_set t.tkeys !hole k;
+        Array.unsafe_set t.tvals !hole (Array.unsafe_get t.tvals !j);
+        Array.unsafe_set t.tkeys !j absent;
+        hole := !j
+      end;
+      j := (!j + 1) land mask
+    end
+  done
+
 let add_tracked t i delta =
   let s = probe t.tkeys t.tmask i (slot_of t i) in
-  if Array.unsafe_get t.tkeys s = i then
-    Array.unsafe_set t.tvals s (Array.unsafe_get t.tvals s + delta)
+  if Array.unsafe_get t.tkeys s = i then begin
+    let c = Array.unsafe_get t.tvals s + delta in
+    (* A signed count returning to zero means "never inserted": drop
+       the entry so the table matches the insertion-free state.  With
+       positive deltas (insertion-only streams) this branch is dead and
+       the historical behaviour is bit-for-bit unchanged. *)
+    if c = 0 then remove_at t s else Array.unsafe_set t.tvals s c
+  end
   else begin
     Array.unsafe_set t.tkeys s i;
     Array.unsafe_set t.tvals s delta;

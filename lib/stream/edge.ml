@@ -1,12 +1,26 @@
-type t = { set : int; elt : int }
+type t = { set : int; elt : int; sign : int }
+
+let check_ids set elt =
+  if set < 0 || elt < 0 then invalid_arg "Edge.make: ids must be non-negative"
 
 let make ~set ~elt =
-  if set < 0 || elt < 0 then invalid_arg "Edge.make: ids must be non-negative";
-  { set; elt }
+  check_ids set elt;
+  { set; elt; sign = 1 }
+
+let signed ~sign ~set ~elt =
+  check_ids set elt;
+  if sign <> 1 && sign <> -1 then invalid_arg "Edge.signed: sign must be +1 or -1";
+  { set; elt; sign }
 
 let compare a b =
   let c = Int.compare a.set b.set in
-  if c <> 0 then c else Int.compare a.elt b.elt
+  if c <> 0 then c
+  else
+    let c = Int.compare a.elt b.elt in
+    if c <> 0 then c else Int.compare a.sign b.sign
 
 let equal a b = compare a b = 0
-let pp ppf { set; elt } = Format.fprintf ppf "(S%d, e%d)" set elt
+
+let pp ppf { set; elt; sign } =
+  if sign >= 0 then Format.fprintf ppf "(S%d, e%d)" set elt
+  else Format.fprintf ppf "(S%d, e%d, -)" set elt

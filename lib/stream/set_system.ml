@@ -70,13 +70,13 @@ let common_elements t ~threshold =
   Array.fold_left (fun acc f -> if f >= threshold then acc + 1 else acc) 0 freq
 
 let edges t =
-  let out = Array.make (total_size t) { Edge.set = 0; elt = 0 } in
+  let out = Array.make (total_size t) { Edge.set = 0; elt = 0; sign = 1 } in
   let pos = ref 0 in
   Array.iteri
     (fun i s ->
       Array.iter
         (fun e ->
-          out.(!pos) <- { Edge.set = i; elt = e };
+          out.(!pos) <- { Edge.set = i; elt = e; sign = 1 };
           incr pos)
         s)
     t.sets;

@@ -46,7 +46,11 @@ let save t path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Array.iter (fun (e : Edge.t) -> Printf.fprintf oc "%d %d\n" e.set e.elt) t)
+      Array.iter
+        (fun (e : Edge.t) ->
+          if e.sign >= 0 then Printf.fprintf oc "%d %d\n" e.set e.elt
+          else Printf.fprintf oc "%d %d -1\n" e.set e.elt)
+        t)
 
 let is_ws = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false
 
@@ -113,22 +117,38 @@ let load path =
              else begin
                let j1 = skip_tok line i1 n in
                let i2 = skip_ws line j1 n in
-               if i2 < n then begin
-                 (* Count the extra fields for the error message. *)
-                 let rec fields i acc =
-                   if i >= n then acc
-                   else fields (skip_ws line (skip_tok line i n) n) (acc + 1)
-                 in
-                 malformed line
-                   (Printf.sprintf "expected 2 fields, got %d" (fields i2 2))
-               end
-               else
-                 match parse_int line i0 j0 with
-                 | None -> malformed line (bad_token (String.sub line i0 (j0 - i0)))
-                 | Some s -> (
-                     match parse_int line i1 j1 with
-                     | None -> malformed line (bad_token (String.sub line i1 (j1 - i1)))
-                     | Some e -> push (Edge.make ~set:s ~elt:e))
+               (* An optional third field is the turnstile sign column:
+                  exactly "1", "+1" or "-1".  Anything else is rejected
+                  by name so a single bad sign in a large signed file is
+                  findable. *)
+               let sign =
+                 if i2 >= n then 1
+                 else begin
+                   let j2 = skip_tok line i2 n in
+                   let i3 = skip_ws line j2 n in
+                   if i3 < n then begin
+                     (* Count the extra fields for the error message. *)
+                     let rec fields i acc =
+                       if i >= n then acc
+                       else fields (skip_ws line (skip_tok line i n) n) (acc + 1)
+                     in
+                     malformed line
+                       (Printf.sprintf "expected 2 or 3 fields, got %d" (fields i3 3))
+                   end;
+                   match String.sub line i2 (j2 - i2) with
+                   | "1" | "+1" -> 1
+                   | "-1" -> -1
+                   | tok ->
+                       malformed line
+                         (Printf.sprintf "sign token %S is not +1 or -1" tok)
+                 end
+               in
+               match parse_int line i0 j0 with
+               | None -> malformed line (bad_token (String.sub line i0 (j0 - i0)))
+               | Some s -> (
+                   match parse_int line i1 j1 with
+                   | None -> malformed line (bad_token (String.sub line i1 (j1 - i1)))
+                   | Some e -> push (Edge.signed ~sign ~set:s ~elt:e))
              end
            end
          done

@@ -48,15 +48,19 @@ val to_array : t -> Edge.t array
 
 val save : t -> string -> unit
 (** Text format: a header line [n m] is NOT stored; each line is
-    "set elt". *)
+    "set elt" for insertions and "set elt -1" for deletions, so
+    insertion-only streams round-trip byte-identically to the
+    historical two-column format. *)
 
 val load : string -> t
 (** Inverse of {!save}, tolerant of tabs, repeated spaces, and
     leading/trailing whitespace (fields are split on runs of
-    whitespace); raises [Failure] on malformed lines, naming the file,
-    the 1-based line number, and the offending token (or field count)
-    so a single bad record in a large file is findable.  Single pass
-    into a growable edge buffer — no intermediate list. *)
+    whitespace).  An optional third column is the turnstile sign and
+    must be exactly ["1"], ["+1"] or ["-1"].  Raises [Failure] on
+    malformed lines, naming the file, the 1-based line number, and the
+    offending token (or field count) so a single bad record in a large
+    file is findable.  Single pass into a growable edge buffer — no
+    intermediate list. *)
 
 val max_ids : t -> int * int
 (** [(max set id + 1, max element id + 1)] — a cheap (m, n) bound for

@@ -1,0 +1,64 @@
+(* Seeded churn transform for turnstile experiments: a fraction of the
+   base stream's insertions are retracted again later in the stream,
+   so a run must survive real deletions while the live (net-positive)
+   suffix stays a plain insertion-only instance any offline baseline
+   can score. *)
+
+module Edge = Mkc_stream.Edge
+
+let prob rng frac = Mkc_hashing.Splitmix.below rng 1_000_000 < int_of_float (frac *. 1e6)
+
+let apply ~frac ~seed edges =
+  if not (frac >= 0.0 && frac < 1.0) then
+    invalid_arg "Churn.apply: frac must lie in [0, 1)";
+  Array.iter
+    (fun (e : Edge.t) ->
+      if e.sign < 0 then invalid_arg "Churn.apply: base stream must be insertion-only")
+    edges;
+  let rng = Mkc_hashing.Splitmix.create seed in
+  let out = ref [] in
+  (* Deletions are queued FIFO behind their insertions and drain with
+     probability 1/2 after each subsequent insert, so every retraction
+     lands strictly after its insert at a geometrically distributed
+     lag; leftovers flush at end-of-stream.  Net count per churned edge
+     is exactly 0, per surviving edge exactly its base multiplicity. *)
+  let pending = Queue.create () in
+  Array.iter
+    (fun (e : Edge.t) ->
+      out := e :: !out;
+      if prob rng frac then Queue.add e pending;
+      if (not (Queue.is_empty pending)) && Mkc_hashing.Splitmix.below rng 2 = 0 then
+        let d = Queue.pop pending in
+        out := Edge.signed ~sign:(-1) ~set:d.set ~elt:d.elt :: !out)
+    edges;
+  Queue.iter
+    (fun (d : Edge.t) -> out := Edge.signed ~sign:(-1) ~set:d.set ~elt:d.elt :: !out)
+    pending;
+  Array.of_list (List.rev !out)
+
+let live edges =
+  let net = Hashtbl.create (Array.length edges) in
+  Array.iter
+    (fun (e : Edge.t) ->
+      let key = (e.set, e.elt) in
+      let c = Option.value ~default:0 (Hashtbl.find_opt net key) in
+      Hashtbl.replace net key (c + e.sign))
+    edges;
+  let out = ref [] in
+  (* First-occurrence order keeps the result a deterministic function
+     of the input stream (hash-table iteration order never leaks). *)
+  let emitted = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Edge.t) ->
+      let key = (e.set, e.elt) in
+      if not (Hashtbl.mem emitted key) then begin
+        Hashtbl.add emitted key ();
+        match Hashtbl.find_opt net key with
+        | Some c when c > 0 ->
+            for _ = 1 to c do
+              out := Edge.make ~set:e.set ~elt:e.elt :: !out
+            done
+        | _ -> ()
+      end)
+    edges;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,18 @@
+(** Seeded churn workloads for the turnstile (insertion + deletion)
+    stream model.
+
+    {!apply} rewrites an insertion-only stream so a [frac]-fraction of
+    its edges are retracted again later in the stream (sign −1),
+    each retraction strictly after its insertion; {!live} recovers the
+    net-positive suffix as a plain insertion-only stream, which is what
+    offline baselines (greedy) score against.  Both are deterministic
+    functions of [(frac, seed, input)]. *)
+
+val apply : frac:float -> seed:int -> Mkc_stream.Edge.t array -> Mkc_stream.Edge.t array
+(** Raises [Invalid_argument] if [frac] is outside [\[0, 1)] or the
+    base stream already contains deletions. *)
+
+val live : Mkc_stream.Edge.t array -> Mkc_stream.Edge.t array
+(** Multiset net counts: each (set, elt) pair appears with its net
+    multiplicity (insertions minus deletions, clamped at 0), in first-
+    occurrence order. *)

@@ -67,6 +67,69 @@ let test_flag_check_precedes_stream_io () =
   checkb "missing stream error is not the flag error" false
     (contains ~sub:"positive integer" stderr)
 
+(* The stream files below are all "nope.txt" (missing): getting the
+   windowed-flag message instead of the missing-file one proves the
+   validation fires before any stream I/O. *)
+let expect_rejection cmd_args ~msg =
+  let code, stderr = run_capture cmd_args in
+  checki (Printf.sprintf "%s: exit code" cmd_args) 2 code;
+  checkb (Printf.sprintf "%s: stderr says %S" cmd_args msg) true (contains ~sub:msg stderr)
+
+let test_windowed_flag_validation () =
+  expect_rejection "estimate --stream nope.txt --window 4"
+    ~msg:"--window requires --epoch-edges";
+  expect_rejection "estimate --stream nope.txt --epoch-edges 10"
+    ~msg:"--epoch-edges requires --window";
+  expect_rejection "estimate --stream nope.txt --decay 0.5"
+    ~msg:"--decay requires --window";
+  expect_rejection "estimate --stream nope.txt --window 4 --epoch-edges 10 --decay 1.5"
+    ~msg:"--decay must lie strictly between 0 and 1 (got 1.5)";
+  expect_rejection "estimate --stream nope.txt --window 4 --epoch-edges 10 --decay 0"
+    ~msg:"--decay must lie strictly between 0 and 1 (got 0)";
+  expect_rejection "estimate --stream nope.txt --window 4 --epoch-edges 10 --domains 2"
+    ~msg:"--window runs single-domain";
+  expect_rejection
+    "estimate --stream nope.txt --window 4 --epoch-edges 10 --checkpoint c.json"
+    ~msg:"--checkpoint/--resume are not supported in windowed mode";
+  expect_named_rejection "estimate --stream nope.txt --window 0 --epoch-edges 10"
+    ~flag:"--window" ~got:0;
+  expect_named_rejection "estimate --stream nope.txt --window 4 --epoch-edges=-2"
+    ~flag:"--epoch-edges" ~got:(-2);
+  (* report shares the same windowed-flag contract *)
+  expect_rejection "report --stream nope.txt --window 4"
+    ~msg:"--window requires --epoch-edges";
+  expect_rejection "report --stream nope.txt --window 4 --epoch-edges 10 --decay 2"
+    ~msg:"--decay must lie strictly between 0 and 1 (got 2)"
+
+let test_sign_column_parse_error () =
+  (* A bad sign token must be rejected with the 1-based line number and
+     the offending token, exit 2 — not a crash, not a partial load. *)
+  let path = Filename.temp_file "mkc_cli" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0 1\n0 2 2\n1 3\n";
+      close_out oc;
+      let code, stderr = run_capture (Printf.sprintf "estimate --stream %s" path) in
+      checki "bad sign token is exit 2" 2 code;
+      checkb "stderr names the line" true (contains ~sub:"malformed line 2" stderr);
+      checkb "stderr names the token" true
+        (contains ~sub:"sign token \"2\" is not +1 or -1" stderr);
+      let oc = open_out path in
+      output_string oc "0 1\n0 2 +1 9\n" ;
+      close_out oc;
+      let code, stderr = run_capture (Printf.sprintf "estimate --stream %s" path) in
+      checki "extra field is exit 2" 2 code;
+      checkb "stderr counts the fields" true
+        (contains ~sub:"expected 2 or 3 fields, got 4" stderr))
+
+let test_generate_churn_validation () =
+  expect_rejection "generate -n 10 -m 4 -k 2 -o nope_out.txt --churn 1.5"
+    ~msg:"--churn must lie in [0, 1) (got 1.5)";
+  expect_rejection "generate -n 10 -m 4 -k 2 -o nope_out.txt --churn=-0.25"
+    ~msg:"--churn must lie in [0, 1) (got -0.25)"
+
 let suite =
   [
     Alcotest.test_case "estimate rejects non-positive cadence flags" `Quick
@@ -75,4 +138,10 @@ let suite =
       test_report_flag_validation;
     Alcotest.test_case "flag validation precedes stream i/o" `Quick
       test_flag_check_precedes_stream_io;
+    Alcotest.test_case "windowed flags reject misuse by name" `Quick
+      test_windowed_flag_validation;
+    Alcotest.test_case "sign column parse error names line and token" `Quick
+      test_sign_column_parse_error;
+    Alcotest.test_case "generate rejects out-of-range churn" `Quick
+      test_generate_churn_validation;
   ]

@@ -25,6 +25,8 @@ let () =
       ("ledger", Test_ledger.suite);
       ("sentinel", Test_sentinel.suite);
       ("cli", Test_cli.suite);
+      ("turnstile", Test_turnstile.suite);
+      ("window", Test_window.suite);
       ("series", Test_series.suite);
       ("telemetry", Test_telemetry.suite);
       ("health", Test_health.suite);

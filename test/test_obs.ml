@@ -682,8 +682,10 @@ let test_load_error_line_number () =
   let msg = load_failure "0 1\n2 x7\n" in
   checkb "points at the second field" true (contains ~sub:"token \"x7\"" msg);
   let msg = load_failure "0 1 2\n" in
+  checkb "names a bad sign token" true (contains ~sub:"sign token \"2\"" msg);
+  let msg = load_failure "0 1 -1 4\n" in
   checkb "reports a field-count mismatch" true
-    (contains ~sub:"expected 2 fields, got 3" msg)
+    (contains ~sub:"expected 2 or 3 fields, got 4" msg)
 
 (* --- Stream_source.load_auto: binary rejections name the path --- *)
 

@@ -371,6 +371,132 @@ let test_edge_file_write_bounds () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* --- v2 (signed, turnstile) record + golden v1 compatibility --- *)
+
+let signed_sample () =
+  Array.init 64 (fun i ->
+      Edge.signed
+        ~sign:(if i mod 5 = 4 then -1 else 1)
+        ~set:(i * 7 mod 31) ~elt:(i * 13 mod 101))
+
+(* Test-local FNV-1a 64, to re-seal the header after deliberate column
+   tampering (otherwise every tamper case collapses into
+   Checksum_mismatch before reaching the named rejection under test). *)
+let fnv1a64_str s ~pos ~len =
+  let h = ref 0xCBF29CE484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code s.[i]));
+    h := Int64.mul !h 0x100000001B3L
+  done;
+  !h
+
+let reseal b = Bytes.set_int64_le b 40 (fnv1a64_str (Bytes.to_string b) ~pos:48 ~len:(Bytes.length b - 48))
+
+let test_edge_file_v2_roundtrip () =
+  with_tmp ".mkce" @@ fun bpath ->
+  let edges = signed_sample () in
+  (match Ef.write bpath edges ~n:101 ~m:31 with
+  | Ok (size : int) ->
+      (* 48-byte header + 16 bytes of id columns + 1 sign byte per edge *)
+      checki "v2 size" (48 + (17 * Array.length edges)) size
+  | Error e -> Alcotest.failf "write failed: %s" (Ef.error_to_string e));
+  checkb "v2 magic" true
+    (String.equal (String.sub (read_bytes bpath) 0 8) Ef.magic_v2);
+  checkb "v2 sniffs as binary" true (Ef.is_binary bpath);
+  (match Ef.read bpath with
+  | Ok (got, 101, 31) -> checkb "signs round-trip" true (got = edges)
+  | Ok _ -> Alcotest.fail "wrong dims"
+  | Error e -> Alcotest.failf "read failed: %s" (Ef.error_to_string e));
+  checkb "load_auto dispatches v2" true
+    (Src.to_array (Src.load_auto bpath) = edges)
+
+let test_edge_file_insertion_only_stays_v1 () =
+  (* An all-positive stream written through the signed constructor must
+     keep producing byte-identical v1 files — old readers stay valid. *)
+  with_tmp ".mkce" @@ fun v1path ->
+  with_tmp ".mkce" @@ fun spath ->
+  write_sample v1path;
+  let signed_pos =
+    Array.map (fun (e : Edge.t) -> Edge.signed ~sign:1 ~set:e.set ~elt:e.elt) (sample_edges ())
+  in
+  (match Ef.write spath signed_pos ~n:101 ~m:31 with
+  | Ok (_ : int) -> ()
+  | Error e -> Alcotest.failf "write failed: %s" (Ef.error_to_string e));
+  checkb "byte-identical v1 file" true
+    (String.equal (read_bytes v1path) (read_bytes spath))
+
+let test_edge_file_v2_bad_sign_byte () =
+  with_tmp ".mkce" @@ fun bpath ->
+  (match Ef.write bpath (signed_sample ()) ~n:101 ~m:31 with
+  | Ok (_ : int) -> ()
+  | Error e -> Alcotest.failf "write failed: %s" (Ef.error_to_string e));
+  let b = Bytes.of_string (read_bytes bpath) in
+  (* corrupt one sign byte, then re-seal so the checksum passes and the
+     sign-column validator is what rejects *)
+  Bytes.set b (48 + (16 * 64) + 3) '\007';
+  reseal b;
+  write_bytes bpath (Bytes.to_string b);
+  match Ef.read bpath with
+  | Error (Ef.Malformed msg) ->
+      checkb "names the sign byte and edge" true
+        (msg = "sign byte 7 out of range at edge 3")
+  | Error e -> Alcotest.failf "expected Malformed, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "bad sign byte accepted"
+
+let test_edge_file_version_magic_mismatch () =
+  (* v1 magic carrying v2 fields (and vice versa) is Bad_version, never
+     a read with the wrong column layout. *)
+  with_tmp ".mkce" @@ fun bpath ->
+  (match Ef.write bpath (signed_sample ()) ~n:101 ~m:31 with
+  | Ok (_ : int) -> ()
+  | Error e -> Alcotest.failf "write failed: %s" (Ef.error_to_string e));
+  let v2 = read_bytes bpath in
+  let b = Bytes.of_string v2 in
+  Bytes.blit_string Ef.magic 0 b 0 8;
+  write_bytes bpath (Bytes.to_string b);
+  (match Ef.read bpath with
+  | Error (Ef.Bad_version 2) -> ()
+  | Error e -> Alcotest.failf "expected Bad_version 2, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "v1 magic with v2 fields accepted");
+  let b = Bytes.of_string v2 in
+  Bytes.set_int64_le b 8 1L;
+  write_bytes bpath (Bytes.to_string b);
+  (match Ef.read bpath with
+  | Error (Ef.Bad_version 1) -> ()
+  | Error e -> Alcotest.failf "expected Bad_version 1, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "v2 magic with version 1 accepted");
+  (* truncating the sign column is caught by the length check *)
+  write_bytes bpath (String.sub v2 0 (String.length v2 - 4));
+  match Ef.read bpath with
+  | Error (Ef.Truncated _) -> ()
+  | Error e -> Alcotest.failf "expected Truncated, got: %s" (Ef.error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated sign column accepted"
+
+(* The checked-in v1 binary: files written by pre-turnstile builds must
+   keep loading through the magic dispatcher, forever. *)
+let golden_v1_path = "golden_edges_v1.mkcedg"
+
+let test_edge_file_golden_v1_loads () =
+  checkb "golden sniffs as binary" true (Ef.is_binary golden_v1_path);
+  let edges, n, m =
+    match Ef.read golden_v1_path with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "golden rejected: %s" (Ef.error_to_string e)
+  in
+  checki "golden n" 10 n;
+  checki "golden m" 5 m;
+  let expect =
+    [| (0, 0); (1, 3); (2, 6); (0, 9); (3, 1); (4, 4); (2, 2); (1, 7) |]
+  in
+  checkb "golden edges decode" true
+    (Array.map (fun (e : Edge.t) -> (e.set, e.elt)) edges = expect);
+  checkb "golden edges are insertions" true
+    (Array.for_all (fun (e : Edge.t) -> e.sign = 1) edges);
+  checkb "golden loads via load_auto" true
+    (Array.map (fun (e : Edge.t) -> (e.set, e.elt))
+       (Src.to_array (Src.load_auto golden_v1_path))
+    = expect)
+
 let suite =
   [
     Alcotest.test_case "chunks: no empty final chunk" `Quick test_chunks_never_empty;
@@ -407,4 +533,13 @@ let suite =
     Alcotest.test_case "edge file rejects checksum mismatch" `Quick
       test_edge_file_checksum_mismatch;
     Alcotest.test_case "edge file write bounds" `Quick test_edge_file_write_bounds;
+    Alcotest.test_case "edge file v2 signed round-trip" `Quick test_edge_file_v2_roundtrip;
+    Alcotest.test_case "insertion-only writes stay byte-identical v1" `Quick
+      test_edge_file_insertion_only_stays_v1;
+    Alcotest.test_case "edge file v2 rejects bad sign byte" `Quick
+      test_edge_file_v2_bad_sign_byte;
+    Alcotest.test_case "edge file rejects version/magic mismatch" `Quick
+      test_edge_file_version_magic_mismatch;
+    Alcotest.test_case "golden v1 edge file still loads" `Quick
+      test_edge_file_golden_v1_loads;
   ]

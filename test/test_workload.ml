@@ -179,9 +179,78 @@ let test_in_arrival_scatters_sets () =
     positions;
   checkb "at least one set is scattered" true !scattered
 
+(* ---------- Churn (turnstile workload transform) ---------- *)
+
+module Churn = Mkc_workload.Churn
+module Edge = Mkc_stream.Edge
+
+let churn_base () =
+  Array.init 500 (fun i -> Edge.make ~set:(i mod 37) ~elt:(i * 13 mod 211))
+
+let test_churn_deletions_follow_insertions () =
+  let out = Churn.apply ~frac:0.4 ~seed:3 (churn_base ()) in
+  (* Every deletion must land strictly after a not-yet-retracted
+     insertion of the same pair: a running net count that never goes
+     negative proves it. *)
+  let net = Hashtbl.create 97 in
+  Array.iter
+    (fun (e : Edge.t) ->
+      let key = (e.set, e.elt) in
+      let c = Option.value ~default:0 (Hashtbl.find_opt net key) + e.sign in
+      checkb "net count never negative" true (c >= 0);
+      Hashtbl.replace net key c)
+    out;
+  checkb "some deletions emitted" true
+    (Array.exists (fun (e : Edge.t) -> e.sign < 0) out);
+  (* Deterministic in (frac, seed): same inputs, same stream. *)
+  checkb "deterministic" true (Churn.apply ~frac:0.4 ~seed:3 (churn_base ()) = out);
+  checkb "seed-sensitive" true (Churn.apply ~frac:0.4 ~seed:4 (churn_base ()) <> out)
+
+let test_churn_live_recovers_net_multiset () =
+  let base = churn_base () in
+  let out = Churn.apply ~frac:0.4 ~seed:5 base in
+  let live = Churn.live out in
+  checkb "live is insertion-only" true
+    (Array.for_all (fun (e : Edge.t) -> e.sign = 1) live);
+  (* Net multiset of the churned stream = multiset of its live edges. *)
+  let count edges =
+    let h = Hashtbl.create 97 in
+    Array.iter
+      (fun (e : Edge.t) ->
+        let key = (e.set, e.elt) in
+        Hashtbl.replace h key (Option.value ~default:0 (Hashtbl.find_opt h key) + e.sign))
+      edges;
+    Hashtbl.fold (fun k c acc -> if c > 0 then (k, c) :: acc else acc) h []
+    |> List.sort compare
+  in
+  checkb "live = net-positive multiset" true (count out = count live);
+  checki "insertions minus deletions" (Array.length live)
+    (Array.fold_left (fun acc (e : Edge.t) -> acc + e.sign) 0 out)
+
+let test_churn_degenerate_cases () =
+  let base = churn_base () in
+  checkb "frac 0 is the identity" true (Churn.apply ~frac:0.0 ~seed:7 base = base);
+  checkb "live of insertion-only preserves the multiset" true
+    (Array.to_list (Churn.live base)
+    |> List.sort compare
+    = (Array.to_list base |> List.sort compare));
+  checkb "frac 1 rejected" true
+    (match Churn.apply ~frac:1.0 ~seed:7 base with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "signed base rejected" true
+    (match Churn.apply ~frac:0.1 ~seed:7 (Churn.apply ~frac:0.2 ~seed:8 base) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "zipf pmf normalized" `Quick test_zipf_pmf_sums_to_one;
+    Alcotest.test_case "churn deletions follow their insertions" `Quick
+      test_churn_deletions_follow_insertions;
+    Alcotest.test_case "churn live recovers the net multiset" `Quick
+      test_churn_live_recovers_net_multiset;
+    Alcotest.test_case "churn degenerate cases" `Quick test_churn_degenerate_cases;
     Alcotest.test_case "zipf samples in range" `Quick test_zipf_samples_in_range;
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
     Alcotest.test_case "zipf uniform at s=0" `Quick test_zipf_uniform_when_s0;
